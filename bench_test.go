@@ -1,0 +1,208 @@
+// Package dsarp's root benchmark harness regenerates every table and figure
+// of the paper's evaluation (DESIGN.md §3 maps IDs to experiments). Each
+// benchmark runs a scaled-down version of the experiment and reports its
+// headline numbers as custom metrics; the printed tables land in the
+// benchmark log. cmd/experiments reproduces the same tables at larger scale.
+//
+//	go test -bench=. -benchmem
+package dsarp
+
+import (
+	"testing"
+
+	"dsarp/internal/core"
+	"dsarp/internal/exp"
+	"dsarp/internal/timing"
+)
+
+// benchOpts keeps each experiment benchmark in the seconds range: one
+// workload per category, 4 cores, short windows.
+func benchOpts() exp.Options {
+	return exp.Options{
+		PerCategory: 1,
+		Sensitivity: 1,
+		Cores:       4,
+		Warmup:      10_000,
+		Measure:     50_000,
+		Seed:        42,
+		Densities:   []timing.Density{timing.Gb8, timing.Gb32},
+	}
+}
+
+func BenchmarkFig5_TRFCabTrend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		f := r.Fig5()
+		last := f.Points[len(f.Points)-1]
+		b.ReportMetric(last.Projection2, "ns@64Gb")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFig6_RefabPerfLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		f := r.Fig6()
+		b.ReportMetric(f.Rows[len(f.Rows)-1].Overall, "loss%@32Gb")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFig7_RefabVsRefpb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		f := r.Fig7()
+		b.ReportMetric(f.LossAB[len(f.LossAB)-1], "ab_loss%@32Gb")
+		b.ReportMetric(f.LossPB[len(f.LossPB)-1], "pb_loss%@32Gb")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFig12_SortedCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		f := r.Fig12(timing.Gb32)
+		best := f.Curves[len(f.Curves)-1].Norm[core.KindDSARP]
+		b.ReportMetric((best-1)*100, "best_dsarp%")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkTable2_Improvements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		t := r.Table2()
+		last := t.Rows[len(t.Rows)-1] // DSARP at the highest density
+		b.ReportMetric(last.GmeanAB, "dsarp_gmean%_vs_ab")
+		b.ReportMetric(last.GmeanPB, "dsarp_gmean%_vs_pb")
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig13_AllMechanisms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		f := r.Fig13()
+		last := len(f.Densities) - 1
+		b.ReportMetric(f.Improve[core.KindDSARP][last], "dsarp%@32Gb")
+		b.ReportMetric(f.Improve[core.KindNoRef][last], "noref%@32Gb")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkDARPBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		t := r.DARPBreakdown()
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last.OoOGmean, "ooo%@32Gb")
+		b.ReportMetric(last.WRGmean, "wr_extra%@32Gb")
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig14_Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		f := r.Fig14()
+		b.ReportMetric(f.DSARPReduction[len(f.DSARPReduction)-1], "dsarp_epa_red%@32Gb")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFig15_Intensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		f := r.Fig15()
+		last := len(f.Densities) - 1
+		b.ReportMetric(f.OverAB[100][last], "dsarp%_cat100_vs_ab")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkTable3_CoreCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		t := r.Table3()
+		b.ReportMetric(t.Rows[len(t.Rows)-1].WSImprove, "ws%@8core")
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable4_TFAW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		t := r.Table4()
+		b.ReportMetric(t.Improve[0], "sarp%_tfaw5")
+		b.ReportMetric(t.Improve[len(t.Improve)-1], "sarp%_tfaw30")
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable5_Subarrays(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		t := r.Table5()
+		b.ReportMetric(t.Improve[0], "sarp%_1sub")
+		b.ReportMetric(t.Improve[len(t.Improve)-1], "sarp%_64sub")
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable6_Retention64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		t := r.Table6()
+		b.ReportMetric(t.Rows[len(t.Rows)-1].GmeanAB, "dsarp_gmean%_vs_ab")
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig16_FGR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		f := r.Fig16()
+		last := len(f.Densities) - 1
+		b.ReportMetric(f.Norm[core.KindFGR4x][last], "fgr4x_norm@32Gb")
+		b.ReportMetric(f.Norm[core.KindDSARP][last], "dsarp_norm@32Gb")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchOpts())
+		a := r.Ablations()
+		if i == 0 {
+			b.Log("\n" + a.String())
+		}
+	}
+}

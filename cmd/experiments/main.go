@@ -1,0 +1,142 @@
+// Command experiments regenerates the tables and figures of Chang et al.,
+// HPCA 2014 (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	experiments [-run all|fig5|fig6|fig7|fig12|fig13|fig14|fig15|fig16|
+//	             table2|table3|table4|table5|table6|breakdown|ablations]
+//	            [-scale default|paper] [-percat N] [-measure N] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/timing"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment to run (comma-separated), or 'all'")
+		scale   = flag.String("scale", "default", "experiment scale: default | paper")
+		percat  = flag.Int("percat", 0, "override workloads per intensity category")
+		sens    = flag.Int("sensitivity", 0, "override sensitivity workload count")
+		measure = flag.Int64("measure", 0, "override measurement window (DRAM cycles)")
+		warmup  = flag.Int64("warmup", 0, "override warmup (DRAM cycles)")
+		seed    = flag.Int64("seed", 0, "override workload seed")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+		csvDir  = flag.String("csv", "", "also write each experiment's data series to this directory as CSV")
+	)
+	flag.Parse()
+
+	opts := exp.Defaults()
+	if *scale == "paper" {
+		opts = exp.Paper()
+	}
+	if *percat > 0 {
+		opts.PerCategory = *percat
+	}
+	if *sens > 0 {
+		opts.Sensitivity = *sens
+	}
+	if *measure > 0 {
+		opts.Measure = *measure
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *verbose {
+		opts.Progress = func(done, _ int, label string) {
+			fmt.Fprintf(os.Stderr, "[%4d] %s\n", done, label)
+		}
+	}
+
+	r := exp.NewRunner(opts)
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		selected[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := selected["all"]
+
+	type experiment struct {
+		name string
+		fn   func() fmt.Stringer
+	}
+	experiments := []experiment{
+		{"fig5", func() fmt.Stringer { return r.Fig5() }},
+		{"fig6", func() fmt.Stringer { return r.Fig6() }},
+		{"fig7", func() fmt.Stringer { return r.Fig7() }},
+		{"fig12", func() fmt.Stringer { return multi{r.Fig12(timing.Gb8), r.Fig12(timing.Gb16), r.Fig12(timing.Gb32)} }},
+		{"table2", func() fmt.Stringer { return r.Table2() }},
+		{"fig13", func() fmt.Stringer { return r.Fig13() }},
+		{"breakdown", func() fmt.Stringer { return r.DARPBreakdown() }},
+		{"fig14", func() fmt.Stringer { return r.Fig14() }},
+		{"fig15", func() fmt.Stringer { return r.Fig15() }},
+		{"table3", func() fmt.Stringer { return r.Table3() }},
+		{"table4", func() fmt.Stringer { return r.Table4() }},
+		{"table5", func() fmt.Stringer { return r.Table5() }},
+		{"table6", func() fmt.Stringer { return r.Table6() }},
+		{"fig16", func() fmt.Stringer { return r.Fig16() }},
+		{"ablations", func() fmt.Stringer { return r.Ablations() }},
+		{"pausing", func() fmt.Stringer { return r.PausingComparison() }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !all && !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		res := e.fn()
+		fmt.Println(res.String())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, e.name, res); err != nil {
+				fmt.Fprintf(os.Stderr, "csv export of %s failed: %v\n", e.name, err)
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s took %v\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; see -h\n", *run)
+		os.Exit(2)
+	}
+}
+
+// writeCSVs exports any experiment result that carries exportable series.
+func writeCSVs(dir, name string, res fmt.Stringer) error {
+	if m, ok := res.(multi); ok {
+		for i, sub := range m {
+			if w, ok := sub.(exp.CSVWritable); ok {
+				if err := exp.WriteCSV(dir, fmt.Sprintf("%s_%d", name, i), w); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if w, ok := res.(exp.CSVWritable); ok {
+		return exp.WriteCSV(dir, name, w)
+	}
+	return nil
+}
+
+// multi concatenates several printable results.
+type multi []fmt.Stringer
+
+func (m multi) String() string {
+	parts := make([]string, len(m))
+	for i, s := range m {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "\n")
+}

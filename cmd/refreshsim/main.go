@@ -1,0 +1,133 @@
+// Command refreshsim runs one simulation of the DSARP system: a workload of
+// synthetic benchmarks on the 8-core / 2-channel DDR3-1333 configuration of
+// Chang et al. (HPCA 2014), under a chosen refresh mechanism.
+//
+// Examples:
+//
+//	refreshsim -mechanism DSARP -density 32
+//	refreshsim -mechanism REFpb -workload stream.triad,rand.access,mcf.chase,libq.scan
+//	refreshsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"dsarp/internal/core"
+	"dsarp/internal/sim"
+	"dsarp/internal/timing"
+	"dsarp/internal/trace"
+	"dsarp/internal/workload"
+)
+
+func main() {
+	var (
+		mech      = flag.String("mechanism", "DSARP", "refresh mechanism (see -list)")
+		density   = flag.Int("density", 32, "DRAM chip density in Gb (8, 16, 32)")
+		retention = flag.Int("retention", 32, "retention time in ms (32 or 64)")
+		benches   = flag.String("workload", "", "comma-separated benchmark names (default: a random intensive mix)")
+		cores     = flag.Int("cores", 8, "core count when using a random mix")
+		subarrays = flag.Int("subarrays", 8, "subarrays per bank")
+		warmup    = flag.Int64("warmup", 50_000, "warmup DRAM cycles")
+		measure   = flag.Int64("measure", 200_000, "measured DRAM cycles")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		check     = flag.Bool("check", false, "attach the DRAM protocol checker")
+		list      = flag.Bool("list", false, "list mechanisms and benchmarks, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("mechanisms:")
+		for _, k := range core.Kinds() {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("benchmarks (MPKI >= 10 is memory-intensive):")
+		for _, p := range workload.Library() {
+			fmt.Printf("  %-14s MPKI=%-5.4g %s footprint=%dKB\n",
+				p.Name, p.MPKI, p.Pattern, p.FootprintBytes>>10)
+		}
+		return
+	}
+
+	kind, err := core.ParseKind(*mech)
+	if err != nil {
+		fatalf("%v (try -list)", err)
+	}
+
+	wl, err := buildWorkload(*benches, *cores, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ret := timing.Retention32ms
+	if *retention == 64 {
+		ret = timing.Retention64ms
+	}
+	res, err := sim.Run(sim.Config{
+		Workload:         wl,
+		Mechanism:        kind,
+		Density:          timing.Density(*density),
+		Retention:        ret,
+		SubarraysPerBank: *subarrays,
+		Seed:             *seed,
+		Warmup:           *warmup,
+		Measure:          *measure,
+		Check:            *check,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	report(wl, res)
+	if res.CheckErr != nil {
+		fatalf("protocol violations:\n%v", res.CheckErr)
+	}
+}
+
+func buildWorkload(names string, cores int, seed int64) (workload.Workload, error) {
+	if names == "" {
+		mixes := workload.IntensiveMixes(1, cores, seed)
+		return mixes[0], nil
+	}
+	var profs []trace.Profile
+	for _, name := range strings.Split(names, ",") {
+		p, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return workload.Workload{}, err
+		}
+		profs = append(profs, p)
+	}
+	return workload.Workload{Name: "custom", Benchmarks: profs}, nil
+}
+
+func report(wl workload.Workload, res sim.Result) {
+	fmt.Printf("workload %s under %s, %d DRAM cycles measured\n\n",
+		wl.Name, res.Mechanism, res.MeasuredCycles)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "core\tbenchmark\tIPC\tMPKI\tloads\tstores")
+	var sumIPC float64
+	for i, b := range wl.Benchmarks {
+		fmt.Fprintf(w, "%d\t%s\t%.3f\t%.1f\t%d\t%d\n",
+			i, b.Name, res.IPC[i], res.MPKI[i], res.Cores[i].Loads, res.Cores[i].Stores)
+		sumIPC += res.IPC[i]
+	}
+	w.Flush()
+
+	fmt.Printf("\nsum IPC              %.3f\n", sumIPC)
+	fmt.Printf("DRAM reads/writes    %d / %d\n", res.DRAM.Reads, res.DRAM.Writes)
+	fmt.Printf("activates/precharges %d / %d\n", res.DRAM.Acts, res.DRAM.Pres)
+	fmt.Printf("refreshes (ab/pb)    %d / %d\n", res.DRAM.RefABs, res.DRAM.RefPBs)
+	fmt.Printf("avg read latency     %.1f DRAM cycles\n", res.Sched.AvgReadLatency())
+	fmt.Printf("writeback-mode time  %.1f%%\n",
+		100*float64(res.Sched.WriteModeCycles)/float64(2*res.MeasuredCycles))
+	fmt.Printf("energy per access    %.2f nJ (refresh share %.1f%%)\n",
+		res.EnergyPerAccess(), 100*res.Energy.Refresh/res.Energy.Total())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "refreshsim: "+format+"\n", args...)
+	os.Exit(1)
+}

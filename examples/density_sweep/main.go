@@ -1,0 +1,66 @@
+// Density sweep: how each refresh mechanism scales as DRAM chips grow from
+// 8 Gb to 32 Gb (the paper's central claim: DSARP's advantage grows with
+// density). Produces a Fig. 12/13-style table for one workload.
+//
+//	go run ./examples/density_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dsarp/internal/core"
+	"dsarp/internal/sim"
+	"dsarp/internal/timing"
+	"dsarp/internal/workload"
+)
+
+func main() {
+	wl := workload.Mixes(1, 8, 21)[3] // a 75%-intensive mix
+	mechanisms := []core.Kind{
+		core.KindREFab, core.KindREFpb, core.KindElastic,
+		core.KindDARP, core.KindSARPpb, core.KindDSARP, core.KindNoRef,
+	}
+	densities := []timing.Density{timing.Gb8, timing.Gb16, timing.Gb32}
+
+	sumIPC := map[core.Kind]map[timing.Density]float64{}
+	for _, k := range mechanisms {
+		sumIPC[k] = map[timing.Density]float64{}
+		for _, d := range densities {
+			res, err := sim.Run(sim.Config{
+				Workload:  wl,
+				Mechanism: k,
+				Density:   d,
+				Seed:      21,
+				Warmup:    40_000,
+				Measure:   160_000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, v := range res.IPC {
+				sumIPC[k][d] += v
+			}
+		}
+	}
+
+	fmt.Printf("workload %s: throughput normalized to REFab per density\n\n", wl.Name)
+	w := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprint(w, "mechanism")
+	for _, d := range densities {
+		fmt.Fprintf(w, "\t%s", d)
+	}
+	fmt.Fprintln(w)
+	for _, k := range mechanisms {
+		fmt.Fprintf(w, "%s", k)
+		for _, d := range densities {
+			fmt.Fprintf(w, "\t%.3f", sumIPC[k][d]/sumIPC[core.KindREFab][d])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println("\nExpected shape: every mechanism's edge over REFab widens with",
+		"density, and DSARP tracks NoREF most closely.")
+}

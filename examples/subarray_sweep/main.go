@@ -1,0 +1,50 @@
+// Subarray sweep: SARP's benefit as a function of subarrays per bank
+// (paper Table 5). With one subarray a refresh occupies the whole bank and
+// SARP degenerates to plain per-bank refresh; with more subarrays the
+// probability that a request collides with the refreshing subarray falls as
+// 1/subarrays.
+//
+//	go run ./examples/subarray_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dsarp/internal/core"
+	"dsarp/internal/sim"
+	"dsarp/internal/timing"
+	"dsarp/internal/workload"
+)
+
+func main() {
+	wl := workload.IntensiveMixes(1, 8, 11)[0]
+
+	fmt.Printf("workload %s, 32Gb, SARPpb vs REFpb:\n\n", wl.Name)
+	fmt.Printf("%-12s %10s %10s %8s\n", "subarrays", "REFpb IPC", "SARP IPC", "gain")
+	for _, subs := range []int{1, 2, 4, 8, 16, 32, 64} {
+		ipc := map[core.Kind]float64{}
+		for _, k := range []core.Kind{core.KindREFpb, core.KindSARPpb} {
+			res, err := sim.Run(sim.Config{
+				Workload:         wl,
+				Mechanism:        k,
+				Density:          timing.Gb32,
+				SubarraysPerBank: subs,
+				Seed:             11,
+				Warmup:           40_000,
+				Measure:          160_000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, v := range res.IPC {
+				ipc[k] += v
+			}
+		}
+		gain := (ipc[core.KindSARPpb]/ipc[core.KindREFpb] - 1) * 100
+		bar := strings.Repeat("#", int(gain*4))
+		fmt.Printf("%-12d %10.3f %10.3f %+7.1f%% %s\n",
+			subs, ipc[core.KindREFpb], ipc[core.KindSARPpb], gain, bar)
+	}
+}

@@ -1,0 +1,222 @@
+// Package cache models the last-level cache of the evaluated system: a
+// 16-way, 64 B-line, 512 KB private slice per core (paper Table 1). Misses
+// become DRAM reads; dirty evictions become DRAM writes — the write traffic
+// that DARP's write-refresh parallelization hides refreshes behind.
+package cache
+
+import "fmt"
+
+// Config sets the slice organization.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// HitLatency is the access latency of a hit, in DRAM cycles (the slice
+	// is ticked in the DRAM clock domain; 3 DRAM cycles = 18 CPU cycles at
+	// the 6:1 ratio, a typical LLC round trip).
+	HitLatency int
+}
+
+// DefaultConfig mirrors Table 1 of the paper.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 512 << 10, Ways: 16, LineBytes: 64, HitLatency: 3}
+}
+
+// Backend accepts the slice's DRAM traffic. Both methods return false when
+// the controller queue is full; the slice retries.
+type Backend interface {
+	// ReadLine requests a line fill; onDone fires when data returns.
+	ReadLine(addr uint64, onDone func(now int64)) bool
+	// WriteLine queues a dirty writeback.
+	WriteLine(addr uint64) bool
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  int64 // LRU timestamp
+}
+
+type mshrEntry struct {
+	waiters []func(now int64)
+	dirty   bool // a store merged into the pending fill
+}
+
+// Slice is one core's private LLC slice.
+type Slice struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	mshr    map[uint64]*mshrEntry
+
+	pendingWB []uint64 // writebacks the backend rejected; retried in Tick
+
+	hits    []hitDelivery
+	backend Backend
+	tick    int64
+	stats   Stats
+}
+
+type hitDelivery struct {
+	at     int64
+	onDone func(now int64)
+}
+
+// Stats counts slice activity.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	MSHRMerges int64
+	Writebacks int64
+}
+
+// MissRate is misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// NewSlice builds an LLC slice over a DRAM backend.
+func NewSlice(cfg Config, backend Backend) *Slice {
+	nSets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a positive power of two", nSets))
+	}
+	sets := make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Slice{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(nSets - 1),
+		mshr:    map[uint64]*mshrEntry{},
+		backend: backend,
+	}
+}
+
+// Stats returns accumulated counters.
+func (s *Slice) Stats() Stats { return s.stats }
+
+// Access performs a load or store against the slice at DRAM cycle now.
+// onDone (may be nil for stores) fires when the data is available. Access
+// returns false if the miss could not be admitted (DRAM read queue full);
+// the caller must retry.
+func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64)) bool {
+	lineAddr := addr / uint64(s.cfg.LineBytes)
+	// The full line address serves as the tag (set bits included): simplest
+	// and unambiguous.
+	tag := lineAddr
+	set := s.sets[lineAddr&s.setMask]
+
+	s.tick++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = s.tick
+			if write {
+				set[i].dirty = true
+			}
+			s.stats.Accesses++
+			s.stats.Hits++
+			if onDone != nil {
+				s.hits = append(s.hits, hitDelivery{at: now + int64(s.cfg.HitLatency), onDone: onDone})
+			}
+			return true
+		}
+	}
+
+	// Miss. Merge into an outstanding fill if one exists.
+	if e, ok := s.mshr[lineAddr]; ok {
+		s.stats.Accesses++
+		s.stats.Misses++
+		s.stats.MSHRMerges++
+		if write {
+			e.dirty = true
+		}
+		if onDone != nil {
+			e.waiters = append(e.waiters, onDone)
+		}
+		return true
+	}
+
+	// New fill: admit to DRAM first so a full read queue backpressures the
+	// core without mutating cache state.
+	e := &mshrEntry{dirty: write}
+	if onDone != nil {
+		e.waiters = append(e.waiters, onDone)
+	}
+	missAddr := lineAddr * uint64(s.cfg.LineBytes)
+	ok := s.backend.ReadLine(missAddr, func(at int64) { s.fill(at, lineAddr) })
+	if !ok {
+		return false
+	}
+	s.stats.Accesses++
+	s.stats.Misses++
+	s.mshr[lineAddr] = e
+	return true
+}
+
+// fill installs a returned line, evicting the LRU way (dirty victims are
+// written back), and wakes the miss's waiters.
+func (s *Slice) fill(now int64, lineAddr uint64) {
+	e := s.mshr[lineAddr]
+	delete(s.mshr, lineAddr)
+
+	set := s.sets[lineAddr&s.setMask]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		s.writeback(set[victim].tag * uint64(s.cfg.LineBytes))
+	}
+	s.tick++
+	set[victim] = line{tag: lineAddr, valid: true, dirty: e.dirty, used: s.tick}
+
+	for _, w := range e.waiters {
+		w(now)
+	}
+}
+
+func (s *Slice) writeback(addr uint64) {
+	s.stats.Writebacks++
+	if !s.backend.WriteLine(addr) {
+		s.pendingWB = append(s.pendingWB, addr)
+	}
+}
+
+// Tick delivers due hit callbacks and retries rejected writebacks. Call
+// once per DRAM cycle before the cores advance.
+func (s *Slice) Tick(now int64) {
+	if len(s.hits) > 0 {
+		kept := s.hits[:0]
+		for _, h := range s.hits {
+			if h.at <= now {
+				h.onDone(now)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		s.hits = kept
+	}
+	for len(s.pendingWB) > 0 {
+		if !s.backend.WriteLine(s.pendingWB[0]) {
+			break
+		}
+		s.pendingWB = s.pendingWB[1:]
+	}
+}
+
+// PendingWritebacks reports writebacks awaiting controller admission.
+func (s *Slice) PendingWritebacks() int { return len(s.pendingWB) }

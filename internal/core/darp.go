@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math/rand"
+
+	"dsarp/internal/dram"
+	"dsarp/internal/sched"
+)
+
+// DARP implements Dynamic Access Refresh Parallelization (paper §4.2), the
+// first of the paper's two mechanisms. It schedules per-bank refreshes from
+// the memory controller with two components:
+//
+//  1. Out-of-order per-bank refresh (Fig. 8): at each tREFIpb slot the
+//     nominal round-robin bank R is refreshed only if it is idle; otherwise
+//     the refresh is postponed (up to 8 per bank, per the erratum's
+//     0 <= ref_credit <= 8 rule) and idle banks are refreshed instead in
+//     otherwise-empty command slots, either catching up postponed refreshes
+//     or pulling future ones in (up to 8 ahead).
+//  2. Write-refresh parallelization (Algorithm 1): while the controller
+//     drains a write batch, keep a refresh in flight on the bank with the
+//     fewest pending demand requests, hiding refresh latency behind writes.
+//
+// Paired with a SARP-enabled device this is the paper's DSARP.
+type DARP struct {
+	v      sched.View
+	opts   DARPOptions
+	rng    *rand.Rand
+	scheds []*bankSchedule
+	forced [][]bool // rank x bank: refresh overdue, demand held
+	slot   []int64  // per rank: last observed tREFIpb slot index
+	banks  int
+	elig   []int // scratch buffer for bank selection
+}
+
+// DARPOptions toggle DARP components for the paper's §6.1.2 breakdown and
+// the DESIGN.md ablations.
+type DARPOptions struct {
+	// WriteRefresh enables write-refresh parallelization (off = the
+	// out-of-order-only configuration of §6.1.2).
+	WriteRefresh bool
+	// RandomWritePick is ablation D2: pick a random bank instead of the
+	// min-pending bank during writeback mode.
+	RandomWritePick bool
+	// GreedyIdlePick is ablation D5: among idle banks pick the one with the
+	// largest refresh debt instead of a random one.
+	GreedyIdlePick bool
+	// MaxPostpone is ablation D1: the postpone/pull-in bound (0 = the
+	// erratum-compliant 8). The paper's original, pre-erratum rule
+	// effectively allowed 16 — which violates the JEDEC 9*tREFIpb ceiling,
+	// observable with the checker's VerifyRetention.
+	MaxPostpone int
+}
+
+// NewDARP builds a DARP policy over a controller view. seed drives the
+// random idle-bank selection of Fig. 8 (step 3) deterministically.
+func NewDARP(v sched.View, opts DARPOptions, seed int64) *DARP {
+	g := v.Dev().Geometry()
+	p := &DARP{
+		v:      v,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(seed)),
+		scheds: make([]*bankSchedule, g.Ranks),
+		forced: make([][]bool, g.Ranks),
+		slot:   make([]int64, g.Ranks),
+		banks:  g.Banks,
+	}
+	base := phaseOffset(seed, int64(v.Timing().TREFIpb))
+	for r := 0; r < g.Ranks; r++ {
+		p.scheds[r] = newBankSchedule(g.Banks, int64(v.Timing().TREFIpb), int64(opts.MaxPostpone), base)
+		p.forced[r] = make([]bool, g.Banks)
+		p.slot[r] = -1
+	}
+	return p
+}
+
+// Name implements sched.RefreshPolicy.
+func (p *DARP) Name() string {
+	switch {
+	case p.v.Dev().SARP():
+		return "DSARP"
+	case !p.opts.WriteRefresh:
+		return "DARP-ooo"
+	default:
+		return "DARP"
+	}
+}
+
+// RankBlocked implements sched.RefreshPolicy.
+func (p *DARP) RankBlocked(int) bool { return false }
+
+// BankBlocked implements sched.RefreshPolicy: a bank is held only when it
+// has exhausted its postponement credit and must refresh now.
+func (p *DARP) BankBlocked(rank, bank int) bool { return p.forced[rank][bank] }
+
+// Tick implements sched.RefreshPolicy, following the decision flow of the
+// paper's Fig. 8 with Algorithm 1 layered on top during writeback mode.
+func (p *DARP) Tick(now int64, demandReady bool) bool {
+	dev := p.v.Dev()
+	g := dev.Geometry()
+
+	// 1. Mandatory refreshes: banks out of postponement credit. The bank is
+	// blocked from demand, drained, and refreshed as soon as possible.
+	for r := 0; r < g.Ranks; r++ {
+		sch := p.scheds[r]
+		for b := 0; b < p.banks; b++ {
+			if !sch.mustRefresh(b, now) {
+				p.forced[r][b] = false
+				continue
+			}
+			p.forced[r][b] = true
+			if p.tryRefresh(r, b, now) {
+				p.forced[r][b] = sch.mustRefresh(b, now)
+				return true
+			}
+			if p.drain(r, b, now) {
+				return true
+			}
+		}
+	}
+
+	// 2. Write-refresh parallelization (Algorithm 1): during writeback mode
+	// keep one refresh in flight, on the bank with the fewest pending
+	// demand requests (its delay least extends the drain).
+	if p.opts.WriteRefresh && p.v.WriteMode() {
+		for r := 0; r < g.Ranks; r++ {
+			if now < dev.PBRefBusyUntil(r) || dev.RankRefreshing(r, now) {
+				continue
+			}
+			if b, ok := p.pickWriteModeBank(r, now); ok && p.tryRefresh(r, b, now) {
+				return true
+			}
+		}
+	}
+
+	// 3. Out-of-order per-bank refresh (Fig. 8). At a tREFIpb slot boundary
+	// the nominal bank R is refreshed immediately if idle; a busy R is
+	// postponed (debt accrues passively in the schedule).
+	for r := 0; r < g.Ranks; r++ {
+		sch := p.scheds[r]
+		s := now / sch.tREFIpb
+		if s != p.slot[r] {
+			p.slot[r] = s
+			b := sch.slotBank(now)
+			if sch.owed(b, now) > 0 && p.v.PendingDemand(r, b) == 0 && p.tryRefresh(r, b, now) {
+				return true
+			}
+		}
+	}
+
+	// Otherwise, refresh an idle bank only in command slots demand cannot
+	// use ("Can issue a demand request?" -> No).
+	if demandReady {
+		return false
+	}
+	for r := 0; r < g.Ranks; r++ {
+		if b, ok := p.pickIdleBank(r, now); ok && p.tryRefresh(r, b, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryRefresh issues REFpb to (rank, bank) if the device accepts it.
+func (p *DARP) tryRefresh(rank, bank int, now int64) bool {
+	cmd := dram.Cmd{Kind: dram.CmdREFpb, Rank: rank, Bank: bank}
+	if !p.v.Dev().CanIssue(cmd, now) {
+		return false
+	}
+	p.v.IssueCmd(cmd, now)
+	p.scheds[rank].record(bank)
+	return true
+}
+
+// drain precharges a bank that must refresh but has an open row in the way.
+func (p *DARP) drain(rank, bank int, now int64) bool {
+	dev := p.v.Dev()
+	open := dev.OpenRow(rank, bank)
+	if open == dram.NoRow {
+		return false
+	}
+	if dev.SARP() && dev.Geometry().SubarrayOf(open) != dev.RefreshUnit(rank).PeekSubarray(bank) {
+		return false
+	}
+	cmd := dram.Cmd{Kind: dram.CmdPRE, Rank: rank, Bank: bank}
+	if dev.CanIssue(cmd, now) {
+		p.v.IssueCmd(cmd, now)
+		return true
+	}
+	return false
+}
+
+// pickWriteModeBank selects the refresh candidate during writeback mode:
+// the bank with the lowest pending demand whose credit allows a pull-in.
+func (p *DARP) pickWriteModeBank(rank int, now int64) (int, bool) {
+	sch := p.scheds[rank]
+	if p.opts.RandomWritePick {
+		elig := p.elig[:0]
+		for b := 0; b < p.banks; b++ {
+			if sch.canPullIn(b, now) {
+				elig = append(elig, b)
+			}
+		}
+		p.elig = elig
+		if len(elig) == 0 {
+			return 0, false
+		}
+		return elig[p.rng.Intn(len(elig))], true
+	}
+	best, bestPending, found := 0, 0, false
+	for b := 0; b < p.banks; b++ {
+		if !sch.canPullIn(b, now) {
+			continue
+		}
+		pend := p.v.PendingDemand(rank, b)
+		// A bank with queued demand only qualifies when it actually owes a
+		// refresh: pulling future refreshes onto draining banks delays the
+		// writes and stretches the writeback period, the exact effect
+		// Algorithm 1's min-pending choice is meant to minimize.
+		if pend > 0 && sch.owed(b, now) <= 0 {
+			continue
+		}
+		if !found || pend < bestPending {
+			best, bestPending, found = b, pend, true
+		}
+	}
+	return best, found
+}
+
+// pickIdleBank selects a bank with no pending demand whose credit allows a
+// refresh (postponed catch-up first by construction of owed, or a pull-in).
+func (p *DARP) pickIdleBank(rank int, now int64) (int, bool) {
+	sch := p.scheds[rank]
+	elig := p.elig[:0]
+	for b := 0; b < p.banks; b++ {
+		if p.v.PendingDemand(rank, b) != 0 || !sch.canPullIn(b, now) {
+			continue
+		}
+		elig = append(elig, b)
+	}
+	p.elig = elig
+	if len(elig) == 0 {
+		return 0, false
+	}
+	if p.opts.GreedyIdlePick {
+		best := elig[0]
+		for _, b := range elig[1:] {
+			if sch.owed(b, now) > sch.owed(best, now) {
+				best = b
+			}
+		}
+		return best, true
+	}
+	return elig[p.rng.Intn(len(elig))], true
+}
+
+// Owed exposes a bank's current refresh debt (tests and diagnostics).
+func (p *DARP) Owed(rank, bank int, now int64) int64 { return p.scheds[rank].owed(bank, now) }

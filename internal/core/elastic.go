@@ -1,0 +1,143 @@
+package core
+
+import (
+	"dsarp/internal/dram"
+	"dsarp/internal/sched"
+)
+
+// Elastic implements elastic refresh (Stuecheli et al., MICRO 2010), the
+// refresh-scheduling baseline the paper compares against in §6.1.1 and §7.
+// An all-bank refresh that comes due is postponed while the rank is serving
+// demand; a postponed refresh is released once the rank has been idle long
+// enough that the predicted idle period can absorb tRFCab. The idle-time
+// threshold shrinks as more refreshes pile up (the "elastic" part), and at
+// the JEDEC limit of 8 postponed refreshes the refresh is forced.
+//
+// As the paper observes (§7), the scheme fades when average rank idle
+// periods are shorter than tRFCab — exactly the memory-intensive, high-
+// density cases the evaluation stresses — so it tracks REFab closely there.
+type Elastic struct {
+	v     sched.View
+	ranks int
+	banks int
+	next  []int64 // per-rank next nominal refresh time
+	owedN []int64 // per-rank postponed refresh count
+
+	idleRun []int64 // consecutive idle cycles per rank
+	avgIdle []float64
+	forced  []bool
+}
+
+// NewElastic builds the elastic refresh policy over a controller view.
+// seed offsets the refresh timer phase so independent channels decorrelate.
+func NewElastic(v sched.View, seed int64) *Elastic {
+	g := v.Dev().Geometry()
+	p := &Elastic{
+		v:       v,
+		ranks:   g.Ranks,
+		banks:   g.Banks,
+		next:    make([]int64, g.Ranks),
+		owedN:   make([]int64, g.Ranks),
+		idleRun: make([]int64, g.Ranks),
+		avgIdle: make([]float64, g.Ranks),
+		forced:  make([]bool, g.Ranks),
+	}
+	stagger := int64(v.Timing().TREFIab) / int64(g.Ranks)
+	base := phaseOffset(seed, stagger)
+	for r := 0; r < g.Ranks; r++ {
+		p.next[r] = base + int64(r)*stagger
+		p.avgIdle[r] = float64(v.Timing().TRFCab) // optimistic prior
+	}
+	return p
+}
+
+// Name implements sched.RefreshPolicy.
+func (p *Elastic) Name() string { return "Elastic" }
+
+// RankBlocked implements sched.RefreshPolicy.
+func (p *Elastic) RankBlocked(rank int) bool { return p.forced[rank] }
+
+// BankBlocked implements sched.RefreshPolicy.
+func (p *Elastic) BankBlocked(int, int) bool { return false }
+
+// rankIdle reports whether the rank has no queued demand.
+func (p *Elastic) rankIdle(rank int) bool {
+	for b := 0; b < p.banks; b++ {
+		if p.v.PendingDemand(rank, b) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// threshold is the idle-run length required before releasing a postponed
+// refresh; it relaxes linearly toward zero as the postponement budget is
+// consumed.
+func (p *Elastic) threshold(rank int) int64 {
+	n := p.owedN[rank]
+	if n >= maxFlex {
+		return 0
+	}
+	return int64(p.avgIdle[rank] * float64(maxFlex-n) / float64(maxFlex))
+}
+
+// Tick implements sched.RefreshPolicy.
+func (p *Elastic) Tick(now int64, _ bool) bool {
+	tREFI := int64(p.v.Timing().TREFIab)
+	dev := p.v.Dev()
+	issuedSlot := false
+	for r := 0; r < p.ranks; r++ {
+		for now >= p.next[r] && p.owedN[r] < maxFlex {
+			p.owedN[r]++
+			p.next[r] += tREFI
+		}
+		idle := p.rankIdle(r)
+		if idle {
+			p.idleRun[r]++
+		} else {
+			if p.idleRun[r] > 0 {
+				// End of an idle period: fold it into the moving average
+				// the idle-time predictor uses.
+				const alpha = 0.25
+				p.avgIdle[r] = (1-alpha)*p.avgIdle[r] + alpha*float64(p.idleRun[r])
+			}
+			p.idleRun[r] = 0
+		}
+		if issuedSlot || p.owedN[r] == 0 {
+			continue
+		}
+
+		p.forced[r] = p.owedN[r] >= maxFlex || now >= p.next[r]
+		release := p.forced[r] || (idle && p.idleRun[r] >= p.threshold(r))
+		if !release {
+			continue
+		}
+		cmd := dram.Cmd{Kind: dram.CmdREFab, Rank: r}
+		if dev.CanIssue(cmd, now) {
+			p.v.IssueCmd(cmd, now)
+			p.owedN[r]--
+			p.forced[r] = false
+			issuedSlot = true
+			continue
+		}
+		if p.forced[r] && p.drainRank(r, now) {
+			issuedSlot = true
+		}
+	}
+	return issuedSlot
+}
+
+func (p *Elastic) drainRank(rank int, now int64) bool {
+	dev := p.v.Dev()
+	for b := 0; b < p.banks; b++ {
+		if dev.OpenRow(rank, b) == dram.NoRow {
+			continue
+		}
+		cmd := dram.Cmd{Kind: dram.CmdPRE, Rank: rank, Bank: b}
+		if dev.CanIssue(cmd, now) {
+			p.v.IssueCmd(cmd, now)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"dsarp/internal/dram"
+	"dsarp/internal/sched"
+	"dsarp/internal/timing"
+)
+
+// AllBank is the commodity DDR baseline: one REFab per rank every tREFIab
+// (paper §2.2.1). When a refresh comes due the policy blocks demand to the
+// rank, drains open banks with precharges, and issues the REFab as soon as
+// the device accepts it. Rank phases are staggered so the two ranks of a
+// channel do not refresh simultaneously.
+//
+// Paired with a SARP-enabled device this policy is the paper's SARPab
+// configuration: the rank keeps serving accesses to non-refreshing
+// subarrays during tRFCab.
+type AllBank struct {
+	v       sched.View
+	ranks   int
+	next    []int64 // next nominal refresh time per rank
+	due     []bool
+	refRows int // rows per refresh op (scaled down under FGR)
+}
+
+// NewAllBank builds the REFab policy over a controller view. seed offsets
+// the refresh timer phase so independent channels decorrelate. Under an FGR
+// timing mode (Fig. 16) the same scheduler runs at the scaled 2x/4x rate
+// with proportionally fewer rows restored per command.
+func NewAllBank(v sched.View, seed int64) *AllBank {
+	g := v.Dev().Geometry()
+	p := &AllBank{
+		v:     v,
+		ranks: g.Ranks,
+		next:  make([]int64, g.Ranks),
+		due:   make([]bool, g.Ranks),
+	}
+	switch v.Timing().Mode {
+	case timing.RefFGR2x:
+		p.refRows = max(1, g.RowsPerRef/2)
+	case timing.RefFGR4x:
+		p.refRows = max(1, g.RowsPerRef/4)
+	}
+	stagger := int64(v.Timing().TREFIab) / int64(g.Ranks)
+	base := phaseOffset(seed, stagger)
+	for r := 0; r < g.Ranks; r++ {
+		p.next[r] = base + int64(r)*stagger
+	}
+	return p
+}
+
+// Name implements sched.RefreshPolicy.
+func (p *AllBank) Name() string {
+	switch {
+	case p.v.Dev().SARP():
+		return "SARPab"
+	case p.v.Timing().Mode == timing.RefFGR2x:
+		return "FGR2x"
+	case p.v.Timing().Mode == timing.RefFGR4x:
+		return "FGR4x"
+	default:
+		return "REFab"
+	}
+}
+
+// RankBlocked implements sched.RefreshPolicy: demand is held while a rank
+// drains for a due refresh. With SARP there is no need to drain — the rank
+// stays accessible during refresh — so nothing is blocked.
+func (p *AllBank) RankBlocked(rank int) bool { return !p.v.Dev().SARP() && p.due[rank] }
+
+// BankBlocked implements sched.RefreshPolicy.
+func (p *AllBank) BankBlocked(int, int) bool { return false }
+
+// Tick implements sched.RefreshPolicy.
+func (p *AllBank) Tick(now int64, _ bool) bool {
+	tREFI := int64(p.v.Timing().TREFIab)
+	dev := p.v.Dev()
+	for r := 0; r < p.ranks; r++ {
+		if now >= p.next[r] {
+			p.due[r] = true
+		}
+		if !p.due[r] {
+			continue
+		}
+		cmd := dram.Cmd{Kind: dram.CmdREFab, Rank: r, RefRows: p.refRows}
+		if dev.CanIssue(cmd, now) {
+			p.v.IssueCmd(cmd, now)
+			p.next[r] += tREFI
+			p.due[r] = now >= p.next[r] // back-to-back if we fell behind
+			return true
+		}
+		if p.drainRank(r, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// drainRank issues one precharge toward making the rank refreshable. With
+// SARP only banks whose open row sits in the to-be-refreshed subarray stand
+// in the way; everything else keeps serving during the refresh.
+func (p *AllBank) drainRank(rank int, now int64) bool {
+	dev := p.v.Dev()
+	g := dev.Geometry()
+	for b := 0; b < g.Banks; b++ {
+		open := dev.OpenRow(rank, b)
+		if open == dram.NoRow {
+			continue
+		}
+		if dev.SARP() && g.SubarrayOf(open) != dev.RefreshUnit(rank).PeekSubarray(b) {
+			continue
+		}
+		cmd := dram.Cmd{Kind: dram.CmdPRE, Rank: rank, Bank: b}
+		if dev.CanIssue(cmd, now) {
+			p.v.IssueCmd(cmd, now)
+			return true
+		}
+	}
+	return false
+}

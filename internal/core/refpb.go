@@ -1,0 +1,110 @@
+package core
+
+import (
+	"dsarp/internal/dram"
+	"dsarp/internal/sched"
+)
+
+// PerBank is the LPDDR per-bank refresh baseline (paper §2.2.2): one REFpb
+// every tREFIpb = tREFIab/8, delivered to banks in a strict sequential
+// round-robin order dictated by the DRAM-internal refresh unit. The
+// controller has no say in bank selection: when a refresh comes due, the
+// round-robin bank is drained and refreshed even if it has pending demand —
+// exactly the inflexibility DARP removes.
+//
+// Paired with a SARP-enabled device this is the paper's SARPpb
+// configuration.
+type PerBank struct {
+	v     sched.View
+	ranks int
+	banks int
+	next  []int64 // per-rank next nominal refresh time
+	owedN []int64 // per-rank refreshes due but not yet issued
+}
+
+// NewPerBank builds the round-robin REFpb policy over a controller view.
+// seed offsets the refresh timer phase so independent channels decorrelate.
+func NewPerBank(v sched.View, seed int64) *PerBank {
+	g := v.Dev().Geometry()
+	p := &PerBank{
+		v:     v,
+		ranks: g.Ranks,
+		banks: g.Banks,
+		next:  make([]int64, g.Ranks),
+		owedN: make([]int64, g.Ranks),
+	}
+	// Stagger rank schedules half a tREFIpb apart so the two ranks' refresh
+	// pulses interleave, as independent per-rank refresh timers would.
+	stagger := int64(v.Timing().TREFIpb) / int64(g.Ranks)
+	base := phaseOffset(seed, stagger)
+	for r := 0; r < g.Ranks; r++ {
+		p.next[r] = base + int64(r)*stagger
+	}
+	return p
+}
+
+// Name implements sched.RefreshPolicy.
+func (p *PerBank) Name() string {
+	if p.v.Dev().SARP() {
+		return "SARPpb"
+	}
+	return "REFpb"
+}
+
+// RankBlocked implements sched.RefreshPolicy.
+func (p *PerBank) RankBlocked(int) bool { return false }
+
+// BankBlocked implements sched.RefreshPolicy: the round-robin target bank is
+// held while its refresh is pending (no SARP: the whole bank is tied up, so
+// queued demand would only delay the mandatory refresh).
+func (p *PerBank) BankBlocked(rank, bank int) bool {
+	if p.v.Dev().SARP() {
+		return false
+	}
+	return p.owedN[rank] > 0 && p.v.Dev().RefreshUnit(rank).PeekBank() == bank
+}
+
+// Tick implements sched.RefreshPolicy.
+func (p *PerBank) Tick(now int64, _ bool) bool {
+	tREFIpb := int64(p.v.Timing().TREFIpb)
+	dev := p.v.Dev()
+	for r := 0; r < p.ranks; r++ {
+		for now >= p.next[r] {
+			p.owedN[r]++
+			p.next[r] += tREFIpb
+		}
+		if p.owedN[r] == 0 {
+			continue
+		}
+		bank := dev.RefreshUnit(r).PeekBank()
+		cmd := dram.Cmd{Kind: dram.CmdREFpb, Rank: r, Bank: bank}
+		if dev.CanIssue(cmd, now) {
+			p.v.IssueCmd(cmd, now)
+			p.owedN[r]--
+			return true
+		}
+		if p.drainBank(r, bank, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// drainBank precharges the round-robin target bank if its open row blocks
+// the refresh.
+func (p *PerBank) drainBank(rank, bank int, now int64) bool {
+	dev := p.v.Dev()
+	open := dev.OpenRow(rank, bank)
+	if open == dram.NoRow {
+		return false
+	}
+	if dev.SARP() && dev.Geometry().SubarrayOf(open) != dev.RefreshUnit(rank).PeekSubarray(bank) {
+		return false // SARP: the open row does not conflict with the refresh
+	}
+	cmd := dram.Cmd{Kind: dram.CmdPRE, Rank: rank, Bank: bank}
+	if dev.CanIssue(cmd, now) {
+		p.v.IssueCmd(cmd, now)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+// Package core implements the refresh scheduling policies evaluated in
+// Chang et al., HPCA 2014: the paper's contributions (DARP, and the
+// controller side of SARP/DSARP) plus every baseline it compares against
+// (all-bank refresh, round-robin per-bank refresh, elastic refresh, DDR4
+// fine granularity refresh, and adaptive refresh).
+//
+// A policy is a sched.RefreshPolicy: each DRAM cycle the controller offers
+// it the channel's command-bus slot. SARP itself is a DRAM-device option
+// (dram.Options.SARP) — SARPab/SARPpb/DSARP are a device with SARP enabled
+// paired with the AllBank/PerBank/DARP scheduler respectively; Kind
+// captures the pairing.
+package core
+
+import "fmt"
+
+// bankSchedule tracks per-bank refresh debt against the nominal per-bank
+// refresh schedule. Bank b of a rank nominally receives one REFpb every
+// 8*tREFIpb (= tREFIab), staggered by b*tREFIpb to match the round-robin
+// order. The JEDEC flexibility DARP exploits (paper §4.2.1 and erratum)
+// allows each bank to run up to maxFlex refreshes behind (postponed) or
+// ahead (pulled in) of that schedule.
+type bankSchedule struct {
+	tREFIpb int64
+	period  int64 // per-bank refresh period: banks * tREFIpb
+	banks   int
+	flex    int64   // postpone/pull-in bound (maxFlex, or the D1 ablation's)
+	phase   []int64 // nominal time of bank b's first refresh
+	issued  []int64 // refreshes issued per bank
+}
+
+// maxFlex is the number of refreshes a bank may be postponed or pulled in,
+// per the DDR JEDEC standard (paper §4.2.1) and the erratum's corrected
+// 0 <= ref_credit <= 8 rule.
+const maxFlex = 8
+
+func newBankSchedule(banks int, tREFIpb int64, flex, offset int64) *bankSchedule {
+	if flex <= 0 {
+		flex = maxFlex
+	}
+	s := &bankSchedule{
+		tREFIpb: tREFIpb,
+		period:  int64(banks) * tREFIpb,
+		banks:   banks,
+		flex:    flex,
+		phase:   make([]int64, banks),
+		issued:  make([]int64, banks),
+	}
+	for b := 0; b < banks; b++ {
+		s.phase[b] = offset + int64(b)*tREFIpb
+	}
+	return s
+}
+
+// due is the number of nominal refresh slots for bank b that have passed by
+// cycle now.
+func (s *bankSchedule) due(b int, now int64) int64 {
+	if now < s.phase[b] {
+		return 0
+	}
+	return (now-s.phase[b])/s.period + 1
+}
+
+// owed is the bank's refresh debt: positive = behind schedule (postponed),
+// negative = ahead (pulled in).
+func (s *bankSchedule) owed(b int, now int64) int64 { return s.due(b, now) - s.issued[b] }
+
+// canPostpone reports whether bank b's next due refresh may be postponed.
+func (s *bankSchedule) canPostpone(b int, now int64) bool { return s.owed(b, now) < s.flex }
+
+// mustRefresh reports whether bank b has exhausted its postponement credit.
+func (s *bankSchedule) mustRefresh(b int, now int64) bool { return s.owed(b, now) >= s.flex }
+
+// canPullIn reports whether bank b may be refreshed ahead of schedule.
+func (s *bankSchedule) canPullIn(b int, now int64) bool { return s.owed(b, now) > -s.flex }
+
+// record notes a refresh issued to bank b.
+func (s *bankSchedule) record(b int) { s.issued[b]++ }
+
+// slotBank returns the bank whose nominal refresh slot contains cycle now
+// (the round-robin target "R" of the paper's Fig. 8).
+func (s *bankSchedule) slotBank(now int64) int {
+	return int((now / s.tREFIpb) % int64(s.banks))
+}
+
+func (s *bankSchedule) String() string {
+	return fmt.Sprintf("bankSchedule{banks=%d tREFIpb=%d issued=%v}", s.banks, s.tREFIpb, s.issued)
+}
+
+// phaseOffset derives a deterministic refresh-timer phase in [0, mod) from
+// a seed. Channels get different seeds, so their refresh schedules
+// decorrelate the way independent per-controller timers do in hardware;
+// without this, all channels lock the same rank index simultaneously and a
+// multi-channel access cluster always sees the worst case.
+func phaseOffset(seed, mod int64) int64 {
+	if mod <= 0 {
+		return 0
+	}
+	x := uint64(seed) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return int64(x % uint64(mod))
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleDueAndOwed(t *testing.T) {
+	s := newBankSchedule(4, 100, 0, 0) // period 400; bank b phase = b*100
+	if got := s.due(0, 0); got != 1 {
+		t.Errorf("due(0, 0) = %d, want 1 (slot at phase 0)", got)
+	}
+	if got := s.due(1, 0); got != 0 {
+		t.Errorf("due(1, 0) = %d, want 0 (phase 100)", got)
+	}
+	if got := s.due(0, 399); got != 1 {
+		t.Errorf("due(0, 399) = %d, want 1", got)
+	}
+	if got := s.due(0, 400); got != 2 {
+		t.Errorf("due(0, 400) = %d, want 2", got)
+	}
+	s.record(0)
+	if got := s.owed(0, 450); got != 1 {
+		t.Errorf("owed = %d, want 1", got)
+	}
+}
+
+func TestScheduleFlexBounds(t *testing.T) {
+	s := newBankSchedule(2, 10, 0, 0) // default flex 8, period 20
+	// Never refreshed: debt grows until mustRefresh at 8.
+	now := int64(7*20 + 1) // 8 slots passed for bank 0
+	if !s.mustRefresh(0, now) {
+		t.Errorf("owed = %d at %d: mustRefresh should trigger at 8", s.owed(0, now), now)
+	}
+	if s.canPostpone(0, now) {
+		t.Error("canPostpone at the flex limit")
+	}
+	// Pull-in bound: 8 refreshes ahead is the ceiling.
+	s2 := newBankSchedule(2, 10, 0, 0)
+	for i := 0; i < 9; i++ {
+		s2.record(1)
+	}
+	if s2.canPullIn(1, 0) {
+		t.Errorf("owed = %d: pull-in beyond -8 allowed", s2.owed(1, 0))
+	}
+}
+
+func TestScheduleCustomFlex(t *testing.T) {
+	s := newBankSchedule(1, 10, 16, 0)
+	now := int64(9 * 10) // 10 slots due
+	if s.mustRefresh(0, now) {
+		t.Error("flex 16 should allow 10 postponed refreshes")
+	}
+}
+
+func TestSchedulePhaseOffset(t *testing.T) {
+	s := newBankSchedule(2, 10, 0, 5)
+	if got := s.due(0, 4); got != 0 {
+		t.Errorf("due before offset phase = %d, want 0", got)
+	}
+	if got := s.due(0, 5); got != 1 {
+		t.Errorf("due at offset phase = %d, want 1", got)
+	}
+}
+
+func TestScheduleSlotBank(t *testing.T) {
+	s := newBankSchedule(4, 100, 0, 0)
+	cases := []struct {
+		now  int64
+		want int
+	}{{0, 0}, {99, 0}, {100, 1}, {399, 3}, {400, 0}}
+	for _, c := range cases {
+		if got := s.slotBank(c.now); got != c.want {
+			t.Errorf("slotBank(%d) = %d, want %d", c.now, got, c.want)
+		}
+	}
+}
+
+func TestScheduleOwedNeverNegativeOfDueProperty(t *testing.T) {
+	// Property: with refreshes recorded exactly when owed > 0, debt stays
+	// in [0, 1] — the schedule is self-consistent.
+	f := func(steps uint8) bool {
+		s := newBankSchedule(3, 7, 0, 0)
+		for now := int64(0); now < int64(steps)*7; now += 3 {
+			for b := 0; b < 3; b++ {
+				if s.owed(b, now) > 0 {
+					s.record(b)
+				}
+				if o := s.owed(b, now); o < 0 || o > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseOffsetDeterministicAndBounded(t *testing.T) {
+	f := func(seed int64, mod uint16) bool {
+		m := int64(mod)
+		got := phaseOffset(seed, m)
+		if m <= 0 {
+			return got == 0
+		}
+		return got >= 0 && got < m && got == phaseOffset(seed, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if phaseOffset(1, 1000) == phaseOffset(2, 1000) &&
+		phaseOffset(3, 1000) == phaseOffset(4, 1000) {
+		t.Error("adjacent seeds collide suspiciously often")
+	}
+}

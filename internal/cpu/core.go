@@ -1,0 +1,173 @@
+// Package cpu models the out-of-order cores of the evaluated system: 4 GHz,
+// 3-wide issue, 128-entry instruction window, 8 MSHRs per core (paper
+// Table 1). The model is the standard trace-driven window model: the core
+// retires up to issue-width instructions per CPU cycle, cannot retire past
+// an incomplete load, cannot run more than the window size ahead of
+// retirement, and cannot have more loads outstanding than its MSHRs (or the
+// benchmark's own memory-level-parallelism cap for dependent chains).
+package cpu
+
+import "dsarp/internal/trace"
+
+// Config sets the core microarchitecture parameters.
+type Config struct {
+	Width  int // issue/retire width per CPU cycle
+	Window int // instruction window (ROB) size
+	MSHRs  int // maximum outstanding load misses
+	// CPUPerDRAM is the clock ratio: CPU cycles per DRAM bus cycle
+	// (4 GHz / 666 MHz = 6 for DDR3-1333).
+	CPUPerDRAM int
+}
+
+// DefaultConfig mirrors Table 1 of the paper.
+func DefaultConfig() Config {
+	return Config{Width: 3, Window: 128, MSHRs: 8, CPUPerDRAM: 6}
+}
+
+// Memory is the core's load/store port (the LLC slice). Access returns
+// false when the access cannot be admitted this cycle; the core retries.
+type Memory interface {
+	Access(now int64, addr uint64, write bool, onDone func(now int64)) bool
+}
+
+type loadEntry struct {
+	pos  int64 // instruction position of the load
+	done bool
+}
+
+// Core is one trace-driven core.
+type Core struct {
+	cfg    Config
+	id     int
+	gen    trace.Generator
+	mem    Memory
+	base   uint64 // physical address offset isolating this core's footprint
+	maxOut int
+
+	issued      int64 // instructions dispatched
+	retired     int64
+	cpuCycles   int64
+	outstanding int
+	loads       []*loadEntry // in program order
+
+	next     trace.Access
+	nextPos  int64
+	haveNext bool
+
+	stats Stats
+}
+
+// Stats counts core progress.
+type Stats struct {
+	Retired      int64
+	CPUCycles    int64
+	Loads        int64
+	Stores       int64
+	MemStallBeat int64 // dispatch beats lost to memory backpressure
+}
+
+// IPC is retired instructions per CPU cycle.
+func (s Stats) IPC() float64 {
+	if s.CPUCycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.CPUCycles)
+}
+
+// New builds a core running the given benchmark trace. base offsets the
+// benchmark's footprint in physical memory so multiprogrammed cores do not
+// share data (the paper's workloads are multiprogrammed, not multithreaded).
+func New(id int, cfg Config, gen trace.Generator, maxOutstanding int, base uint64, mem Memory) *Core {
+	if maxOutstanding <= 0 || maxOutstanding > cfg.MSHRs {
+		maxOutstanding = cfg.MSHRs
+	}
+	return &Core{cfg: cfg, id: id, gen: gen, mem: mem, base: base, maxOut: maxOutstanding}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns progress counters.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Retired = c.retired
+	s.CPUCycles = c.cpuCycles
+	return s
+}
+
+// Tick advances the core by the configured number of CPU cycles per DRAM
+// cycle. now is the current DRAM cycle (used for memory callbacks).
+func (c *Core) Tick(now int64) {
+	for i := 0; i < c.cfg.CPUPerDRAM; i++ {
+		c.cpuTick(now)
+	}
+}
+
+func (c *Core) cpuTick(now int64) {
+	c.cpuCycles++
+
+	// Retire: up to Width instructions, stopping at an incomplete load.
+	for n := 0; n < c.cfg.Width && c.retired < c.issued; {
+		if len(c.loads) > 0 && c.loads[0].pos == c.retired {
+			if !c.loads[0].done {
+				break
+			}
+			c.loads = c.loads[1:]
+		}
+		c.retired++
+		n++
+	}
+
+	// Dispatch: up to Width instructions, bounded by the window.
+	for d := 0; d < c.cfg.Width; {
+		if c.issued-c.retired >= int64(c.cfg.Window) {
+			break
+		}
+		if !c.haveNext {
+			c.next = c.gen.Next()
+			c.nextPos = c.issued + int64(c.next.Gap)
+			c.haveNext = true
+		}
+		if c.issued < c.nextPos {
+			// Non-memory instructions up to the access or the beat budget.
+			adv := int64(c.cfg.Width - d)
+			if room := int64(c.cfg.Window) - (c.issued - c.retired); adv > room {
+				adv = room
+			}
+			if left := c.nextPos - c.issued; adv > left {
+				adv = left
+			}
+			c.issued += adv
+			d += int(adv)
+			continue
+		}
+		// Memory instruction.
+		addr := c.base + c.next.Addr
+		if c.next.Write {
+			if !c.mem.Access(now, addr, true, nil) {
+				c.stats.MemStallBeat++
+				break
+			}
+			c.stats.Stores++
+		} else {
+			if c.outstanding >= c.maxOut {
+				c.stats.MemStallBeat++
+				break
+			}
+			ld := &loadEntry{pos: c.issued}
+			if !c.mem.Access(now, addr, false, func(int64) {
+				ld.done = true
+				c.outstanding--
+			}) {
+				c.stats.MemStallBeat++
+				break
+			}
+			c.outstanding++
+			c.loads = append(c.loads, ld)
+			c.stats.Loads++
+		}
+		c.issued++
+		d++
+		c.haveNext = false
+	}
+}

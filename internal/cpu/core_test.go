@@ -1,0 +1,219 @@
+package cpu
+
+import (
+	"testing"
+
+	"dsarp/internal/trace"
+)
+
+// scriptGen replays a fixed access list, then repeats the last entry with a
+// huge gap (effectively no more memory traffic).
+type scriptGen struct {
+	accesses []trace.Access
+	i        int
+}
+
+func (g *scriptGen) Name() string { return "script" }
+
+func (g *scriptGen) Next() trace.Access {
+	if g.i < len(g.accesses) {
+		a := g.accesses[g.i]
+		g.i++
+		return a
+	}
+	return trace.Access{Gap: 1 << 30}
+}
+
+// fakeMem answers accesses with controllable latency (in Tick granularity).
+type fakeMem struct {
+	reject  bool
+	pending []func(int64)
+	loads   int
+	stores  int
+}
+
+func (m *fakeMem) Access(now int64, addr uint64, write bool, onDone func(int64)) bool {
+	if m.reject {
+		return false
+	}
+	if write {
+		m.stores++
+		return true
+	}
+	m.loads++
+	m.pending = append(m.pending, onDone)
+	return true
+}
+
+func (m *fakeMem) completeAll(now int64) {
+	for _, f := range m.pending {
+		f(now)
+	}
+	m.pending = nil
+}
+
+func cfg() Config { return Config{Width: 3, Window: 16, MSHRs: 4, CPUPerDRAM: 2} }
+
+func TestPureComputeRetiresAtWidth(t *testing.T) {
+	m := &fakeMem{}
+	c := New(0, cfg(), &scriptGen{}, 0, 0, m)
+	for i := int64(0); i < 50; i++ {
+		c.Tick(i)
+	}
+	st := c.Stats()
+	// 50 DRAM ticks * 2 CPU cycles * width 3, minus pipeline fill slack.
+	if st.Retired < int64(50*2*3-10) {
+		t.Errorf("compute-bound retired %d, want ~%d", st.Retired, 50*2*3)
+	}
+	if got := st.IPC(); got < 2.5 || got > 3.0 {
+		t.Errorf("IPC = %v, want ~3", got)
+	}
+}
+
+func TestLoadBlocksRetirementUntilData(t *testing.T) {
+	m := &fakeMem{}
+	g := &scriptGen{accesses: []trace.Access{{Gap: 0, Addr: 64}}}
+	c := New(0, cfg(), g, 0, 0, m)
+	for i := int64(0); i < 20; i++ {
+		c.Tick(i)
+	}
+	st := c.Stats()
+	if m.loads != 1 {
+		t.Fatalf("loads issued = %d", m.loads)
+	}
+	// The load is instruction 0: nothing can retire past it; the window
+	// fills and dispatch stops at Window instructions.
+	if st.Retired != 0 {
+		t.Errorf("retired %d past an incomplete load at position 0", st.Retired)
+	}
+	m.completeAll(20)
+	for i := int64(20); i < 40; i++ {
+		c.Tick(i)
+	}
+	if c.Stats().Retired == 0 {
+		t.Error("retirement never resumed after the load returned")
+	}
+}
+
+func TestWindowLimitsRunahead(t *testing.T) {
+	m := &fakeMem{}
+	g := &scriptGen{accesses: []trace.Access{{Gap: 0, Addr: 64}}}
+	c := New(0, cfg(), g, 0, 0, m)
+	for i := int64(0); i < 100; i++ {
+		c.Tick(i)
+	}
+	// With the head load incomplete, at most Window instructions are in
+	// flight; loads beyond it cannot issue.
+	if got := c.Stats().Loads; got != 1 {
+		t.Errorf("loads = %d, want 1 (window blocked)", got)
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	m := &fakeMem{}
+	// 8 independent loads, no gaps: only MSHRs(4) may be outstanding.
+	var acc []trace.Access
+	for i := 0; i < 8; i++ {
+		acc = append(acc, trace.Access{Gap: 0, Addr: uint64(i * 64)})
+	}
+	g := &scriptGen{accesses: acc}
+	c := New(0, cfg(), g, 0, 0, m)
+	for i := int64(0); i < 20; i++ {
+		c.Tick(i)
+	}
+	if m.loads != 4 {
+		t.Errorf("outstanding loads = %d, want MSHR limit 4", m.loads)
+	}
+	m.completeAll(20)
+	for i := int64(20); i < 60; i++ {
+		c.Tick(i)
+	}
+	m.completeAll(60)
+	for i := int64(60); i < 80; i++ {
+		c.Tick(i)
+	}
+	if m.loads != 8 {
+		t.Errorf("total loads = %d, want 8", m.loads)
+	}
+}
+
+func TestMaxOutstandingOverride(t *testing.T) {
+	m := &fakeMem{}
+	var acc []trace.Access
+	for i := 0; i < 4; i++ {
+		acc = append(acc, trace.Access{Gap: 0, Addr: uint64(i * 64)})
+	}
+	c := New(0, cfg(), &scriptGen{accesses: acc}, 1, 0, m) // dependent chain: MLP 1
+	for i := int64(0); i < 20; i++ {
+		c.Tick(i)
+	}
+	if m.loads != 1 {
+		t.Errorf("dependent chain issued %d loads at once, want 1", m.loads)
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	m := &fakeMem{}
+	g := &scriptGen{accesses: []trace.Access{{Gap: 0, Addr: 64, Write: true}}}
+	c := New(0, cfg(), g, 0, 0, m)
+	for i := int64(0); i < 20; i++ {
+		c.Tick(i)
+	}
+	st := c.Stats()
+	if m.stores != 1 {
+		t.Fatalf("stores = %d", m.stores)
+	}
+	if st.Retired < 50 {
+		t.Errorf("store should not stall retirement: retired %d", st.Retired)
+	}
+}
+
+func TestBackpressureStallsDispatch(t *testing.T) {
+	m := &fakeMem{reject: true}
+	g := &scriptGen{accesses: []trace.Access{{Gap: 0, Addr: 64}}}
+	c := New(0, cfg(), g, 0, 0, m)
+	for i := int64(0); i < 10; i++ {
+		c.Tick(i)
+	}
+	if m.loads != 0 {
+		t.Fatal("load issued despite rejection")
+	}
+	if c.Stats().MemStallBeat == 0 {
+		t.Error("backpressure stalls not counted")
+	}
+	m.reject = false
+	for i := int64(10); i < 20; i++ {
+		c.Tick(i)
+	}
+	if m.loads != 1 {
+		t.Error("load not retried after backpressure cleared")
+	}
+}
+
+func TestBaseOffsetsAddresses(t *testing.T) {
+	var got uint64
+	m := &fakeMem{}
+	g := &scriptGen{accesses: []trace.Access{{Gap: 0, Addr: 0x40}}}
+	c := New(3, cfg(), g, 0, 0x1000, &capturingMem{inner: m, addr: &got})
+	c.Tick(0)
+	if got != 0x1040 {
+		t.Errorf("address = %#x, want base+addr = 0x1040", got)
+	}
+}
+
+type capturingMem struct {
+	inner *fakeMem
+	addr  *uint64
+}
+
+func (m *capturingMem) Access(now int64, addr uint64, write bool, onDone func(int64)) bool {
+	*m.addr = addr
+	return m.inner.Access(now, addr, write, onDone)
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.Width != 3 || c.Window != 128 || c.MSHRs != 8 || c.CPUPerDRAM != 6 {
+		t.Errorf("default core config diverges from Table 1: %+v", c)
+	}
+}

@@ -1,0 +1,40 @@
+package dram
+
+import (
+	"testing"
+
+	"dsarp/internal/timing"
+)
+
+// BenchmarkCanIssue measures the hot-path legality check the controller
+// runs for every queued request every cycle.
+func BenchmarkCanIssue(b *testing.B) {
+	d := MustNew(Default(), timing.DDR3(timing.Config{Mode: timing.RefPB}), Options{})
+	cmd := Cmd{Kind: CmdACT, Rank: 0, Bank: 3, Row: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.CanIssue(cmd, int64(i))
+	}
+}
+
+// BenchmarkIssueCloseRowCycle measures a full ACT -> RDA service pair.
+func BenchmarkIssueCloseRowCycle(b *testing.B) {
+	d := MustNew(Default(), timing.DDR3(timing.Config{Mode: timing.RefPB}), Options{})
+	tp := d.Timing()
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank := i % 8
+		act := Cmd{Kind: CmdACT, Rank: 0, Bank: bank, Row: i % 1024}
+		for !d.CanIssue(act, now) {
+			now++
+		}
+		d.Issue(act, now)
+		rd := Cmd{Kind: CmdRDA, Rank: 0, Bank: bank, Row: i % 1024, Col: i % 128}
+		now += int64(tp.TRCD)
+		for !d.CanIssue(rd, now) {
+			now++
+		}
+		d.Issue(rd, now)
+	}
+}

@@ -1,0 +1,213 @@
+package dram
+
+import (
+	"errors"
+	"fmt"
+
+	"dsarp/internal/refresh"
+	"dsarp/internal/timing"
+)
+
+// Checker independently verifies DRAM protocol invariants as commands are
+// issued. It keeps its own shadow state (rather than trusting the device's
+// next* bookkeeping) so a bug in the device state machine surfaces as a
+// recorded violation instead of silently wrong simulation results.
+//
+// Checked invariants (DESIGN.md §5):
+//  1. tRRD / tFAW ACT rate limits per rank (base values always; a violation
+//     of the base constraint is a violation of the inflated one too).
+//  2. Data-bus exclusivity: read/write bursts never overlap on the channel.
+//  3. Column commands only to the open row (shadow row state).
+//  4. No access to a refreshing bank (non-SARP) or refreshing subarray (SARP).
+//  5. Per-bank refreshes never overlap within a rank; REFab needs all banks
+//     quiet.
+//  6. Refresh retention coverage (VerifyRetention).
+type Checker struct {
+	geom timing.Params
+	g    Geometry
+	sarp bool
+
+	violations []error
+
+	acts      [][]int64 // per rank: recent ACT issue times
+	openRow   [][]int   // per rank, bank: shadow open row
+	busUntil  int64     // shadow data-bus busy horizon
+	busLast   string    // description of the burst occupying the bus
+	refBusy   [][]int64 // per rank, bank: refresh end cycle
+	refSub    [][]int   // per rank, bank: refreshing subarray
+	rankRefAt []int64   // per rank: all-bank refresh end cycle
+
+	lastRefreshed [][][]int64 // per rank, bank, row: last refresh issue cycle
+}
+
+// NewChecker builds a checker for a geometry/timing pair.
+func NewChecker(g Geometry, tp timing.Params, sarp bool) *Checker {
+	c := &Checker{
+		geom:      tp,
+		g:         g,
+		sarp:      sarp,
+		acts:      make([][]int64, g.Ranks),
+		openRow:   make([][]int, g.Ranks),
+		refBusy:   make([][]int64, g.Ranks),
+		refSub:    make([][]int, g.Ranks),
+		rankRefAt: make([]int64, g.Ranks),
+	}
+	c.lastRefreshed = make([][][]int64, g.Ranks)
+	for r := 0; r < g.Ranks; r++ {
+		c.openRow[r] = make([]int, g.Banks)
+		c.refBusy[r] = make([]int64, g.Banks)
+		c.refSub[r] = make([]int, g.Banks)
+		c.lastRefreshed[r] = make([][]int64, g.Banks)
+		for b := 0; b < g.Banks; b++ {
+			c.openRow[r][b] = NoRow
+			c.refSub[r][b] = NoSubarray
+			c.lastRefreshed[r][b] = make([]int64, g.RowsPerBank)
+		}
+	}
+	return c
+}
+
+func (c *Checker) fail(format string, args ...any) {
+	c.violations = append(c.violations, fmt.Errorf(format, args...))
+}
+
+// Err returns all recorded violations joined, or nil.
+func (c *Checker) Err() error { return errors.Join(c.violations...) }
+
+// Violations returns the number of recorded violations.
+func (c *Checker) Violations() int { return len(c.violations) }
+
+// onIssue is called by the device after applying a command.
+func (c *Checker) onIssue(cmd Cmd, t int64, d *Device) {
+	switch cmd.Kind {
+	case CmdACT:
+		c.checkACTRate(cmd.Rank, t)
+		c.checkRefreshConflict(cmd, t)
+		if c.openRow[cmd.Rank][cmd.Bank] != NoRow {
+			c.fail("ACT to open bank r%d/b%d at %d", cmd.Rank, cmd.Bank, t)
+		}
+		c.openRow[cmd.Rank][cmd.Bank] = cmd.Row
+		c.acts[cmd.Rank] = append(c.acts[cmd.Rank], t)
+		if n := len(c.acts[cmd.Rank]); n > 16 {
+			c.acts[cmd.Rank] = c.acts[cmd.Rank][n-8:]
+		}
+
+	case CmdRD, CmdRDA, CmdWR, CmdWRA:
+		if c.openRow[cmd.Rank][cmd.Bank] != cmd.Row {
+			c.fail("%v at %d but open row is %d", cmd, t, c.openRow[cmd.Rank][cmd.Bank])
+		}
+		c.checkRefreshConflict(cmd, t)
+		lat := int64(c.geom.CL)
+		if cmd.Kind.IsWrite() {
+			lat = int64(c.geom.CWL)
+		}
+		start, end := t+lat, t+lat+int64(c.geom.BL)
+		if start < c.busUntil {
+			c.fail("data bus overlap: %v at %d (burst %d..%d) overlaps %s (busy until %d)",
+				cmd, t, start, end, c.busLast, c.busUntil)
+		}
+		c.busUntil = end
+		c.busLast = cmd.String()
+		if cmd.Kind == CmdRDA || cmd.Kind == CmdWRA {
+			c.openRow[cmd.Rank][cmd.Bank] = NoRow
+		}
+
+	case CmdPRE:
+		if c.openRow[cmd.Rank][cmd.Bank] == NoRow {
+			c.fail("PRE to precharged bank r%d/b%d at %d", cmd.Rank, cmd.Bank, t)
+		}
+		c.openRow[cmd.Rank][cmd.Bank] = NoRow
+
+	case CmdREFpb:
+		for b := 0; b < c.g.Banks; b++ {
+			if t < c.refBusy[cmd.Rank][b] {
+				c.fail("REFpb r%d/b%d at %d overlaps refresh in b%d (until %d)",
+					cmd.Rank, cmd.Bank, t, b, c.refBusy[cmd.Rank][b])
+			}
+		}
+		if t < c.rankRefAt[cmd.Rank] {
+			c.fail("REFpb r%d/b%d at %d during REFab (until %d)",
+				cmd.Rank, cmd.Bank, t, c.rankRefAt[cmd.Rank])
+		}
+		if !c.sarp && c.openRow[cmd.Rank][cmd.Bank] != NoRow {
+			c.fail("REFpb to active bank r%d/b%d at %d without SARP", cmd.Rank, cmd.Bank, t)
+		}
+
+	case CmdREFab:
+		if t < c.rankRefAt[cmd.Rank] {
+			c.fail("REFab r%d at %d overlaps REFab (until %d)", cmd.Rank, t, c.rankRefAt[cmd.Rank])
+		}
+		for b := 0; b < c.g.Banks; b++ {
+			if t < c.refBusy[cmd.Rank][b] {
+				c.fail("REFab r%d at %d overlaps REFpb in b%d", cmd.Rank, t, b)
+			}
+			if !c.sarp && c.openRow[cmd.Rank][b] != NoRow {
+				c.fail("REFab r%d at %d with bank %d active and SARP off", cmd.Rank, t, b)
+			}
+		}
+	}
+}
+
+// recordRefresh is called by the device with the rows a refresh restores.
+func (c *Checker) recordRefresh(rankID int, ops []refresh.Op, t, end int64) {
+	for _, op := range ops {
+		c.refBusy[rankID][op.Bank] = end
+		c.refSub[rankID][op.Bank] = op.Subarray
+		for row := op.StartRow; row < op.StartRow+op.Rows; row++ {
+			c.lastRefreshed[rankID][op.Bank][row] = t
+		}
+	}
+	if len(ops) > 1 {
+		c.rankRefAt[rankID] = end
+	}
+}
+
+func (c *Checker) checkACTRate(rankID int, t int64) {
+	acts := c.acts[rankID]
+	inWindow := 0
+	for _, at := range acts {
+		if t-at < int64(c.geom.TFAW) {
+			inWindow++
+		}
+		if at > t-int64(c.geom.TRRD) && at != t {
+			c.fail("tRRD violation: ACT at %d, prior ACT at %d (tRRD=%d)", t, at, c.geom.TRRD)
+		}
+	}
+	if inWindow >= 4 {
+		c.fail("tFAW violation: 5th ACT at %d within %d cycles", t, c.geom.TFAW)
+	}
+}
+
+func (c *Checker) checkRefreshConflict(cmd Cmd, t int64) {
+	rankRef := t < c.rankRefAt[cmd.Rank]
+	bankRef := t < c.refBusy[cmd.Rank][cmd.Bank]
+	if !rankRef && !bankRef {
+		return
+	}
+	if !c.sarp {
+		c.fail("%v at %d targets refreshing bank/rank without SARP", cmd, t)
+		return
+	}
+	if cmd.Kind == CmdACT && c.g.SubarrayOf(cmd.Row) == c.refSub[cmd.Rank][cmd.Bank] {
+		c.fail("%v at %d targets refreshing subarray %d", cmd, t, c.refSub[cmd.Rank][cmd.Bank])
+	}
+}
+
+// VerifyRetention asserts every row of every bank was refreshed within
+// maxGap cycles before now. Rows never refreshed are measured from cycle 0
+// (the simulator starts with all cells freshly written). Returns the number
+// of violations recorded.
+func (c *Checker) VerifyRetention(now, maxGap int64) int {
+	before := len(c.violations)
+	for r := range c.lastRefreshed {
+		for b := range c.lastRefreshed[r] {
+			for row, at := range c.lastRefreshed[r][b] {
+				if now-at > maxGap {
+					c.fail("retention: r%d/b%d/row%d last refreshed at %d, now %d (gap %d > %d)",
+						r, b, row, at, now, now-at, maxGap)
+				}
+			}
+		}
+	}
+	return len(c.violations) - before
+}

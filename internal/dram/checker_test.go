@@ -1,0 +1,120 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+
+	"dsarp/internal/refresh"
+	"dsarp/internal/timing"
+)
+
+func oneOp(bank, startRow, rows, subarray int) []refresh.Op {
+	return []refresh.Op{{Bank: bank, StartRow: startRow, Rows: rows, Subarray: subarray}}
+}
+
+// The checker keeps shadow state independent of the device, so we exercise
+// it by feeding onIssue directly with illegal sequences the device would
+// normally reject.
+
+func newChecker() *Checker {
+	return NewChecker(testGeom(), testParams(timing.RefPB), false)
+}
+
+func TestCheckerCatchesTRRDViolation(t *testing.T) {
+	c := newChecker()
+	c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, 100, nil)
+	c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 1, Row: 1}, 101, nil) // tRRD=4
+	if c.Violations() == 0 {
+		t.Fatal("tRRD violation not caught")
+	}
+	if !strings.Contains(c.Err().Error(), "tRRD") {
+		t.Errorf("unexpected violation text: %v", c.Err())
+	}
+}
+
+func TestCheckerCatchesTFAWViolation(t *testing.T) {
+	g := testGeom()
+	g.Banks = 8
+	c := NewChecker(g, testParams(timing.RefPB), false)
+	// 5 ACTs spaced exactly tRRD apart land inside one tFAW window.
+	for b := 0; b < 5; b++ {
+		c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: b, Row: 1}, int64(100+b*4), nil)
+	}
+	if !strings.Contains(errString(c), "tFAW") {
+		t.Errorf("tFAW violation not caught: %v", c.Err())
+	}
+}
+
+func TestCheckerCatchesBusOverlap(t *testing.T) {
+	c := newChecker()
+	c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, 0, nil)
+	c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 1, Row: 1}, 10, nil)
+	c.onIssue(Cmd{Kind: CmdRD, Rank: 0, Bank: 0, Row: 1, Col: 0}, 20, nil)
+	c.onIssue(Cmd{Kind: CmdRD, Rank: 0, Bank: 1, Row: 1, Col: 0}, 21, nil) // bursts overlap
+	if !strings.Contains(errString(c), "data bus overlap") {
+		t.Errorf("bus overlap not caught: %v", c.Err())
+	}
+}
+
+func TestCheckerCatchesWrongRowColumnCommand(t *testing.T) {
+	c := newChecker()
+	c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, 0, nil)
+	c.onIssue(Cmd{Kind: CmdRD, Rank: 0, Bank: 0, Row: 2, Col: 0}, 20, nil)
+	if !strings.Contains(errString(c), "open row") {
+		t.Errorf("wrong-row read not caught: %v", c.Err())
+	}
+}
+
+func TestCheckerCatchesAccessDuringRefresh(t *testing.T) {
+	c := newChecker()
+	c.recordRefresh(0, oneOp(0, 0, 2, 0), 100, 200)
+	c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, 150, nil)
+	if !strings.Contains(errString(c), "refreshing") {
+		t.Errorf("access during refresh not caught: %v", c.Err())
+	}
+}
+
+func TestCheckerSARPAllowsNonConflictingSubarray(t *testing.T) {
+	c := NewChecker(testGeom(), testParams(timing.RefPB), true)
+	c.recordRefresh(0, oneOp(0, 0, 2, 0), 100, 200)
+	c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 20}, 150, nil) // subarray 1
+	if c.Violations() != 0 {
+		t.Errorf("SARP-legal access flagged: %v", c.Err())
+	}
+	c.onIssue(Cmd{Kind: CmdPRE, Rank: 0, Bank: 0}, 160, nil)
+	c.onIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 5}, 170, nil) // subarray 0: conflict
+	if !strings.Contains(errString(c), "refreshing subarray") {
+		t.Errorf("SARP subarray conflict not caught: %v", c.Err())
+	}
+}
+
+func TestCheckerCatchesOverlappingREFpb(t *testing.T) {
+	c := newChecker()
+	c.recordRefresh(0, oneOp(0, 0, 2, 0), 100, 200)
+	c.onIssue(Cmd{Kind: CmdREFpb, Rank: 0, Bank: 1}, 150, nil)
+	if !strings.Contains(errString(c), "overlaps") {
+		t.Errorf("overlapping REFpb not caught: %v", c.Err())
+	}
+}
+
+func TestVerifyRetention(t *testing.T) {
+	c := newChecker()
+	// Refresh rows 0..1 of bank 0 at cycle 10; by cycle 1000 with a max gap
+	// of 500, every other row (never refreshed, gap = 1000) violates, and
+	// rows 0..1 violate too (gap 990 > 500).
+	c.recordRefresh(0, oneOp(0, 0, 2, 0), 10, 20)
+	if v := c.VerifyRetention(400, 500); v != 0 {
+		t.Fatalf("premature retention violations: %d", v)
+	}
+	g := testGeom()
+	if v := c.VerifyRetention(1000, 500); v != g.Ranks*g.Banks*g.RowsPerBank {
+		t.Errorf("retention violations = %d, want every row (%d)", v, g.Ranks*g.Banks*g.RowsPerBank)
+	}
+}
+
+func errString(c *Checker) string {
+	if err := c.Err(); err != nil {
+		return err.Error()
+	}
+	return ""
+}

@@ -1,0 +1,345 @@
+package dram
+
+import (
+	"fmt"
+
+	"dsarp/internal/refresh"
+	"dsarp/internal/timing"
+)
+
+// Options configure optional device behaviors.
+type Options struct {
+	// SARP enables Subarray Access Refresh Parallelization: a refresh
+	// occupies only one subarray, the rest of the bank stays accessible,
+	// and tFAW/tRRD inflate while any refresh is in progress (paper §4.3).
+	SARP bool
+	// Check attaches the invariant checker (tests / verification runs).
+	Check bool
+}
+
+// Device models one DRAM channel's worth of ranks and banks plus the shared
+// command/data bus timing. It is deliberately single-threaded: one Device
+// belongs to one channel controller.
+type Device struct {
+	geom  Geometry
+	tp    timing.Params
+	opts  Options
+	ranks []*rank
+	units []*refresh.Unit
+
+	busFreeAt int64 // next cycle the data bus is free
+	nextRead  int64 // earliest read column command (tCCD, tWTR turnaround)
+	nextWrite int64 // earliest write column command (tCCD, tRTW turnaround)
+
+	checker *Checker
+	stats   Stats
+}
+
+// New builds a Device. Geometry and timing must be valid.
+func New(geom Geometry, tp timing.Params, opts Options) (*Device, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tp.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		geom:  geom,
+		tp:    tp,
+		opts:  opts,
+		ranks: make([]*rank, geom.Ranks),
+		units: make([]*refresh.Unit, geom.Ranks),
+	}
+	for i := range d.ranks {
+		d.ranks[i] = newRank(geom.Banks)
+		d.units[i] = refresh.NewUnit(geom.Banks, geom.RowsPerBank, geom.SubarraysPerBank, geom.RowsPerRef)
+	}
+	if opts.Check {
+		d.checker = NewChecker(geom, tp, opts.SARP)
+	}
+	return d, nil
+}
+
+// MustNew is New that panics on error; for tests and examples.
+func MustNew(geom Geometry, tp timing.Params, opts Options) *Device {
+	d, err := New(geom, tp, opts)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geom }
+
+// Timing returns the timing parameter set.
+func (d *Device) Timing() timing.Params { return d.tp }
+
+// SARP reports whether subarray access-refresh parallelization is enabled.
+func (d *Device) SARP() bool { return d.opts.SARP }
+
+// Stats returns accumulated command statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Checker returns the attached invariant checker, or nil.
+func (d *Device) Checker() *Checker { return d.checker }
+
+// RefreshUnit exposes a rank's refresh unit (policies peek at its counters;
+// the memory controller keeps shadow copies of these per paper §4.3.2).
+func (d *Device) RefreshUnit(rankID int) *refresh.Unit { return d.units[rankID] }
+
+// effActTimings returns the tFAW/tRRD values in force at t for a rank:
+// inflated per the SARP power throttle while a refresh is in progress.
+func (d *Device) effActTimings(r *rank, t int64) (tfaw, trrd int) {
+	if !d.opts.SARP || !r.anyRefreshInProgress(t) {
+		return d.tp.TFAW, d.tp.TRRD
+	}
+	if r.refreshing(t) {
+		return d.tp.SARPThrottledAB()
+	}
+	return d.tp.SARPThrottledPB()
+}
+
+// subarrayBlocked reports whether an ACT to row in bank b at t collides with
+// an in-progress refresh. Without SARP any refresh blocks the whole bank
+// (also enforced via bank.nextAct); with SARP only the refreshing subarray
+// is blocked.
+func (d *Device) subarrayBlocked(r *rank, b *bank, row int, t int64) bool {
+	inRef := b.refreshing(t) || r.refreshing(t)
+	if !inRef {
+		return false
+	}
+	if !d.opts.SARP {
+		return true
+	}
+	return d.geom.SubarrayOf(row) == b.refSubarray
+}
+
+// CanIssue reports whether cmd is legal at cycle t under every timing and
+// occupancy constraint.
+func (d *Device) CanIssue(cmd Cmd, t int64) bool {
+	if cmd.Rank < 0 || cmd.Rank >= d.geom.Ranks {
+		return false
+	}
+	r := d.ranks[cmd.Rank]
+	switch cmd.Kind {
+	case CmdACT:
+		b := &r.banks[cmd.Bank]
+		if !b.precharged() || t < b.nextAct || t < r.nextAct {
+			return false
+		}
+		tfaw, _ := d.effActTimings(r, t)
+		if !r.fawReady(t, tfaw) {
+			return false
+		}
+		return !d.subarrayBlocked(r, b, cmd.Row, t)
+
+	case CmdRD, CmdRDA:
+		b := &r.banks[cmd.Bank]
+		return b.openRow == cmd.Row && t >= b.nextRead && t >= d.nextRead &&
+			t+int64(d.tp.CL) >= d.busFreeAt
+
+	case CmdWR, CmdWRA:
+		b := &r.banks[cmd.Bank]
+		return b.openRow == cmd.Row && t >= b.nextWrite && t >= d.nextWrite &&
+			t+int64(d.tp.CWL) >= d.busFreeAt
+
+	case CmdPRE:
+		b := &r.banks[cmd.Bank]
+		return !b.precharged() && t >= b.nextPre && !b.refreshing(t) && !r.refreshing(t)
+
+	case CmdREFpb:
+		return d.canRefreshBank(cmd.Rank, cmd.Bank, t)
+
+	case CmdREFab:
+		return d.canRefreshRank(cmd.Rank, t)
+	}
+	return false
+}
+
+func (d *Device) canRefreshBank(rankID, bankID int, t int64) bool {
+	r := d.ranks[rankID]
+	b := &r.banks[bankID]
+	// REFpb ops never overlap each other or a REFab within a rank.
+	if t < r.pbRefUntil || r.refreshing(t) || b.refreshing(t) {
+		return false
+	}
+	if !d.opts.SARP {
+		// The whole bank is tied up: it must be precharged and past tRP,
+		// and the refresh activation respects the rank ACT spacing.
+		return b.precharged() && t >= b.nextAct && t >= r.nextAct
+	}
+	// SARP: the refresh only needs its target subarray free; an open row in
+	// a different subarray may stay open (two activated subarrays, one for
+	// refresh and one for access — paper §4.3.1).
+	sub := d.units[rankID].PeekSubarray(bankID)
+	return b.precharged() || d.geom.SubarrayOf(b.openRow) != sub
+}
+
+func (d *Device) canRefreshRank(rankID int, t int64) bool {
+	r := d.ranks[rankID]
+	if r.refreshing(t) || t < r.pbRefUntil {
+		return false
+	}
+	if !d.opts.SARP {
+		return r.allPrecharged() && t >= r.actReadyAll()
+	}
+	unit := d.units[rankID]
+	for bID := range r.banks {
+		b := &r.banks[bID]
+		if b.refreshing(t) {
+			return false
+		}
+		if !b.precharged() && d.geom.SubarrayOf(b.openRow) == unit.PeekSubarray(bID) {
+			return false
+		}
+	}
+	return true
+}
+
+// Issue applies cmd at cycle t. It panics if the command is illegal — the
+// controller must gate every command with CanIssue.
+func (d *Device) Issue(cmd Cmd, t int64) {
+	if !d.CanIssue(cmd, t) {
+		panic(fmt.Sprintf("dram: illegal %v at cycle %d", cmd, t))
+	}
+	r := d.ranks[cmd.Rank]
+	var refOps []refresh.Op // recorded with the checker after onIssue
+	var refEnd int64
+	switch cmd.Kind {
+	case CmdACT:
+		b := &r.banks[cmd.Bank]
+		_, trrd := d.effActTimings(r, t)
+		b.openRow = cmd.Row
+		b.actTime = t
+		b.nextRead = t + int64(d.tp.TRCD)
+		b.nextWrite = t + int64(d.tp.TRCD)
+		b.nextPre = max(b.nextPre, t+int64(d.tp.TRAS))
+		b.nextAct = max(b.nextAct, t+int64(d.tp.TRC))
+		r.recordACT(t, trrd)
+		d.stats.Acts++
+
+	case CmdRD, CmdRDA:
+		b := &r.banks[cmd.Bank]
+		dataEnd := t + int64(d.tp.CL) + int64(d.tp.BL)
+		d.busFreeAt = dataEnd
+		d.nextRead = max(d.nextRead, t+int64(d.tp.TCCD))
+		d.nextWrite = max(d.nextWrite, t+int64(d.tp.TRTW))
+		b.nextPre = max(b.nextPre, t+int64(d.tp.TRTP))
+		if cmd.Kind == CmdRDA {
+			preAt := max(b.actTime+int64(d.tp.TRAS), t+int64(d.tp.TRTP))
+			b.openRow = NoRow
+			b.nextAct = max(b.nextAct, preAt+int64(d.tp.TRP))
+			d.stats.Pres++
+		}
+		d.stats.Reads++
+
+	case CmdWR, CmdWRA:
+		b := &r.banks[cmd.Bank]
+		dataEnd := t + int64(d.tp.CWL) + int64(d.tp.BL)
+		d.busFreeAt = dataEnd
+		d.nextWrite = max(d.nextWrite, t+int64(d.tp.TCCD))
+		d.nextRead = max(d.nextRead, dataEnd+int64(d.tp.TWTR))
+		b.nextPre = max(b.nextPre, dataEnd+int64(d.tp.TWR))
+		if cmd.Kind == CmdWRA {
+			preAt := max(b.actTime+int64(d.tp.TRAS), dataEnd+int64(d.tp.TWR))
+			b.openRow = NoRow
+			b.nextAct = max(b.nextAct, preAt+int64(d.tp.TRP))
+			d.stats.Pres++
+		}
+		d.stats.Writes++
+
+	case CmdPRE:
+		b := &r.banks[cmd.Bank]
+		b.prechargeDone(t, d.tp.TRP)
+		d.stats.Pres++
+
+	case CmdREFpb:
+		b := &r.banks[cmd.Bank]
+		op := d.units[cmd.Rank].RefreshBankN(cmd.Bank, orDefault(cmd.RefRows, d.geom.RowsPerRef))
+		end := t + int64(orDefault(cmd.RefDur, d.tp.TRFCpb))
+		b.refUntil = end
+		b.refSubarray = op.Subarray
+		r.pbRefUntil = end
+		if !d.opts.SARP {
+			b.nextAct = max(b.nextAct, end)
+		} else {
+			// The refreshed subarray is unavailable until the refresh
+			// completes; other subarrays remain accessible under the
+			// throttled ACT rate (enforced via effActTimings).
+			b.nextAct = max(b.nextAct, t)
+		}
+		d.stats.RefPBs++
+		refOps, refEnd = []refresh.Op{op}, end
+
+	case CmdREFab:
+		ops := d.units[cmd.Rank].RefreshAllN(orDefault(cmd.RefRows, d.geom.RowsPerRef))
+		end := t + int64(orDefault(cmd.RefDur, d.tp.TRFCab))
+		r.refUntil = end
+		for i := range r.banks {
+			b := &r.banks[i]
+			b.refUntil = end
+			b.refSubarray = ops[i].Subarray
+			if !d.opts.SARP {
+				b.nextAct = max(b.nextAct, end)
+			}
+		}
+		d.stats.RefABs++
+		refOps, refEnd = ops, end
+	}
+	if d.checker != nil {
+		d.checker.onIssue(cmd, t, d)
+		if refOps != nil {
+			d.checker.recordRefresh(cmd.Rank, refOps, t, refEnd)
+		}
+	}
+	d.stats.Commands++
+}
+
+func orDefault(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// --- Queries used by the controller and refresh policies ---
+
+// OpenRow returns the open row of a bank, or NoRow.
+func (d *Device) OpenRow(rankID, bankID int) int {
+	return d.ranks[rankID].banks[bankID].openRow
+}
+
+// BankRefreshing reports whether a refresh occupies the bank at t (either a
+// per-bank refresh or an all-bank refresh covering its rank).
+func (d *Device) BankRefreshing(rankID, bankID int, t int64) bool {
+	r := d.ranks[rankID]
+	return r.banks[bankID].refreshing(t) || r.refreshing(t)
+}
+
+// RankRefreshing reports whether an all-bank refresh is in progress at t.
+func (d *Device) RankRefreshing(rankID int, t int64) bool {
+	return d.ranks[rankID].refreshing(t)
+}
+
+// RefreshingSubarray returns the subarray being refreshed in a bank at t,
+// or NoSubarray.
+func (d *Device) RefreshingSubarray(rankID, bankID int, t int64) int {
+	r := d.ranks[rankID]
+	b := &r.banks[bankID]
+	if b.refreshing(t) || r.refreshing(t) {
+		return b.refSubarray
+	}
+	return NoSubarray
+}
+
+// PBRefBusyUntil returns the cycle the rank's current per-bank refresh (if
+// any) completes; per-bank refreshes may not overlap within a rank.
+func (d *Device) PBRefBusyUntil(rankID int) int64 { return d.ranks[rankID].pbRefUntil }
+
+// ReadDataAt returns the cycle the last beat of a read issued at t arrives.
+func (d *Device) ReadDataAt(t int64) int64 { return t + int64(d.tp.CL) + int64(d.tp.BL) }
+
+// WriteDataAt returns the cycle the last beat of a write issued at t is on
+// the bus.
+func (d *Device) WriteDataAt(t int64) int64 { return t + int64(d.tp.CWL) + int64(d.tp.BL) }

@@ -1,0 +1,320 @@
+package dram
+
+import (
+	"testing"
+
+	"dsarp/internal/timing"
+)
+
+// testGeom is a small geometry: 1 rank, 4 banks, 4 subarrays, 64 rows.
+func testGeom() Geometry {
+	return Geometry{Ranks: 1, Banks: 4, SubarraysPerBank: 4, RowsPerBank: 64,
+		ColumnsPerRow: 8, RowsPerRef: 2}
+}
+
+func testParams(mode timing.RefMode) timing.Params {
+	return timing.DDR3(timing.Config{Density: timing.Gb8, Mode: mode})
+}
+
+func newDev(t *testing.T, sarp bool) *Device {
+	t.Helper()
+	d, err := New(testGeom(), testParams(timing.RefPB), Options{SARP: sarp, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// issueAt finds the first cycle >= from at which cmd is legal, issues it,
+// and returns the cycle. Fails the test after a bounded search.
+func issueAt(t *testing.T, d *Device, cmd Cmd, from int64) int64 {
+	t.Helper()
+	for tck := from; tck < from+10_000; tck++ {
+		if d.CanIssue(cmd, tck) {
+			d.Issue(cmd, tck)
+			return tck
+		}
+	}
+	t.Fatalf("%v never became legal after %d", cmd, from)
+	return -1
+}
+
+func TestActivateThenReadRespectsTRCD(t *testing.T) {
+	d := newDev(t, false)
+	tp := d.Timing()
+	act := Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 5}
+	if !d.CanIssue(act, 0) {
+		t.Fatal("ACT to idle bank should be legal at cycle 0")
+	}
+	d.Issue(act, 0)
+
+	rd := Cmd{Kind: CmdRD, Rank: 0, Bank: 0, Row: 5, Col: 3}
+	if d.CanIssue(rd, int64(tp.TRCD)-1) {
+		t.Errorf("RD legal %d cycles after ACT, violating tRCD=%d", tp.TRCD-1, tp.TRCD)
+	}
+	if !d.CanIssue(rd, int64(tp.TRCD)) {
+		t.Errorf("RD should be legal exactly at tRCD=%d", tp.TRCD)
+	}
+}
+
+func TestReadWrongRowIllegal(t *testing.T) {
+	d := newDev(t, false)
+	issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 5}, 0)
+	rd := Cmd{Kind: CmdRD, Rank: 0, Bank: 0, Row: 6, Col: 0}
+	if d.CanIssue(rd, 100) {
+		t.Error("RD to a non-open row must be illegal")
+	}
+}
+
+func TestActToActiveBankIllegal(t *testing.T) {
+	d := newDev(t, false)
+	issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 5}, 0)
+	if d.CanIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 6}, 1000) {
+		t.Error("ACT to a bank with an open row must be illegal")
+	}
+}
+
+func TestPrechargeReopens(t *testing.T) {
+	d := newDev(t, false)
+	tp := d.Timing()
+	at := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 5}, 0)
+	pre := Cmd{Kind: CmdPRE, Rank: 0, Bank: 0}
+	preAt := issueAt(t, d, pre, at)
+	if preAt < at+int64(tp.TRAS) {
+		t.Errorf("PRE at %d violates tRAS=%d after ACT at %d", preAt, tp.TRAS, at)
+	}
+	act2 := Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 9}
+	act2At := issueAt(t, d, act2, preAt)
+	if act2At < preAt+int64(tp.TRP) {
+		t.Errorf("re-ACT at %d violates tRP=%d after PRE at %d", act2At, tp.TRP, preAt)
+	}
+	if d.OpenRow(0, 0) != 9 {
+		t.Errorf("open row = %d, want 9", d.OpenRow(0, 0))
+	}
+}
+
+func TestAutoPrechargeCloses(t *testing.T) {
+	d := newDev(t, false)
+	at := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 5}, 0)
+	issueAt(t, d, Cmd{Kind: CmdRDA, Rank: 0, Bank: 0, Row: 5, Col: 0}, at)
+	if d.OpenRow(0, 0) != NoRow {
+		t.Error("RDA should leave the bank precharged")
+	}
+}
+
+func TestTRRDSpacing(t *testing.T) {
+	d := newDev(t, false)
+	tp := d.Timing()
+	at0 := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, 0)
+	act1 := Cmd{Kind: CmdACT, Rank: 0, Bank: 1, Row: 1}
+	at1 := issueAt(t, d, act1, at0)
+	if at1-at0 < int64(tp.TRRD) {
+		t.Errorf("ACTs %d apart, want >= tRRD=%d", at1-at0, tp.TRRD)
+	}
+}
+
+func TestTFAWLimitsBurstOfActivates(t *testing.T) {
+	g := testGeom()
+	g.Banks = 8
+	d := MustNew(g, testParams(timing.RefPB), Options{Check: true})
+	tp := d.Timing()
+	var times []int64
+	from := int64(0)
+	for b := 0; b < 5; b++ {
+		at := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: b, Row: 1}, from)
+		times = append(times, at)
+		from = at
+	}
+	if gap := times[4] - times[0]; gap < int64(tp.TFAW) {
+		t.Errorf("5th ACT only %d cycles after 1st, violating tFAW=%d", gap, tp.TFAW)
+	}
+	if err := d.Checker().Err(); err != nil {
+		t.Fatalf("checker: %v", err)
+	}
+}
+
+func TestRefreshLocksBankWithoutSARP(t *testing.T) {
+	d := newDev(t, false)
+	tp := d.Timing()
+	ref := Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0}
+	at := issueAt(t, d, ref, 0)
+
+	act := Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}
+	if d.CanIssue(act, at+1) {
+		t.Error("ACT legal during REFpb without SARP")
+	}
+	if !d.BankRefreshing(0, 0, at+1) {
+		t.Error("BankRefreshing false during refresh")
+	}
+	// Other banks stay available during the per-bank refresh.
+	if !d.CanIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 1, Row: 1}, at+2) {
+		t.Error("other banks should serve during REFpb")
+	}
+	actAt := issueAt(t, d, act, at)
+	if actAt < at+int64(tp.TRFCpb) {
+		t.Errorf("ACT at %d, refresh ends at %d", actAt, at+int64(tp.TRFCpb))
+	}
+}
+
+func TestREFpbNonOverlapWithinRank(t *testing.T) {
+	d := newDev(t, false)
+	tp := d.Timing()
+	at := issueAt(t, d, Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0}, 0)
+	next := Cmd{Kind: CmdREFpb, Rank: 0, Bank: 1}
+	if d.CanIssue(next, at+1) {
+		t.Error("overlapping REFpb ops must be illegal (LPDDR3 rule)")
+	}
+	nextAt := issueAt(t, d, next, at)
+	if nextAt < at+int64(tp.TRFCpb) {
+		t.Errorf("second REFpb at %d overlaps first (ends %d)", nextAt, at+int64(tp.TRFCpb))
+	}
+}
+
+func TestREFabLocksRankWithoutSARP(t *testing.T) {
+	d := MustNew(testGeom(), testParams(timing.RefAB), Options{Check: true})
+	tp := d.Timing()
+	at := issueAt(t, d, Cmd{Kind: CmdREFab, Rank: 0}, 0)
+	for b := 0; b < 4; b++ {
+		if d.CanIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: b, Row: 1}, at+1) {
+			t.Errorf("bank %d accessible during REFab without SARP", b)
+		}
+	}
+	actAt := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, at)
+	if actAt < at+int64(tp.TRFCab) {
+		t.Errorf("ACT at %d during REFab (ends %d)", actAt, at+int64(tp.TRFCab))
+	}
+}
+
+func TestREFabRequiresAllPrecharged(t *testing.T) {
+	d := MustNew(testGeom(), testParams(timing.RefAB), Options{Check: true})
+	issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 2, Row: 1}, 0)
+	if d.CanIssue(Cmd{Kind: CmdREFab, Rank: 0}, 100) {
+		t.Error("REFab with an open bank must be illegal without SARP")
+	}
+}
+
+func TestSARPAllowsOtherSubarraysDuringRefresh(t *testing.T) {
+	d := newDev(t, true)
+	// Refresh starts at subarray 0 (rows 0..15 of 64 rows / 4 subarrays).
+	at := issueAt(t, d, Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0}, 0)
+	if got := d.RefreshingSubarray(0, 0, at+1); got != 0 {
+		t.Fatalf("refreshing subarray = %d, want 0", got)
+	}
+	// Row 5 is in subarray 0: blocked. Row 20 is in subarray 1: allowed.
+	if d.CanIssue(Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 5}, at+1) {
+		t.Error("ACT to the refreshing subarray must be blocked")
+	}
+	actConflictFree := Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 20}
+	actAt := issueAt(t, d, actConflictFree, at+1)
+	if actAt >= at+int64(d.Timing().TRFCpb) {
+		t.Errorf("SARP should allow the ACT during refresh; got cycle %d", actAt)
+	}
+	if err := d.Checker().Err(); err != nil {
+		t.Fatalf("checker: %v", err)
+	}
+}
+
+func TestSARPThrottlesActRateDuringRefresh(t *testing.T) {
+	g := testGeom()
+	g.Banks = 8
+	d := MustNew(g, testParams(timing.RefPB), Options{SARP: true, Check: true})
+	tp := d.Timing()
+	refAt := issueAt(t, d, Cmd{Kind: CmdREFpb, Rank: 0, Bank: 7}, 0)
+
+	at0 := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, refAt+1)
+	at1 := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 1, Row: 1}, at0)
+	_, trrdThrottled := tp.SARPThrottledPB()
+	if at1-at0 < int64(trrdThrottled) {
+		t.Errorf("ACT spacing %d during refresh, want >= throttled tRRD %d", at1-at0, trrdThrottled)
+	}
+}
+
+func TestSARPRefreshStartsDespiteOpenOtherSubarray(t *testing.T) {
+	d := newDev(t, true)
+	// Open a row in subarray 1; the pending refresh targets subarray 0, so
+	// SARP can start it without precharging (paper §4.3.1: two activated
+	// subarrays, one refreshing, one accessing).
+	issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 20}, 0)
+	ref := Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0}
+	if !d.CanIssue(ref, 100) {
+		t.Fatal("SARP refresh should start with a non-conflicting open row")
+	}
+	d.Issue(ref, 100)
+	if err := d.Checker().Err(); err != nil {
+		t.Fatalf("checker: %v", err)
+	}
+}
+
+func TestSARPRefreshBlockedByConflictingOpenRow(t *testing.T) {
+	d := newDev(t, true)
+	// Open a row in subarray 0 — the same subarray the refresh targets.
+	issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 5}, 0)
+	if d.CanIssue(Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0}, 100) {
+		t.Error("SARP refresh must not start on the open row's subarray")
+	}
+}
+
+func TestDataBusSerializesReads(t *testing.T) {
+	d := newDev(t, false)
+	tp := d.Timing()
+	at := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, 0)
+	rd := Cmd{Kind: CmdRD, Rank: 0, Bank: 0, Row: 1, Col: 0}
+	r0 := issueAt(t, d, rd, at)
+	rd.Col = 1
+	r1 := issueAt(t, d, rd, r0)
+	if r1-r0 < int64(tp.TCCD) {
+		t.Errorf("back-to-back reads %d apart, want >= tCCD=%d", r1-r0, tp.TCCD)
+	}
+	if err := d.Checker().Err(); err != nil {
+		t.Fatalf("checker: %v", err)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	d := newDev(t, false)
+	tp := d.Timing()
+	at := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, 0)
+	wr := issueAt(t, d, Cmd{Kind: CmdWR, Rank: 0, Bank: 0, Row: 1, Col: 0}, at)
+	rdAt := issueAt(t, d, Cmd{Kind: CmdRD, Rank: 0, Bank: 0, Row: 1, Col: 1}, wr)
+	minGap := int64(tp.CWL + tp.BL + tp.TWTR)
+	if rdAt-wr < minGap {
+		t.Errorf("WR->RD gap %d, want >= CWL+BL+tWTR = %d", rdAt-wr, minGap)
+	}
+}
+
+func TestIllegalIssuePanics(t *testing.T) {
+	d := newDev(t, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("Issue of illegal command did not panic")
+		}
+	}()
+	d.Issue(Cmd{Kind: CmdRD, Rank: 0, Bank: 0, Row: 1, Col: 0}, 0) // no open row
+}
+
+func TestRefreshDurationOverride(t *testing.T) {
+	d := newDev(t, false)
+	ref := Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0, RefDur: 10, RefRows: 1}
+	at := issueAt(t, d, ref, 0)
+	if d.BankRefreshing(0, 0, at+9) != true {
+		t.Error("bank should be refreshing for the overridden duration")
+	}
+	if d.BankRefreshing(0, 0, at+10) {
+		t.Error("override duration of 10 cycles not honored")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	d := newDev(t, false)
+	at := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: 0, Row: 1}, 0)
+	at = issueAt(t, d, Cmd{Kind: CmdRD, Rank: 0, Bank: 0, Row: 1, Col: 0}, at)
+	at = issueAt(t, d, Cmd{Kind: CmdWRA, Rank: 0, Bank: 0, Row: 1, Col: 1}, at)
+	issueAt(t, d, Cmd{Kind: CmdREFpb, Rank: 0, Bank: 1}, at)
+	st := d.Stats()
+	if st.Acts != 1 || st.Reads != 1 || st.Writes != 1 || st.RefPBs != 1 || st.Pres != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Accesses() != 2 {
+		t.Errorf("Accesses = %d, want 2", st.Accesses())
+	}
+}

@@ -1,0 +1,79 @@
+// Package dram models a DRAM channel at command/cycle granularity: ranks,
+// banks, subarrays, rows, and the JEDEC timing state machine governing
+// ACTIVATE / READ / WRITE / PRECHARGE / REFab / REFpb commands.
+//
+// The model supports the SARP modification of Chang et al. (HPCA 2014): a
+// refresh operation occupies a single subarray, and when SARP is enabled the
+// rest of the bank stays accessible, subject to the power-integrity throttle
+// on tFAW/tRRD (paper §4.3.3).
+package dram
+
+import "fmt"
+
+// Geometry describes the organization of one DRAM channel.
+type Geometry struct {
+	Ranks            int
+	Banks            int // banks per rank
+	SubarraysPerBank int
+	RowsPerBank      int
+	ColumnsPerRow    int // cache-line-sized columns per row
+	RowsPerRef       int // rows refreshed in one bank by one refresh op
+}
+
+// Default returns the paper's evaluated geometry (Table 1): 2 ranks/channel,
+// 8 banks/rank, 8 subarrays/bank, 64K rows/bank, 8 KB rows (128 64-byte
+// lines). One refresh op covers rows/8192 = 8 rows per bank.
+func Default() Geometry {
+	return Geometry{
+		Ranks:            2,
+		Banks:            8,
+		SubarraysPerBank: 8,
+		RowsPerBank:      64 * 1024,
+		ColumnsPerRow:    128,
+		RowsPerRef:       8,
+	}
+}
+
+// Validate reports an error for an inconsistent geometry.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Ranks <= 0 || g.Banks <= 0 || g.RowsPerBank <= 0 || g.ColumnsPerRow <= 0:
+		return fmt.Errorf("dram: geometry fields must be positive: %+v", g)
+	case g.SubarraysPerBank <= 0:
+		return fmt.Errorf("dram: need at least 1 subarray per bank, got %d", g.SubarraysPerBank)
+	case g.RowsPerBank%g.SubarraysPerBank != 0:
+		return fmt.Errorf("dram: rows per bank (%d) must divide evenly into %d subarrays",
+			g.RowsPerBank, g.SubarraysPerBank)
+	case g.RowsPerRef <= 0 || g.RowsPerRef > g.RowsPerBank:
+		return fmt.Errorf("dram: rows per refresh op (%d) out of range", g.RowsPerRef)
+	}
+	return nil
+}
+
+// RowsPerSubarray is the number of rows in each subarray.
+func (g Geometry) RowsPerSubarray() int { return g.RowsPerBank / g.SubarraysPerBank }
+
+// SubarrayOf maps a row index to its subarray index.
+func (g Geometry) SubarrayOf(row int) int { return row / g.RowsPerSubarray() }
+
+// RefOpsPerRotation is the number of refresh ops needed to refresh every row
+// of one bank once.
+func (g Geometry) RefOpsPerRotation() int {
+	n := g.RowsPerBank / g.RowsPerRef
+	if g.RowsPerBank%g.RowsPerRef != 0 {
+		n++
+	}
+	return n
+}
+
+// Addr is a channel-local DRAM address.
+type Addr struct {
+	Rank, Bank, Row, Col int
+}
+
+// Subarray returns the subarray the address falls in.
+func (a Addr) Subarray(g Geometry) int { return g.SubarrayOf(a.Row) }
+
+func (a Addr) String() string {
+	return fmt.Sprintf("r%d/b%d/row%d/col%d", a.Rank, a.Bank, a.Row, a.Col)
+}

@@ -1,0 +1,69 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryMatchesPaper(t *testing.T) {
+	g := Default()
+	// Table 1: 2 ranks/channel, 8 banks, 8 subarrays/bank, 64K rows, 8KB
+	// rows (128 64-byte columns).
+	if g.Ranks != 2 || g.Banks != 8 || g.SubarraysPerBank != 8 ||
+		g.RowsPerBank != 65536 || g.ColumnsPerRow != 128 {
+		t.Fatalf("default geometry diverges from Table 1: %+v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 64 ms / 7.8 us = 8192 refresh commands per window, each covering
+	// rows/8192 = 8 rows.
+	if g.RowsPerRef != 8 {
+		t.Errorf("RowsPerRef = %d, want 8", g.RowsPerRef)
+	}
+	if g.RefOpsPerRotation() != 8192 {
+		t.Errorf("RefOpsPerRotation = %d, want 8192", g.RefOpsPerRotation())
+	}
+}
+
+func TestSubarrayOf(t *testing.T) {
+	g := Default()
+	per := g.RowsPerSubarray()
+	if per != 8192 {
+		t.Fatalf("RowsPerSubarray = %d, want 8192", per)
+	}
+	cases := []struct{ row, want int }{
+		{0, 0}, {per - 1, 0}, {per, 1}, {3*per + 5, 3}, {g.RowsPerBank - 1, 7},
+	}
+	for _, c := range cases {
+		if got := g.SubarrayOf(c.row); got != c.want {
+			t.Errorf("SubarrayOf(%d) = %d, want %d", c.row, got, c.want)
+		}
+	}
+}
+
+func TestSubarrayOfInRangeProperty(t *testing.T) {
+	g := Default()
+	f := func(row uint32) bool {
+		s := g.SubarrayOf(int(row) % g.RowsPerBank)
+		return s >= 0 && s < g.SubarraysPerBank
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Geometry{
+		{Ranks: 0, Banks: 8, SubarraysPerBank: 8, RowsPerBank: 64, ColumnsPerRow: 8, RowsPerRef: 1},
+		{Ranks: 1, Banks: 8, SubarraysPerBank: 0, RowsPerBank: 64, ColumnsPerRow: 8, RowsPerRef: 1},
+		{Ranks: 1, Banks: 8, SubarraysPerBank: 7, RowsPerBank: 64, ColumnsPerRow: 8, RowsPerRef: 1},
+		{Ranks: 1, Banks: 8, SubarraysPerBank: 8, RowsPerBank: 64, ColumnsPerRow: 8, RowsPerRef: 0},
+		{Ranks: 1, Banks: 8, SubarraysPerBank: 8, RowsPerBank: 64, ColumnsPerRow: 8, RowsPerRef: 65},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, g)
+		}
+	}
+}

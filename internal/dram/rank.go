@@ -1,0 +1,80 @@
+package dram
+
+// rank holds rank-level shared timing state: ACT rate limits (tRRD, tFAW),
+// all-bank refresh occupancy, and the REFpb non-overlap rule.
+type rank struct {
+	banks []bank
+
+	nextAct  int64    // earliest ACT in any bank of this rank (tRRD)
+	actRing  [4]int64 // issue times of the last four ACTs (tFAW window)
+	actCount int      // total ACTs issued (ring occupancy)
+
+	// All-bank refresh occupancy. While now < refUntil a REFab is in
+	// progress; without SARP every bank is locked (via bank.nextAct), with
+	// SARP each bank keeps serving accesses outside its refreshing subarray
+	// (tracked per bank).
+	refUntil int64
+
+	// Per-bank refresh serialization: the LPDDR3 standard disallows REFpb
+	// operations from overlapping within a rank (paper §2.2.2), so the next
+	// REFpb may not start before pbRefUntil.
+	pbRefUntil int64
+}
+
+func newRank(banks int) *rank {
+	r := &rank{banks: make([]bank, banks)}
+	for i := range r.banks {
+		r.banks[i] = newBank()
+	}
+	return r
+}
+
+// refreshing reports whether an all-bank refresh is in progress at t.
+func (r *rank) refreshing(t int64) bool { return t < r.refUntil }
+
+// anyRefreshInProgress reports whether any refresh (all-bank or per-bank)
+// is restoring rows anywhere in the rank at t. The SARP power throttle on
+// tFAW/tRRD applies exactly while this holds (paper §4.3.3).
+func (r *rank) anyRefreshInProgress(t int64) bool {
+	if r.refreshing(t) {
+		return true
+	}
+	return t < r.pbRefUntil
+}
+
+// fawReady reports whether a new ACT at t would keep at most four ACTs
+// inside the rolling tFAW window.
+func (r *rank) fawReady(t int64, tfaw int) bool {
+	if r.actCount < 4 {
+		return true
+	}
+	oldest := r.actRing[r.actCount%4]
+	return t >= oldest+int64(tfaw)
+}
+
+// recordACT registers an ACT at t for tRRD/tFAW accounting.
+func (r *rank) recordACT(t int64, trrd int) {
+	r.actRing[r.actCount%4] = t
+	r.actCount++
+	r.nextAct = max(r.nextAct, t+int64(trrd))
+}
+
+// allPrecharged reports whether every bank in the rank is precharged.
+func (r *rank) allPrecharged() bool {
+	for i := range r.banks {
+		if !r.banks[i].precharged() {
+			return false
+		}
+	}
+	return true
+}
+
+// actReadyAll is the earliest cycle at which every bank satisfies its
+// per-bank ACT timing (used to gate REFab, which activates rows internally).
+func (r *rank) actReadyAll() int64 {
+	var t int64
+	for i := range r.banks {
+		t = max(t, r.banks[i].nextAct)
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+package dram
+
+import (
+	"testing"
+
+	"dsarp/internal/timing"
+)
+
+// These tests reproduce the paper's illustrative service timelines as
+// executable scenarios: Fig. 4 (per-bank refresh overlaps refreshes with
+// accesses across banks, saving cycles over all-bank refresh) and Fig. 10
+// (SARP serves a read during a refresh of the same bank, saving the
+// read's wait).
+
+// serveRead issues ACT + RDA for (bank, row) as early as possible after
+// from and returns the cycle the data burst completes.
+func serveRead(t *testing.T, d *Device, bank, row int, from int64) int64 {
+	t.Helper()
+	at := issueAt(t, d, Cmd{Kind: CmdACT, Rank: 0, Bank: bank, Row: row}, from)
+	at = issueAt(t, d, Cmd{Kind: CmdRDA, Rank: 0, Bank: bank, Row: row, Col: 0}, at)
+	return d.ReadDataAt(at)
+}
+
+func TestFig4_PerBankRefreshSavesCyclesOverAllBank(t *testing.T) {
+	// Scenario: a refresh is due; bank 0 and bank 1 each have one read.
+	// Under REFab both reads wait out tRFCab. Under REFpb, bank 1's read
+	// proceeds while bank 0 refreshes.
+	finish := func(mode timing.RefMode) int64 {
+		d := MustNew(testGeom(), testParams(mode), Options{Check: true})
+		if mode == timing.RefAB {
+			issueAt(t, d, Cmd{Kind: CmdREFab, Rank: 0}, 0)
+		} else {
+			issueAt(t, d, Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0}, 0)
+		}
+		done0 := serveRead(t, d, 0, 1, 1)
+		done1 := serveRead(t, d, 1, 1, 1)
+		if err := d.Checker().Err(); err != nil {
+			t.Fatal(err)
+		}
+		return max(done0, done1)
+	}
+	ab := finish(timing.RefAB)
+	pb := finish(timing.RefPB)
+	if pb >= ab {
+		t.Errorf("Fig. 4 shape broken: REFpb finishes at %d, REFab at %d", pb, ab)
+	}
+	t.Logf("both reads done: REFab=%d cycles, REFpb=%d cycles (saved %d)", ab, pb, ab-pb)
+}
+
+func TestFig10_SARPServesReadDuringRefresh(t *testing.T) {
+	// Scenario: bank 0 is refreshing (subarray 0); a read to subarray 1 of
+	// the same bank arrives. Without SARP it waits out tRFCpb; with SARP it
+	// proceeds immediately.
+	row := testGeom().RowsPerSubarray() // first row of subarray 1
+	finish := func(sarp bool) int64 {
+		d := MustNew(testGeom(), testParams(timing.RefPB), Options{SARP: sarp, Check: true})
+		issueAt(t, d, Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0}, 0)
+		done := serveRead(t, d, 0, row, 1)
+		if err := d.Checker().Err(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	base := finish(false)
+	sarp := finish(true)
+	tp := testParams(timing.RefPB)
+	if sarp >= base {
+		t.Errorf("Fig. 10 shape broken: SARP read done at %d, baseline at %d", sarp, base)
+	}
+	if base < int64(tp.TRFCpb) {
+		t.Errorf("baseline read at %d should have waited out tRFCpb=%d", base, tp.TRFCpb)
+	}
+	if sarp > int64(tp.TRCD+tp.CL+tp.BL+8) {
+		t.Errorf("SARP read at %d should be near the unloaded latency %d", sarp, tp.TRCD+tp.CL+tp.BL)
+	}
+	t.Logf("read during same-bank refresh: baseline=%d cycles, SARP=%d cycles", base, sarp)
+}
+
+func TestFig10_SARPReadToRefreshingSubarrayStillWaits(t *testing.T) {
+	// The dual scenario: the read targets the refreshing subarray itself —
+	// SARP must not help there.
+	d := MustNew(testGeom(), testParams(timing.RefPB), Options{SARP: true, Check: true})
+	at := issueAt(t, d, Cmd{Kind: CmdREFpb, Rank: 0, Bank: 0}, 0)
+	done := serveRead(t, d, 0, 1, 1) // row 1 is in subarray 0, being refreshed
+	if done < at+int64(d.Timing().TRFCpb) {
+		t.Errorf("read into the refreshing subarray finished at %d, before refresh end %d",
+			done, at+int64(d.Timing().TRFCpb))
+	}
+	if err := d.Checker().Err(); err != nil {
+		t.Fatal(err)
+	}
+}

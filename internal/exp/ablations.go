@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dsarp/internal/core"
+	"dsarp/internal/sim"
+	"dsarp/internal/stats"
+	"dsarp/internal/timing"
+)
+
+// AblationRow compares a design choice (DESIGN.md §4) against its variant.
+type AblationRow struct {
+	Name        string
+	Description string
+	BaseWS      float64 // gmean WS with the paper's design choice
+	VariantWS   float64 // gmean WS with the alternative
+	DeltaPct    float64 // variant vs base, %
+}
+
+// AblationResult is the set of design-choice ablations at 32 Gb on the
+// intensive workloads.
+type AblationResult struct{ Rows []AblationRow }
+
+// Ablations runs the DESIGN.md §4 ablation studies.
+func (r *Runner) Ablations() AblationResult {
+	d := timing.Gb32
+	var out AblationResult
+
+	gm := func(k core.Kind, variant string, mod func(*sim.Config)) float64 {
+		return stats.Gmean(r.wsSeries(r.sensitive, k, d, variant, mod))
+	}
+
+	// D1 — refresh credit bounds: erratum [0,8] vs the original paper's
+	// looser rule (effectively 16 postponements). The variant gains little
+	// and, as the darp tests show, violates the JEDEC retention ceiling.
+	base := gm(core.KindDARP, "", nil)
+	loose := gm(core.KindDARP, "flex16", darpVariant(core.DARPOptions{WriteRefresh: true, MaxPostpone: 16}))
+	out.Rows = append(out.Rows, row("D1 credit-bounds",
+		"DARP postpone bound 8 (erratum) vs 16 (pre-erratum)", base, loose))
+
+	// D2 — writeback-mode bank pick: min-pending vs random.
+	randPick := gm(core.KindDARP, "randpick", darpVariant(core.DARPOptions{WriteRefresh: true, RandomWritePick: true}))
+	out.Rows = append(out.Rows, row("D2 write-pick",
+		"write-refresh picks min-pending bank vs random bank", base, randPick))
+
+	// D3 — SARP power throttle: Eq. 1-3 inflation vs none (upper bound).
+	baseDS := gm(core.KindDSARP, "", nil)
+	noThrottle := gm(core.KindDSARP, "nothrottle", func(c *sim.Config) {
+		c.AdjustTiming = func(p *timing.Params) {
+			p.SARPThrottleABx1000 = 1000
+			p.SARPThrottlePBx1000 = 1000
+		}
+	})
+	out.Rows = append(out.Rows, row("D3 sarp-throttle",
+		"DSARP with tFAW/tRRD inflation (paper) vs no inflation", baseDS, noThrottle))
+
+	// D4 — page policy: closed-row (paper) vs open-row.
+	openRow := gm(core.KindDSARP, "openrow", func(c *sim.Config) { c.OpenRow = true })
+	out.Rows = append(out.Rows, row("D4 page-policy",
+		"DSARP with closed-row (paper) vs open-row", baseDS, openRow))
+
+	// D5 — idle-bank choice: random (Fig. 8) vs greedy largest-debt.
+	greedy := gm(core.KindDARP, "greedy", darpVariant(core.DARPOptions{WriteRefresh: true, GreedyIdlePick: true}))
+	out.Rows = append(out.Rows, row("D5 idle-pick",
+		"out-of-order refresh picks random idle bank vs largest-debt", base, greedy))
+
+	return out
+}
+
+func row(name, desc string, base, variant float64) AblationRow {
+	return AblationRow{
+		Name:        name,
+		Description: desc,
+		BaseWS:      base,
+		VariantWS:   variant,
+		DeltaPct:    stats.PctImprovement(variant / base),
+	}
+}
+
+func (a AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations (32Gb, intensive workloads):\n%-18s %9s %10s %8s  %s\n",
+		"ablation", "base WS", "variant WS", "delta%", "description")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-18s %9.3f %10.3f %8.2f  %s\n",
+			r.Name, r.BaseWS, r.VariantWS, r.DeltaPct, r.Description)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsarp/internal/core"
+	"dsarp/internal/timing"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner(tinyOpts())
+	f := r.Fig5()
+	if err := WriteCSV(dir, "fig5", f); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.Open(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	rows, err := csv.NewReader(file).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(f.Points)+1 {
+		t.Fatalf("csv rows = %d, want %d", len(rows), len(f.Points)+1)
+	}
+	if rows[0][0] != "density_gb" {
+		t.Errorf("header = %v", rows[0])
+	}
+}
+
+func TestCSVShapesConsistent(t *testing.T) {
+	// Every exporter must produce rows matching its header width.
+	r := NewRunner(tinyOpts())
+	exports := map[string]CSVWritable{
+		"fig5":   r.Fig5(),
+		"fig7":   r.Fig7(),
+		"fig12":  r.Fig12(timing.Gb8),
+		"table2": r.Table2(),
+		"table5": r.Table5(),
+	}
+	for name, e := range exports {
+		header, rows := e.CSV()
+		if len(header) == 0 || len(rows) == 0 {
+			t.Errorf("%s: empty export", name)
+			continue
+		}
+		for i, row := range rows {
+			if len(row) != len(header) {
+				t.Errorf("%s row %d: %d fields, header has %d", name, i, len(row), len(header))
+			}
+		}
+	}
+}
+
+func TestPausingComparisonShape(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	p := r.PausingComparison()
+	last := len(p.Densities) - 1
+	if p.Norm[core.KindREFab][last] != 1.0 {
+		t.Fatalf("REFab must normalize to 1")
+	}
+	if p.Norm[core.KindPause][last] <= 1.0 {
+		t.Errorf("pausing should beat REFab at 32Gb, got %.3f", p.Norm[core.KindPause][last])
+	}
+	if p.Norm[core.KindDSARP][last] <= p.Norm[core.KindPause][last] {
+		t.Errorf("DSARP (%.3f) should beat pausing (%.3f)",
+			p.Norm[core.KindDSARP][last], p.Norm[core.KindPause][last])
+	}
+}

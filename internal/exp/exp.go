@@ -1,0 +1,205 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§3 and §6) plus the DESIGN.md ablations. Each experiment is a method on
+// Runner; results of individual simulations are cached and shared across
+// experiments so e.g. Fig. 12, Fig. 13 and Table 2 reuse the same runs.
+//
+// Scale is controlled by Options: the defaults are laptop-scale (see
+// DESIGN.md substitution 2); Paper() restores the paper's 100-workload
+// setup with long measurement windows.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"dsarp/internal/core"
+	"dsarp/internal/metrics"
+	"dsarp/internal/sched"
+	"dsarp/internal/sim"
+	"dsarp/internal/timing"
+	"dsarp/internal/trace"
+	"dsarp/internal/workload"
+)
+
+// Options set the experiment scale and common system parameters.
+type Options struct {
+	PerCategory int // workloads per intensity category (paper: 20)
+	Sensitivity int // intensive workloads for §6.2-6.4 (paper: 16)
+	Cores       int
+	Warmup      int64 // DRAM cycles
+	Measure     int64 // DRAM cycles
+	Seed        int64
+	Densities   []timing.Density
+	// Progress, if non-nil, is called after each completed simulation.
+	Progress func(done, total int, label string)
+}
+
+// Defaults returns a laptop-scale configuration: 10 workloads (2 per
+// category), short measurement windows. Experiment shapes are stable at
+// this scale; absolute percentages tighten with Paper().
+func Defaults() Options {
+	return Options{
+		PerCategory: 2,
+		Sensitivity: 3,
+		Cores:       8,
+		Warmup:      30_000,
+		Measure:     120_000,
+		Seed:        42,
+		Densities:   []timing.Density{timing.Gb8, timing.Gb16, timing.Gb32},
+	}
+}
+
+// Paper returns the paper-scale configuration: 100 workloads, 16
+// sensitivity mixes, and a measurement window covering thousands of refresh
+// intervals. Expect hours of runtime on one CPU.
+func Paper() Options {
+	o := Defaults()
+	o.PerCategory = 20
+	o.Sensitivity = 16
+	o.Warmup = 200_000
+	o.Measure = 2_000_000
+	return o
+}
+
+// Runner executes and caches simulations.
+type Runner struct {
+	opts       Options
+	mixes      []workload.Workload
+	sensitive  []workload.Workload
+	mu         sync.Mutex
+	cache      map[runKey]sim.Result
+	alone      map[string]float64 // benchmark name -> alone IPC
+	done       int
+	totalGuess int
+}
+
+type runKey struct {
+	workload  string
+	mech      core.Kind
+	density   timing.Density
+	retention timing.Retention
+	variant   string // distinguishes AdjustTiming / geometry / policy variants
+}
+
+// NewRunner builds a Runner; workload mixes are derived deterministically
+// from the options' seed.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		opts:      opts,
+		mixes:     workload.Mixes(opts.PerCategory, opts.Cores, opts.Seed),
+		sensitive: workload.IntensiveMixes(opts.Sensitivity, opts.Cores, opts.Seed+1),
+		cache:     map[runKey]sim.Result{},
+		alone:     map[string]float64{},
+	}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Mixes returns the main 5-category workload set.
+func (r *Runner) Mixes() []workload.Workload { return r.mixes }
+
+// SensitivityMixes returns the all-intensive workloads of §6.2-6.4.
+func (r *Runner) SensitivityMixes() []workload.Workload { return r.sensitive }
+
+// baseConfig assembles the default simulation config for a workload.
+func (r *Runner) baseConfig(wl workload.Workload, k core.Kind, d timing.Density) sim.Config {
+	return sim.Config{
+		Workload:  wl,
+		Mechanism: k,
+		Density:   d,
+		Seed:      r.opts.Seed,
+		Warmup:    r.opts.Warmup,
+		Measure:   r.opts.Measure,
+	}
+}
+
+// run executes (or recalls) one simulation. variant tags non-default
+// configurations; mod applies them.
+func (r *Runner) run(wl workload.Workload, k core.Kind, d timing.Density, variant string, mod func(*sim.Config)) sim.Result {
+	key := runKey{workload: wl.Name, mech: k, density: d, variant: variant}
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	cfg := r.baseConfig(wl, k, d)
+	if mod != nil {
+		mod(&cfg)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s/%v/%v/%s: %v", wl.Name, k, d, variant, err))
+	}
+
+	r.mu.Lock()
+	r.cache[key] = res
+	r.done++
+	done := r.done
+	r.mu.Unlock()
+	if r.opts.Progress != nil {
+		r.opts.Progress(done, r.totalGuess, fmt.Sprintf("%s %v %v %s", wl.Name, k, d, variant))
+	}
+	return res
+}
+
+// aloneIPC returns a benchmark's alone-run IPC: a single-core run on the
+// full memory system with refresh disabled. Refresh-free alone IPCs make
+// weighted-speedup ratios across mechanisms exact (the normalization
+// constant cancels).
+func (r *Runner) aloneIPC(prof trace.Profile) float64 {
+	r.mu.Lock()
+	if ipc, ok := r.alone[prof.Name]; ok {
+		r.mu.Unlock()
+		return ipc
+	}
+	r.mu.Unlock()
+
+	wl := workload.Workload{Name: "alone." + prof.Name, Benchmarks: []trace.Profile{prof}}
+	cfg := r.baseConfig(wl, core.KindNoRef, timing.Gb8)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: alone run %s: %v", prof.Name, err))
+	}
+	ipc := res.IPC[0]
+	r.mu.Lock()
+	r.alone[prof.Name] = ipc
+	r.mu.Unlock()
+	return ipc
+}
+
+// aloneIPCs collects alone IPCs for every slot of a workload.
+func (r *Runner) aloneIPCs(wl workload.Workload) []float64 {
+	out := make([]float64, len(wl.Benchmarks))
+	for i, b := range wl.Benchmarks {
+		out[i] = r.aloneIPC(b)
+	}
+	return out
+}
+
+// WS returns the weighted speedup of a mechanism on a workload.
+func (r *Runner) WS(wl workload.Workload, k core.Kind, d timing.Density, variant string, mod func(*sim.Config)) float64 {
+	res := r.run(wl, k, d, variant, mod)
+	return metrics.WeightedSpeedup(res.IPC, r.aloneIPCs(wl))
+}
+
+// wsSeries computes WS for every workload in ws.
+func (r *Runner) wsSeries(ws []workload.Workload, k core.Kind, d timing.Density, variant string, mod func(*sim.Config)) []float64 {
+	out := make([]float64, len(ws))
+	for i, wl := range ws {
+		out[i] = r.WS(wl, k, d, variant, mod)
+	}
+	return out
+}
+
+// policyVariant builds a sim.Config modifier that swaps in a custom DARP
+// configuration (ablations).
+func darpVariant(opts core.DARPOptions) func(*sim.Config) {
+	return func(c *sim.Config) {
+		c.Policy = func(v sched.View, seed int64) sched.RefreshPolicy {
+			return core.NewDARP(v, opts, seed)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsarp/internal/core"
+	"dsarp/internal/stats"
+	"dsarp/internal/timing"
+	"dsarp/internal/workload"
+)
+
+// --- Fig. 5: refresh latency trend ---
+
+// Fig5Result is the tRFCab scaling trend (paper Fig. 5).
+type Fig5Result struct{ Points []timing.TrendPoint }
+
+// Fig5 regenerates the refresh latency trend: two linear projections of
+// tRFCab versus chip density.
+func (r *Runner) Fig5() Fig5Result { return Fig5Result{Points: timing.TRFCTrend()} }
+
+func (f Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 — tRFCab (ns) vs density:\n%8s %12s %12s\n", "Gb", "Projection1", "Projection2")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%8.0f %12.1f %12.1f\n", p.DensityGb, p.Projection1, p.Projection2)
+	}
+	return b.String()
+}
+
+// --- Fig. 6 / Fig. 7: performance loss due to refresh ---
+
+// LossRow is one density's performance losses versus the no-refresh ideal.
+type LossRow struct {
+	Density    timing.Density
+	ByCategory map[int]float64 // category -> loss %
+	Overall    float64         // gmean loss % across all workloads
+}
+
+// Fig6Result is the REFab performance degradation breakdown (paper Fig. 6).
+type Fig6Result struct {
+	Categories []int
+	Rows       []LossRow
+}
+
+// Fig6 measures the performance loss of all-bank refresh against an ideal
+// refresh-free system, per intensity category and density.
+func (r *Runner) Fig6() Fig6Result {
+	out := Fig6Result{Categories: workload.Categories()}
+	for _, d := range r.opts.Densities {
+		row := LossRow{Density: d, ByCategory: map[int]float64{}}
+		var all []float64
+		for _, cat := range out.Categories {
+			var ratios []float64
+			for _, wl := range r.mixes {
+				if wl.Category != cat {
+					continue
+				}
+				ab := r.WS(wl, core.KindREFab, d, "", nil)
+				ideal := r.WS(wl, core.KindNoRef, d, "", nil)
+				ratios = append(ratios, ab/ideal)
+			}
+			row.ByCategory[cat] = (1 - stats.Gmean(ratios)) * 100
+			all = append(all, ratios...)
+		}
+		row.Overall = (1 - stats.Gmean(all)) * 100
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func (f Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — performance loss due to REFab vs ideal (%%):\n%8s", "density")
+	for _, c := range f.Categories {
+		fmt.Fprintf(&b, " %6d%%", c)
+	}
+	fmt.Fprintf(&b, " %7s\n", "gmean")
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%8s", row.Density)
+		for _, c := range f.Categories {
+			fmt.Fprintf(&b, " %7.1f", row.ByCategory[c])
+		}
+		fmt.Fprintf(&b, " %7.1f\n", row.Overall)
+	}
+	return b.String()
+}
+
+// Fig7Result compares REFab and REFpb losses (paper Fig. 7).
+type Fig7Result struct {
+	Densities []timing.Density
+	LossAB    []float64
+	LossPB    []float64
+}
+
+// Fig7 measures average performance loss of REFab and REFpb vs the ideal.
+func (r *Runner) Fig7() Fig7Result {
+	out := Fig7Result{Densities: r.opts.Densities}
+	for _, d := range r.opts.Densities {
+		var ab, pb []float64
+		for _, wl := range r.mixes {
+			ideal := r.WS(wl, core.KindNoRef, d, "", nil)
+			ab = append(ab, r.WS(wl, core.KindREFab, d, "", nil)/ideal)
+			pb = append(pb, r.WS(wl, core.KindREFpb, d, "", nil)/ideal)
+		}
+		out.LossAB = append(out.LossAB, (1-stats.Gmean(ab))*100)
+		out.LossPB = append(out.LossPB, (1-stats.Gmean(pb))*100)
+	}
+	return out
+}
+
+func (f Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — performance loss vs ideal (%%):\n%8s %8s %8s\n", "density", "REFab", "REFpb")
+	for i, d := range f.Densities {
+		fmt.Fprintf(&b, "%8s %8.1f %8.1f\n", d, f.LossAB[i], f.LossPB[i])
+	}
+	return b.String()
+}
+
+// --- Fig. 12: sorted per-workload improvement curves ---
+
+// Fig12Mechanisms are the mechanisms plotted in the paper's Fig. 12.
+func Fig12Mechanisms() []core.Kind {
+	return []core.Kind{core.KindREFpb, core.KindDARP, core.KindSARPpb, core.KindDSARP}
+}
+
+// Fig12Curve is one workload's normalized WS under each mechanism.
+type Fig12Curve struct {
+	Workload string
+	Norm     map[core.Kind]float64 // WS / WS(REFab)
+}
+
+// Fig12Result is one density's sorted curves.
+type Fig12Result struct {
+	Density timing.Density
+	Curves  []Fig12Curve // sorted by DARP improvement, as in the paper
+}
+
+// Fig12 computes per-workload WS normalized to REFab for REFpb, DARP,
+// SARPpb and DSARP at one density, sorted by DARP improvement.
+func (r *Runner) Fig12(d timing.Density) Fig12Result {
+	out := Fig12Result{Density: d}
+	for _, wl := range r.mixes {
+		ab := r.WS(wl, core.KindREFab, d, "", nil)
+		c := Fig12Curve{Workload: wl.Name, Norm: map[core.Kind]float64{}}
+		for _, k := range Fig12Mechanisms() {
+			c.Norm[k] = r.WS(wl, k, d, "", nil) / ab
+		}
+		out.Curves = append(out.Curves, c)
+	}
+	sort.Slice(out.Curves, func(i, j int) bool {
+		return out.Curves[i].Norm[core.KindDARP] < out.Curves[j].Norm[core.KindDARP]
+	})
+	return out
+}
+
+func (f Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 12 (%s) — WS normalized to REFab, sorted by DARP:\n%-16s", f.Density, "workload")
+	for _, k := range Fig12Mechanisms() {
+		fmt.Fprintf(&b, " %8s", k)
+	}
+	b.WriteByte('\n')
+	for _, c := range f.Curves {
+		fmt.Fprintf(&b, "%-16s", c.Workload)
+		for _, k := range Fig12Mechanisms() {
+			fmt.Fprintf(&b, " %8.3f", c.Norm[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// --- Fig. 13: average improvement of all mechanisms ---
+
+// Fig13Mechanisms are the bars of the paper's Fig. 13.
+func Fig13Mechanisms() []core.Kind {
+	return []core.Kind{core.KindREFpb, core.KindElastic, core.KindDARP,
+		core.KindSARPab, core.KindSARPpb, core.KindDSARP, core.KindNoRef}
+}
+
+// Fig13Result is the average WS improvement over REFab per mechanism.
+type Fig13Result struct {
+	Densities []timing.Density
+	WSab      []float64               // absolute REFab WS per density
+	Improve   map[core.Kind][]float64 // % over REFab, indexed by density
+}
+
+// Fig13 computes the gmean WS improvement of every mechanism over REFab.
+func (r *Runner) Fig13() Fig13Result {
+	out := Fig13Result{Densities: r.opts.Densities, Improve: map[core.Kind][]float64{}}
+	for _, d := range r.opts.Densities {
+		ab := r.wsSeries(r.mixes, core.KindREFab, d, "", nil)
+		out.WSab = append(out.WSab, stats.Mean(ab))
+		for _, k := range Fig13Mechanisms() {
+			ws := r.wsSeries(r.mixes, k, d, "", nil)
+			imp := stats.PctImprovement(stats.Gmean(stats.Ratios(ws, ab)))
+			out.Improve[k] = append(out.Improve[k], imp)
+		}
+	}
+	return out
+}
+
+func (f Fig13Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 13 — WS improvement over REFab (%%):\n%-9s", "mech")
+	for _, d := range f.Densities {
+		fmt.Fprintf(&b, " %7s", d)
+	}
+	b.WriteByte('\n')
+	for _, k := range Fig13Mechanisms() {
+		fmt.Fprintf(&b, "%-9s", k)
+		for i := range f.Densities {
+			fmt.Fprintf(&b, " %7.1f", f.Improve[k][i])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(REFab absolute WS per density:")
+	for i, d := range f.Densities {
+		fmt.Fprintf(&b, " %s=%.2f", d, f.WSab[i])
+	}
+	fmt.Fprintf(&b, ")\n")
+	return b.String()
+}
+
+// --- Fig. 14: energy per access ---
+
+// Fig14Mechanisms are the bars of the paper's Fig. 14.
+func Fig14Mechanisms() []core.Kind {
+	return []core.Kind{core.KindREFab, core.KindREFpb, core.KindElastic, core.KindDARP,
+		core.KindSARPab, core.KindSARPpb, core.KindDSARP, core.KindNoRef}
+}
+
+// Fig14Result is energy per access by mechanism and density.
+type Fig14Result struct {
+	Densities      []timing.Density
+	EPA            map[core.Kind][]float64 // nJ per access
+	DSARPReduction []float64               // % vs REFab, the paper's callout
+}
+
+// Fig14 computes mean DRAM energy per access for every mechanism.
+func (r *Runner) Fig14() Fig14Result {
+	out := Fig14Result{Densities: r.opts.Densities, EPA: map[core.Kind][]float64{}}
+	for di, d := range r.opts.Densities {
+		for _, k := range Fig14Mechanisms() {
+			var vals []float64
+			for _, wl := range r.mixes {
+				vals = append(vals, r.run(wl, k, d, "", nil).EnergyPerAccess())
+			}
+			out.EPA[k] = append(out.EPA[k], stats.Mean(vals))
+		}
+		red := (1 - out.EPA[core.KindDSARP][di]/out.EPA[core.KindREFab][di]) * 100
+		out.DSARPReduction = append(out.DSARPReduction, red)
+	}
+	return out
+}
+
+func (f Fig14Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 14 — energy per access (nJ):\n%-9s", "mech")
+	for _, d := range f.Densities {
+		fmt.Fprintf(&b, " %7s", d)
+	}
+	b.WriteByte('\n')
+	for _, k := range Fig14Mechanisms() {
+		fmt.Fprintf(&b, "%-9s", k)
+		for i := range f.Densities {
+			fmt.Fprintf(&b, " %7.2f", f.EPA[k][i])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "DSARP reduction vs REFab (%%):")
+	for i, d := range f.Densities {
+		fmt.Fprintf(&b, " %s=%.1f", d, f.DSARPReduction[i])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// --- Fig. 15: DSARP improvement by memory intensity ---
+
+// Fig15Result is DSARP's WS gain by intensity category.
+type Fig15Result struct {
+	Categories []int
+	Densities  []timing.Density
+	OverAB     map[int][]float64 // category -> per-density % over REFab
+	OverPB     map[int][]float64
+}
+
+// Fig15 computes DSARP's improvement over both baselines per category.
+func (r *Runner) Fig15() Fig15Result {
+	out := Fig15Result{
+		Categories: workload.Categories(),
+		Densities:  r.opts.Densities,
+		OverAB:     map[int][]float64{},
+		OverPB:     map[int][]float64{},
+	}
+	for _, d := range r.opts.Densities {
+		for _, cat := range out.Categories {
+			var ab, pb []float64
+			for _, wl := range r.mixes {
+				if wl.Category != cat {
+					continue
+				}
+				ds := r.WS(wl, core.KindDSARP, d, "", nil)
+				ab = append(ab, ds/r.WS(wl, core.KindREFab, d, "", nil))
+				pb = append(pb, ds/r.WS(wl, core.KindREFpb, d, "", nil))
+			}
+			out.OverAB[cat] = append(out.OverAB[cat], stats.PctImprovement(stats.Gmean(ab)))
+			out.OverPB[cat] = append(out.OverPB[cat], stats.PctImprovement(stats.Gmean(pb)))
+		}
+	}
+	return out
+}
+
+func (f Fig15Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 15 — DSARP WS improvement by intensity (%%):\n")
+	for _, base := range []string{"REFab", "REFpb"} {
+		fmt.Fprintf(&b, "vs %s:\n%10s", base, "category")
+		for _, d := range f.Densities {
+			fmt.Fprintf(&b, " %7s", d)
+		}
+		b.WriteByte('\n')
+		for _, c := range f.Categories {
+			fmt.Fprintf(&b, "%9d%%", c)
+			vals := f.OverAB[c]
+			if base == "REFpb" {
+				vals = f.OverPB[c]
+			}
+			for i := range f.Densities {
+				fmt.Fprintf(&b, " %7.1f", vals[i])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// --- Fig. 16: DDR4 FGR and adaptive refresh ---
+
+// Fig16Mechanisms are the bars of the paper's Fig. 16.
+func Fig16Mechanisms() []core.Kind {
+	return []core.Kind{core.KindREFab, core.KindFGR2x, core.KindFGR4x, core.KindAR, core.KindDSARP}
+}
+
+// Fig16Result is WS normalized to REFab.
+type Fig16Result struct {
+	Densities []timing.Density
+	Norm      map[core.Kind][]float64
+}
+
+// Fig16 compares fine granularity refresh and adaptive refresh with DSARP.
+func (r *Runner) Fig16() Fig16Result {
+	out := Fig16Result{Densities: r.opts.Densities, Norm: map[core.Kind][]float64{}}
+	for _, d := range r.opts.Densities {
+		ab := r.wsSeries(r.mixes, core.KindREFab, d, "", nil)
+		for _, k := range Fig16Mechanisms() {
+			ws := r.wsSeries(r.mixes, k, d, "", nil)
+			out.Norm[k] = append(out.Norm[k], stats.Gmean(stats.Ratios(ws, ab)))
+		}
+	}
+	return out
+}
+
+func (f Fig16Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 16 — WS normalized to REFab:\n%-9s", "mech")
+	for _, d := range f.Densities {
+		fmt.Fprintf(&b, " %7s", d)
+	}
+	b.WriteByte('\n')
+	for _, k := range Fig16Mechanisms() {
+		fmt.Fprintf(&b, "%-9s", k)
+		for i := range f.Densities {
+			fmt.Fprintf(&b, " %7.3f", f.Norm[k][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+// Package metrics implements the multiprogrammed performance metrics of the
+// paper's evaluation (§5, §6.1.5): weighted speedup, harmonic speedup, and
+// maximum slowdown, all defined against each benchmark's alone-run IPC.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightedSpeedup is WS = sum_i IPC_shared,i / IPC_alone,i [6, 39].
+func WeightedSpeedup(shared, alone []float64) float64 {
+	mustMatch(shared, alone)
+	var ws float64
+	for i := range shared {
+		if alone[i] > 0 {
+			ws += shared[i] / alone[i]
+		}
+	}
+	return ws
+}
+
+// HarmonicSpeedup is HS = n / sum_i (IPC_alone,i / IPC_shared,i) [26].
+func HarmonicSpeedup(shared, alone []float64) float64 {
+	mustMatch(shared, alone)
+	var sum float64
+	for i := range shared {
+		if shared[i] <= 0 {
+			return 0
+		}
+		sum += alone[i] / shared[i]
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(len(shared)) / sum
+}
+
+// MaxSlowdown is max_i IPC_alone,i / IPC_shared,i, the unfairness metric of
+// [5, 16, 17].
+func MaxSlowdown(shared, alone []float64) float64 {
+	mustMatch(shared, alone)
+	var worst float64
+	for i := range shared {
+		if shared[i] <= 0 {
+			return math.Inf(1)
+		}
+		if s := alone[i] / shared[i]; s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+func mustMatch(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: mismatched lengths %d vs %d", len(a), len(b)))
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSpeedup(t *testing.T) {
+	shared := []float64{0.5, 1.0}
+	alone := []float64{1.0, 2.0}
+	if got := WeightedSpeedup(shared, alone); got != 1.0 {
+		t.Errorf("WS = %v, want 1.0", got)
+	}
+}
+
+func TestHarmonicSpeedup(t *testing.T) {
+	shared := []float64{0.5, 1.0}
+	alone := []float64{1.0, 1.0}
+	// HS = 2 / (1/0.5 + 1/1.0) = 2/3.
+	if got := HarmonicSpeedup(shared, alone); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("HS = %v, want 2/3", got)
+	}
+}
+
+func TestMaxSlowdown(t *testing.T) {
+	shared := []float64{0.5, 0.8}
+	alone := []float64{1.0, 1.0}
+	if got := MaxSlowdown(shared, alone); got != 2.0 {
+		t.Errorf("MaxSlowdown = %v, want 2.0", got)
+	}
+}
+
+func TestPerfectSharingProperties(t *testing.T) {
+	// If shared == alone, WS = n, HS = 1, MaxSlowdown = 1.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ipc := make([]float64, len(raw))
+		for i, v := range raw {
+			ipc[i] = float64(v)/64 + 0.1
+		}
+		n := float64(len(ipc))
+		return math.Abs(WeightedSpeedup(ipc, ipc)-n) < 1e-9 &&
+			math.Abs(HarmonicSpeedup(ipc, ipc)-1) < 1e-9 &&
+			math.Abs(MaxSlowdown(ipc, ipc)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotonicityProperty(t *testing.T) {
+	// Improving any core's shared IPC must not decrease WS or HS.
+	f := func(raw []uint8, idx uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		shared := make([]float64, len(raw))
+		alone := make([]float64, len(raw))
+		for i, v := range raw {
+			shared[i] = float64(v)/128 + 0.05
+			alone[i] = 1.0
+		}
+		better := append([]float64(nil), shared...)
+		better[int(idx)%len(better)] *= 1.5
+		return WeightedSpeedup(better, alone) >= WeightedSpeedup(shared, alone) &&
+			HarmonicSpeedup(better, alone) >= HarmonicSpeedup(shared, alone)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSharedIPC(t *testing.T) {
+	if got := HarmonicSpeedup([]float64{0}, []float64{1}); got != 0 {
+		t.Errorf("HS with stalled core = %v, want 0", got)
+	}
+	if got := MaxSlowdown([]float64{0}, []float64{1}); !math.IsInf(got, 1) {
+		t.Errorf("MaxSlowdown with stalled core = %v, want +Inf", got)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths accepted")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,86 @@
+package power
+
+import (
+	"testing"
+
+	"dsarp/internal/dram"
+	"dsarp/internal/timing"
+)
+
+func tp(d timing.Density) timing.Params {
+	return timing.DDR3(timing.Config{Density: d, Mode: timing.RefPB})
+}
+
+func TestMoreCommandsMoreEnergy(t *testing.T) {
+	p := Default()
+	small := p.Compute(dram.Stats{Acts: 10, Reads: 10}, tp(timing.Gb8), 1000, 2)
+	big := p.Compute(dram.Stats{Acts: 20, Reads: 20}, tp(timing.Gb8), 1000, 2)
+	if big.Total() <= small.Total() {
+		t.Errorf("energy not monotone in work: %v vs %v", big.Total(), small.Total())
+	}
+	if big.Background != small.Background {
+		t.Error("background energy should depend only on elapsed time")
+	}
+}
+
+func TestRefreshEnergyScalesWithDensity(t *testing.T) {
+	p := Default()
+	st := dram.Stats{RefABs: 100}
+	e8 := p.Compute(st, tp(timing.Gb8), 1000, 2).Refresh
+	e32 := p.Compute(st, tp(timing.Gb32), 1000, 2).Refresh
+	// tRFCab grows 350 -> 890 ns: refresh energy grows proportionally.
+	if e32 <= e8*2 {
+		t.Errorf("32Gb refresh energy %v should be >2x 8Gb %v", e32, e8)
+	}
+}
+
+func TestPerBankRefreshCheaperPerOp(t *testing.T) {
+	// A REFpb draws 8x less current for tRFCab/2.3 duration: one op must
+	// cost far less than a REFab op (paper §4.3.3).
+	p := Default()
+	ab := p.Compute(dram.Stats{RefABs: 1}, tp(timing.Gb32), 1, 1).Refresh
+	pb := p.Compute(dram.Stats{RefPBs: 1}, tp(timing.Gb32), 1, 1).Refresh
+	if pb >= ab/8 {
+		t.Errorf("REFpb op energy %v vs REFab %v: want < 1/8", pb, ab)
+	}
+	// But a full rotation (8 REFpb vs 1 REFab) is in the same ballpark.
+	rot := p.Compute(dram.Stats{RefPBs: 8}, tp(timing.Gb32), 1, 1).Refresh
+	if rot > ab {
+		t.Errorf("8 REFpb (%v) should not exceed one REFab (%v)", rot, ab)
+	}
+}
+
+func TestPerAccessAmortization(t *testing.T) {
+	// Same command mix over the same window with more accesses served ->
+	// lower energy per access (the effect behind the paper's Fig. 14).
+	p := Default()
+	slow := p.Compute(dram.Stats{Acts: 100, Reads: 100}, tp(timing.Gb8), 100_000, 4)
+	fast := p.Compute(dram.Stats{Acts: 200, Reads: 200}, tp(timing.Gb8), 100_000, 4)
+	if fast.PerAccess(200) >= slow.PerAccess(100) {
+		t.Errorf("per-access energy should drop with throughput: %v vs %v",
+			fast.PerAccess(200), slow.PerAccess(100))
+	}
+}
+
+func TestPerAccessZeroSafe(t *testing.T) {
+	var b Breakdown
+	if b.PerAccess(0) != 0 {
+		t.Error("PerAccess(0) should be 0")
+	}
+}
+
+func TestBreakdownComponentsNonNegative(t *testing.T) {
+	p := Default()
+	b := p.Compute(dram.Stats{Acts: 5, Reads: 3, Writes: 2, RefABs: 1, RefPBs: 4}, tp(timing.Gb16), 5000, 4)
+	for name, v := range map[string]float64{
+		"ActPre": b.ActPre, "Read": b.Read, "Write": b.Write,
+		"Refresh": b.Refresh, "Background": b.Background,
+	} {
+		if v < 0 {
+			t.Errorf("%s energy negative: %v", name, v)
+		}
+	}
+	if b.Total() <= 0 {
+		t.Error("total energy should be positive")
+	}
+}

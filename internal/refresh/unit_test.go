@@ -1,0 +1,162 @@
+package refresh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinOrder(t *testing.T) {
+	u := NewUnit(8, 64, 8, 2)
+	for i := 0; i < 24; i++ {
+		want := i % 8
+		if got := u.PeekBank(); got != want {
+			t.Fatalf("op %d: PeekBank = %d, want %d", i, got, want)
+		}
+		op := u.RefreshBank(u.PeekBank())
+		if op.Bank != want {
+			t.Fatalf("op %d: refreshed bank %d, want %d", i, op.Bank, want)
+		}
+	}
+}
+
+func TestRowCounterAdvancesAndWraps(t *testing.T) {
+	u := NewUnit(1, 8, 2, 3)
+	wantStarts := []int{0, 3, 6, 0, 3} // 6+3 clips to 2 rows then wraps
+	wantRows := []int{3, 3, 2, 3, 3}
+	for i := range wantStarts {
+		op := u.RefreshBank(0)
+		if op.StartRow != wantStarts[i] || op.Rows != wantRows[i] {
+			t.Fatalf("op %d: got start=%d rows=%d, want start=%d rows=%d",
+				i, op.StartRow, op.Rows, wantStarts[i], wantRows[i])
+		}
+	}
+}
+
+func TestPerBankCountersIndependent(t *testing.T) {
+	// DARP refreshes banks out of order; each bank's row counter must
+	// advance independently (paper §4.2.3, modification 5).
+	u := NewUnit(4, 16, 4, 4)
+	u.RefreshBank(2)
+	u.RefreshBank(2)
+	u.RefreshBank(0)
+	if got := u.PeekRow(2); got != 8 {
+		t.Errorf("bank 2 next row = %d, want 8", got)
+	}
+	if got := u.PeekRow(0); got != 4 {
+		t.Errorf("bank 0 next row = %d, want 4", got)
+	}
+	if got := u.PeekRow(1); got != 0 {
+		t.Errorf("bank 1 next row = %d, want 0", got)
+	}
+}
+
+func TestSubarrayTracking(t *testing.T) {
+	// 16 rows, 4 subarrays -> 4 rows per subarray; ops of 4 rows step
+	// through subarrays 0,1,2,3 in order.
+	u := NewUnit(1, 16, 4, 4)
+	for want := 0; want < 4; want++ {
+		if got := u.PeekSubarray(0); got != want {
+			t.Fatalf("PeekSubarray = %d, want %d", got, want)
+		}
+		op := u.RefreshBank(0)
+		if op.Subarray != want {
+			t.Fatalf("op subarray = %d, want %d", op.Subarray, want)
+		}
+	}
+}
+
+func TestRefreshAllAdvancesEveryBank(t *testing.T) {
+	u := NewUnit(8, 64, 8, 8)
+	ops := u.RefreshAll()
+	if len(ops) != 8 {
+		t.Fatalf("RefreshAll returned %d ops, want 8", len(ops))
+	}
+	for b := 0; b < 8; b++ {
+		if ops[b].Bank != b || ops[b].StartRow != 0 || ops[b].Rows != 8 {
+			t.Errorf("bank %d op = %+v", b, ops[b])
+		}
+		if u.PeekRow(b) != 8 {
+			t.Errorf("bank %d next row = %d, want 8", b, u.PeekRow(b))
+		}
+	}
+}
+
+func TestRefreshAllNPartialRows(t *testing.T) {
+	// Fine granularity refresh restores fewer rows per op.
+	u := NewUnit(2, 16, 2, 4)
+	ops := u.RefreshAllN(2)
+	for _, op := range ops {
+		if op.Rows != 2 {
+			t.Errorf("FGR op rows = %d, want 2", op.Rows)
+		}
+	}
+}
+
+func TestFullRotationCoversEveryRowExactlyOnce(t *testing.T) {
+	// Property: one full rotation of refresh ops touches every row of every
+	// bank exactly once — the data-integrity foundation of every policy.
+	f := func(banksSeed, rowsSeed, refSeed uint8) bool {
+		banks := int(banksSeed)%4 + 1
+		subs := []int{1, 2, 4}[int(rowsSeed)%3]
+		rows := subs * (int(rowsSeed)%8 + 1) * 2
+		rpr := int(refSeed)%4 + 1
+
+		u := NewUnit(banks, rows, subs, rpr)
+		counts := make([][]int, banks)
+		for b := range counts {
+			counts[b] = make([]int, rows)
+		}
+		opsPerRotation := rows / rpr
+		if rows%rpr != 0 {
+			opsPerRotation++
+		}
+		for i := 0; i < opsPerRotation; i++ {
+			for b := 0; b < banks; b++ {
+				op := u.RefreshBankN(b, rpr)
+				for row := op.StartRow; row < op.StartRow+op.Rows; row++ {
+					counts[b][row]++
+				}
+			}
+		}
+		for b := range counts {
+			for _, c := range counts[b] {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIssuedCounting(t *testing.T) {
+	u := NewUnit(2, 8, 2, 1)
+	u.RefreshBank(0)
+	u.RefreshBank(0)
+	u.RefreshBank(1)
+	if u.Issued(0) != 2 || u.Issued(1) != 1 {
+		t.Errorf("issued = (%d, %d), want (2, 1)", u.Issued(0), u.Issued(1))
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewUnit accepted zero banks")
+		}
+	}()
+	NewUnit(0, 8, 2, 1)
+}
+
+func TestBadBankPanics(t *testing.T) {
+	u := NewUnit(2, 8, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("RefreshBank accepted out-of-range bank")
+		}
+	}()
+	u.RefreshBank(2)
+}

@@ -1,0 +1,71 @@
+package sched
+
+import "dsarp/internal/dram"
+
+// Mapper translates flat physical line addresses into channel + DRAM
+// coordinates. The interleaving is line-granular across channels, then
+// column, bank, rank, row:
+//
+//	channel = line % channels
+//	col     = (line / channels) % columns
+//	bank    = (line / channels / columns) % banks
+//	rank    = (line / channels / columns / banks) % ranks
+//	row     = permute(rest % rows)
+//
+// Consecutive lines alternate channels and then fill a row, giving streaming
+// workloads both channel parallelism and row-buffer locality; distinct rows
+// spread across banks for bank-level parallelism.
+//
+// The row index is bit-reversed (when the row count is a power of two), the
+// usual row-scrambling controllers apply: without it a workload with a
+// small footprint occupies a few *consecutive* rows, which all fall in one
+// subarray — making SARP's subarray-conflict probability degenerate instead
+// of scaling as 1/subarrays (paper Table 5).
+type Mapper struct {
+	Channels int
+	Geom     dram.Geometry
+}
+
+// permuteRow bit-reverses raw within the row index width. It is an
+// involution: permuteRow(permuteRow(x)) == x. Non-power-of-two row counts
+// (not used by any shipped geometry) fall back to the identity.
+func (m Mapper) permuteRow(raw uint64) uint64 {
+	rows := uint64(m.Geom.RowsPerBank)
+	if rows&(rows-1) != 0 {
+		return raw
+	}
+	var out uint64
+	for bits := rows; bits > 1; bits >>= 1 {
+		out = out<<1 | raw&1
+		raw >>= 1
+	}
+	return out
+}
+
+// LineBytes is the cache line (and DRAM column) size in bytes.
+const LineBytes = 64
+
+// Map converts a byte address to its channel index and DRAM address.
+func (m Mapper) Map(byteAddr uint64) (channel int, a dram.Addr) {
+	line := byteAddr / LineBytes
+	channel = int(line % uint64(m.Channels))
+	line /= uint64(m.Channels)
+	a.Col = int(line % uint64(m.Geom.ColumnsPerRow))
+	line /= uint64(m.Geom.ColumnsPerRow)
+	a.Bank = int(line % uint64(m.Geom.Banks))
+	line /= uint64(m.Geom.Banks)
+	a.Rank = int(line % uint64(m.Geom.Ranks))
+	line /= uint64(m.Geom.Ranks)
+	a.Row = int(m.permuteRow(line % uint64(m.Geom.RowsPerBank)))
+	return channel, a
+}
+
+// Unmap reverses Map (used in tests to verify the mapping is a bijection).
+func (m Mapper) Unmap(channel int, a dram.Addr) uint64 {
+	line := m.permuteRow(uint64(a.Row))
+	line = line*uint64(m.Geom.Ranks) + uint64(a.Rank)
+	line = line*uint64(m.Geom.Banks) + uint64(a.Bank)
+	line = line*uint64(m.Geom.ColumnsPerRow) + uint64(a.Col)
+	line = line*uint64(m.Channels) + uint64(channel)
+	return line * LineBytes
+}

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsarp/internal/dram"
+)
+
+func testMapper() Mapper {
+	return Mapper{Channels: 2, Geom: dram.Default()}
+}
+
+func TestMapUnmapBijectionProperty(t *testing.T) {
+	m := testMapper()
+	capacity := uint64(m.Channels) * uint64(m.Geom.Ranks) * uint64(m.Geom.Banks) *
+		uint64(m.Geom.RowsPerBank) * uint64(m.Geom.ColumnsPerRow) * LineBytes
+	f := func(raw uint64) bool {
+		addr := (raw % capacity) / LineBytes * LineBytes // line-aligned
+		ch, da := m.Map(addr)
+		return m.Unmap(ch, da) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapBoundsProperty(t *testing.T) {
+	m := testMapper()
+	f := func(raw uint64) bool {
+		ch, a := m.Map(raw)
+		return ch >= 0 && ch < m.Channels &&
+			a.Rank >= 0 && a.Rank < m.Geom.Ranks &&
+			a.Bank >= 0 && a.Bank < m.Geom.Banks &&
+			a.Row >= 0 && a.Row < m.Geom.RowsPerBank &&
+			a.Col >= 0 && a.Col < m.Geom.ColumnsPerRow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveLinesAlternateChannelsAndShareRows(t *testing.T) {
+	m := testMapper()
+	ch0, a0 := m.Map(0)
+	ch1, a1 := m.Map(LineBytes)
+	ch2, a2 := m.Map(2 * LineBytes)
+	if ch0 == ch1 {
+		t.Error("consecutive lines should alternate channels")
+	}
+	if ch0 != ch2 {
+		t.Error("stride-2 lines should share a channel")
+	}
+	if a0.Row != a2.Row || a0.Bank != a2.Bank || a0.Col+1 != a2.Col {
+		t.Errorf("same-channel neighbors should walk a row: %v then %v", a0, a2)
+	}
+	_ = a1
+}
+
+func TestRowScramblingSpreadsSubarrays(t *testing.T) {
+	// Consecutive row-sized blocks must land in different subarrays, the
+	// property SARP's Table 5 sensitivity relies on.
+	m := testMapper()
+	bytesPerRowGroup := uint64(m.Channels) * uint64(m.Geom.Ranks) * uint64(m.Geom.Banks) *
+		uint64(m.Geom.ColumnsPerRow) * LineBytes
+	subs := map[int]bool{}
+	for i := uint64(0); i < 16; i++ {
+		_, a := m.Map(i * bytesPerRowGroup)
+		subs[m.Geom.SubarrayOf(a.Row)] = true
+	}
+	if len(subs) < m.Geom.SubarraysPerBank {
+		t.Errorf("16 consecutive row groups cover only %d subarrays, want %d",
+			len(subs), m.Geom.SubarraysPerBank)
+	}
+}
+
+func TestPermuteRowInvolutionProperty(t *testing.T) {
+	m := testMapper()
+	f := func(raw uint32) bool {
+		r := uint64(raw) % uint64(m.Geom.RowsPerBank)
+		return m.permuteRow(m.permuteRow(r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionAcrossBanks(t *testing.T) {
+	// A strided scan at row-group granularity should hit every bank.
+	m := testMapper()
+	stride := uint64(m.Channels) * uint64(m.Geom.ColumnsPerRow) * LineBytes
+	banks := map[int]bool{}
+	for i := uint64(0); i < uint64(m.Geom.Banks); i++ {
+		_, a := m.Map(i * stride)
+		banks[a.Bank] = true
+	}
+	if len(banks) != m.Geom.Banks {
+		t.Errorf("scan covered %d banks, want %d", len(banks), m.Geom.Banks)
+	}
+}

@@ -1,0 +1,337 @@
+package sched
+
+import (
+	"fmt"
+
+	"dsarp/internal/dram"
+	"dsarp/internal/timing"
+)
+
+// Config sets controller queue and page-policy parameters.
+type Config struct {
+	ReadQueueCap  int
+	WriteQueueCap int
+	// WriteHigh/WriteLow are the write-batching watermarks: draining starts
+	// when the write queue reaches WriteHigh and stops at WriteLow (the
+	// paper's low watermark of 32; the high watermark is not specified in
+	// the paper, we default to 3/4 of the queue).
+	WriteHigh int
+	WriteLow  int
+	// OpenRow switches to an open-row page policy (ablation D4). Default is
+	// the paper's closed-row policy: auto-precharge when no queued row hit
+	// remains.
+	OpenRow bool
+}
+
+// DefaultConfig mirrors Table 1 of the paper.
+func DefaultConfig() Config {
+	return Config{ReadQueueCap: 64, WriteQueueCap: 64, WriteHigh: 48, WriteLow: 32}
+}
+
+// Controller schedules one DRAM channel.
+type Controller struct {
+	dev    *dram.Device
+	tp     timing.Params
+	geom   dram.Geometry
+	cfg    Config
+	policy RefreshPolicy
+
+	readQ    []*Request
+	writeQ   []*Request
+	pending  *bankPending
+	inflight []*Request // reads awaiting data return
+	wmode    bool
+
+	stats Stats
+}
+
+// NewController builds a controller over dev. policy may be nil (NoRefresh).
+func NewController(dev *dram.Device, cfg Config, policy RefreshPolicy) *Controller {
+	if cfg.ReadQueueCap <= 0 || cfg.WriteQueueCap <= 0 {
+		panic(fmt.Sprintf("sched: queue capacities must be positive: %+v", cfg))
+	}
+	if cfg.WriteLow < 0 || cfg.WriteHigh > cfg.WriteQueueCap || cfg.WriteLow >= cfg.WriteHigh {
+		panic(fmt.Sprintf("sched: invalid write watermarks: %+v", cfg))
+	}
+	if policy == nil {
+		policy = NoRefresh{}
+	}
+	g := dev.Geometry()
+	return &Controller{
+		dev:     dev,
+		tp:      dev.Timing(),
+		geom:    g,
+		cfg:     cfg,
+		policy:  policy,
+		readQ:   make([]*Request, 0, cfg.ReadQueueCap),
+		writeQ:  make([]*Request, 0, cfg.WriteQueueCap),
+		pending: newBankPending(g.Ranks, g.Banks),
+	}
+}
+
+// Policy returns the attached refresh policy.
+func (c *Controller) Policy() RefreshPolicy { return c.policy }
+
+// SetPolicy replaces the refresh policy. Policies are built over the
+// controller's View, so construction is two-phase: NewController(dev, cfg,
+// nil) then SetPolicy(core.New(kind, ctrl, seed)).
+func (c *Controller) SetPolicy(p RefreshPolicy) {
+	if p == nil {
+		p = NoRefresh{}
+	}
+	c.policy = p
+}
+
+// Stats returns accumulated controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Dev implements View.
+func (c *Controller) Dev() *dram.Device { return c.dev }
+
+// Timing implements View.
+func (c *Controller) Timing() timing.Params { return c.tp }
+
+// PendingDemand implements View.
+func (c *Controller) PendingDemand(rank, bank int) int { return c.pending.Demand(rank, bank) }
+
+// PendingReads implements View.
+func (c *Controller) PendingReads(rank, bank int) int { return c.pending.Reads(rank, bank) }
+
+// WriteMode implements View.
+func (c *Controller) WriteMode() bool { return c.wmode }
+
+// IssueCmd implements View: policies issue refresh/drain commands through it.
+func (c *Controller) IssueCmd(cmd dram.Cmd, now int64) {
+	c.dev.Issue(cmd, now)
+	if cmd.Kind.IsRefresh() {
+		c.stats.RefreshSlots++
+	}
+}
+
+// ReadQueueLen returns the current read queue occupancy.
+func (c *Controller) ReadQueueLen() int { return len(c.readQ) }
+
+// WriteQueueLen returns the current write queue occupancy.
+func (c *Controller) WriteQueueLen() int { return len(c.writeQ) }
+
+// EnqueueRead admits a read request; it returns false when the read queue is
+// full (the caller must retry — this is MSHR backpressure). A read that hits
+// a queued write is forwarded from the write queue without touching DRAM.
+func (c *Controller) EnqueueRead(req *Request, now int64) bool {
+	for _, w := range c.writeQ {
+		if w.Addr == req.Addr {
+			req.Done = now + 1
+			c.inflight = append(c.inflight, req)
+			c.stats.ForwardedReads++
+			return true
+		}
+	}
+	if len(c.readQ) >= c.cfg.ReadQueueCap {
+		c.stats.ReadQueueFullStalls++
+		return false
+	}
+	req.Arrive = now
+	c.readQ = append(c.readQ, req)
+	c.pending.add(req, 1)
+	return true
+}
+
+// EnqueueWrite admits a write request; it returns false when the write queue
+// is full. Writes to an already-queued address are merged.
+func (c *Controller) EnqueueWrite(req *Request, now int64) bool {
+	for _, w := range c.writeQ {
+		if w.Addr == req.Addr {
+			c.stats.MergedWrites++
+			return true
+		}
+	}
+	if len(c.writeQ) >= c.cfg.WriteQueueCap {
+		c.stats.WriteQueueFullStalls++
+		return false
+	}
+	req.Arrive = now
+	c.writeQ = append(c.writeQ, req)
+	c.pending.add(req, 1)
+	return true
+}
+
+// Tick advances the controller one DRAM cycle: it completes returned reads,
+// updates writeback mode, lets the refresh policy claim the command slot,
+// and otherwise issues the best demand command (FR-FCFS).
+func (c *Controller) Tick(now int64) {
+	c.completeReads(now)
+	c.updateWriteMode()
+	if c.wmode {
+		c.stats.WriteModeCycles++
+	}
+
+	cmd, req, autopre, ok := c.chooseDemand(now)
+	if c.policy.Tick(now, ok) {
+		return // policy consumed the command slot
+	}
+	if ok {
+		c.issueDemand(cmd, req, autopre, now)
+	}
+}
+
+func (c *Controller) completeReads(now int64) {
+	if len(c.inflight) == 0 {
+		return
+	}
+	kept := c.inflight[:0]
+	for _, r := range c.inflight {
+		if r.Done <= now {
+			c.stats.ReadsServed++
+			c.stats.ReadLatencySum += r.Done - r.Arrive
+			if r.OnComplete != nil {
+				r.OnComplete(now)
+			}
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	c.inflight = kept
+}
+
+func (c *Controller) updateWriteMode() {
+	if !c.wmode && len(c.writeQ) >= c.cfg.WriteHigh {
+		c.wmode = true
+		c.stats.WriteModeEntries++
+	}
+	if c.wmode && len(c.writeQ) <= c.cfg.WriteLow {
+		c.wmode = false
+	}
+}
+
+func (c *Controller) blocked(rank, bank int) bool {
+	return c.policy.RankBlocked(rank) || c.policy.BankBlocked(rank, bank)
+}
+
+// chooseDemand picks the best demand command under FR-FCFS: first-ready
+// column command to an open row (oldest first), then the oldest activation,
+// then a conflict precharge. It does not mutate state.
+func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool) {
+	q := c.readQ
+	if c.wmode || len(c.readQ) == 0 {
+		// Writeback mode, or opportunistic write drain while no reads are
+		// waiting (otherwise sub-watermark writes would sit forever).
+		q = c.writeQ
+		if !c.wmode && len(q) > 0 {
+			c.stats.OpportunisticDrain++
+		}
+	}
+	// Pass 1: row hits.
+	for _, r := range q {
+		if c.blocked(r.Addr.Rank, r.Addr.Bank) {
+			continue
+		}
+		if c.dev.OpenRow(r.Addr.Rank, r.Addr.Bank) != r.Addr.Row {
+			continue
+		}
+		autopre := !c.cfg.OpenRow && !c.hasAnotherRowHit(q, r)
+		kind := colKind(r.IsWrite, autopre)
+		cmd := dram.Cmd{Kind: kind, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Row: r.Addr.Row, Col: r.Addr.Col}
+		if c.dev.CanIssue(cmd, now) {
+			return cmd, r, autopre, true
+		}
+	}
+	// Pass 2: activations for precharged banks.
+	for _, r := range q {
+		if c.blocked(r.Addr.Rank, r.Addr.Bank) {
+			continue
+		}
+		if c.dev.OpenRow(r.Addr.Rank, r.Addr.Bank) != dram.NoRow {
+			continue
+		}
+		cmd := dram.Cmd{Kind: dram.CmdACT, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Row: r.Addr.Row}
+		if c.dev.CanIssue(cmd, now) {
+			return cmd, r, false, true
+		}
+	}
+	// Pass 3: precharge a conflicting open row nobody queued wants.
+	for _, r := range q {
+		if c.blocked(r.Addr.Rank, r.Addr.Bank) {
+			continue
+		}
+		open := c.dev.OpenRow(r.Addr.Rank, r.Addr.Bank)
+		if open == dram.NoRow || open == r.Addr.Row {
+			continue
+		}
+		if c.queuedForRow(q, r.Addr.Rank, r.Addr.Bank, open) {
+			continue // FR-FCFS: let the row hits drain first
+		}
+		cmd := dram.Cmd{Kind: dram.CmdPRE, Rank: r.Addr.Rank, Bank: r.Addr.Bank}
+		if c.dev.CanIssue(cmd, now) {
+			return cmd, nil, false, true
+		}
+	}
+	return dram.Cmd{}, nil, false, false
+}
+
+func (c *Controller) hasAnotherRowHit(q []*Request, cur *Request) bool {
+	for _, r := range q {
+		if r != cur && r.Addr.Rank == cur.Addr.Rank && r.Addr.Bank == cur.Addr.Bank && r.Addr.Row == cur.Addr.Row {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) queuedForRow(q []*Request, rank, bank, row int) bool {
+	for _, r := range q {
+		if r.Addr.Rank == rank && r.Addr.Bank == bank && r.Addr.Row == row {
+			return true
+		}
+	}
+	return false
+}
+
+func colKind(write, autopre bool) dram.CmdKind {
+	switch {
+	case write && autopre:
+		return dram.CmdWRA
+	case write:
+		return dram.CmdWR
+	case autopre:
+		return dram.CmdRDA
+	default:
+		return dram.CmdRD
+	}
+}
+
+func (c *Controller) issueDemand(cmd dram.Cmd, req *Request, autopre bool, now int64) {
+	c.dev.Issue(cmd, now)
+	c.stats.DemandSlots++
+	if !cmd.Kind.IsColumn() {
+		return // ACT/PRE keep the request queued
+	}
+	c.removeRequest(req)
+	c.pending.add(req, -1)
+	if req.IsWrite {
+		req.Done = c.dev.WriteDataAt(now)
+		c.stats.WritesServed++
+		c.stats.WriteLatencySum += req.Done - req.Arrive
+		return
+	}
+	req.Done = c.dev.ReadDataAt(now)
+	c.inflight = append(c.inflight, req)
+}
+
+func (c *Controller) removeRequest(req *Request) {
+	q := &c.readQ
+	if req.IsWrite {
+		q = &c.writeQ
+	}
+	for i, r := range *q {
+		if r == req {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+	panic("sched: request not queued")
+}
+
+// Drained reports whether all queues and in-flight reads are empty.
+func (c *Controller) Drained() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.inflight) == 0
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"dsarp/internal/dram"
+	"dsarp/internal/timing"
+)
+
+// RefreshPolicy decides when and where refresh commands are issued. The
+// controller gives the policy one chance per DRAM cycle to claim the
+// channel's command-bus slot; all the paper's mechanisms (REFab, REFpb,
+// Elastic, DARP, DSARP, FGR, AR) are implementations of this interface in
+// package core.
+type RefreshPolicy interface {
+	// Name identifies the policy in results tables.
+	Name() string
+
+	// Tick may issue at most one command through the View (a refresh, or a
+	// precharge that drains a bank ahead of a pending refresh). demandReady
+	// reports whether the controller has a demand command it could issue
+	// this cycle — the "Can issue a demand request?" decision point of the
+	// paper's Fig. 8. Tick returns true iff it consumed the command slot.
+	Tick(now int64, demandReady bool) bool
+
+	// RankBlocked reports that demand to a whole rank must be held while an
+	// all-bank refresh is pending (drain-for-refresh).
+	RankBlocked(rank int) bool
+
+	// BankBlocked reports that demand to one bank must be held while a
+	// per-bank refresh is pending on it.
+	BankBlocked(rank, bank int) bool
+}
+
+// View is the controller surface a RefreshPolicy operates through.
+type View interface {
+	// Dev is the DRAM device behind this channel.
+	Dev() *dram.Device
+	// Timing is the active timing parameter set.
+	Timing() timing.Params
+	// PendingDemand is the number of queued reads+writes for a bank.
+	PendingDemand(rank, bank int) int
+	// PendingReads is the number of queued reads for a bank.
+	PendingReads(rank, bank int) int
+	// WriteMode reports whether the controller is draining a write batch.
+	WriteMode() bool
+	// IssueCmd issues a command on behalf of the policy, consuming the
+	// cycle's command slot. The command must satisfy Dev().CanIssue.
+	IssueCmd(cmd dram.Cmd, now int64)
+}
+
+// NoRefresh is the ideal baseline: refresh is never performed.
+type NoRefresh struct{}
+
+// Name implements RefreshPolicy.
+func (NoRefresh) Name() string { return "NoREF" }
+
+// Tick implements RefreshPolicy: it never claims the slot.
+func (NoRefresh) Tick(int64, bool) bool { return false }
+
+// RankBlocked implements RefreshPolicy.
+func (NoRefresh) RankBlocked(int) bool { return false }
+
+// BankBlocked implements RefreshPolicy.
+func (NoRefresh) BankBlocked(int, int) bool { return false }

@@ -1,0 +1,68 @@
+// Package sched implements the memory controller: per-channel read/write
+// request queues, FR-FCFS scheduling with a closed-row page policy, batched
+// write draining with high/low watermarks, and the hook through which a
+// refresh policy (internal/core) claims command-bus slots.
+//
+// The configuration mirrors Table 1 of Chang et al. (HPCA 2014): 64-entry
+// read and write queues, FR-FCFS, writes drained in batches down to a low
+// watermark of 32, closed-row policy.
+package sched
+
+import (
+	"dsarp/internal/dram"
+)
+
+// Request is one memory request (an LLC miss or writeback) destined for a
+// single DRAM channel.
+type Request struct {
+	ID      int64
+	Core    int
+	IsWrite bool
+	Addr    dram.Addr
+	Arrive  int64 // cycle the request entered the controller
+	Done    int64 // cycle the last data beat transferred (reads) or the write was issued
+
+	// OnComplete, if non-nil, is invoked when a read's data returns (used by
+	// the cache/CPU to unblock the miss). Writes complete silently.
+	OnComplete func(now int64)
+}
+
+// Latency is the request's queueing+service latency in DRAM cycles.
+func (r *Request) Latency() int64 { return r.Done - r.Arrive }
+
+// bankPending tracks per-bank queued demand so refresh policies can make
+// O(1) idleness decisions (DARP monitors "bank request queues' occupancies",
+// paper §4.2.1).
+type bankPending struct {
+	banks  int
+	reads  []int
+	writes []int
+}
+
+func newBankPending(ranks, banks int) *bankPending {
+	n := ranks * banks
+	return &bankPending{banks: banks, reads: make([]int, n), writes: make([]int, n)}
+}
+
+func (p *bankPending) idx(rank, bank int) int { return rank*p.banks + bank }
+
+func (p *bankPending) add(r *Request, delta int) {
+	i := p.idx(r.Addr.Rank, r.Addr.Bank)
+	if r.IsWrite {
+		p.writes[i] += delta
+	} else {
+		p.reads[i] += delta
+	}
+}
+
+// Demand is the total queued demand (reads+writes) for a bank.
+func (p *bankPending) Demand(rank, bank int) int {
+	i := p.idx(rank, bank)
+	return p.reads[i] + p.writes[i]
+}
+
+// Reads is the queued read count for a bank.
+func (p *bankPending) Reads(rank, bank int) int { return p.reads[p.idx(rank, bank)] }
+
+// Writes is the queued write count for a bank.
+func (p *bankPending) Writes(rank, bank int) int { return p.writes[p.idx(rank, bank)] }

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"dsarp/internal/core"
+	"dsarp/internal/timing"
+	"dsarp/internal/workload"
+)
+
+// BenchmarkStep measures the raw simulator throughput (DRAM cycles per
+// second of host time) for an 8-core system under DSARP — the cost that
+// bounds how large an experiment campaign can run.
+func BenchmarkStep(b *testing.B) {
+	wl := workload.IntensiveMixes(1, 8, 1)[0]
+	s, err := NewSystem(Config{
+		Workload:  wl,
+		Mechanism: core.KindDSARP,
+		Density:   timing.Gb32,
+		Seed:      1,
+	}.WithDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkRunPerMechanism measures a short end-to-end run per mechanism.
+func BenchmarkRunPerMechanism(b *testing.B) {
+	wl := workload.IntensiveMixes(1, 4, 1)[0]
+	for _, k := range []core.Kind{core.KindNoRef, core.KindREFab, core.KindREFpb, core.KindDSARP} {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := Run(Config{
+					Workload:  wl,
+					Mechanism: k,
+					Density:   timing.Gb32,
+					Seed:      1,
+					Warmup:    5_000,
+					Measure:   20_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

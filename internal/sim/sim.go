@@ -1,0 +1,313 @@
+// Package sim assembles the full evaluated system of Chang et al. (HPCA
+// 2014, Table 1): trace-driven cores, private LLC slices, per-channel
+// memory controllers with a refresh mechanism, and the DRAM timing model —
+// and runs it for a warmup + measurement window.
+package sim
+
+import (
+	"fmt"
+
+	"dsarp/internal/cache"
+	"dsarp/internal/core"
+	"dsarp/internal/cpu"
+	"dsarp/internal/dram"
+	"dsarp/internal/power"
+	"dsarp/internal/sched"
+	"dsarp/internal/timing"
+	"dsarp/internal/trace"
+	"dsarp/internal/workload"
+)
+
+// Config describes one simulation.
+type Config struct {
+	Workload  workload.Workload
+	Mechanism core.Kind
+	Density   timing.Density
+	Retention timing.Retention
+
+	Channels         int // default 2
+	SubarraysPerBank int // default 8 (Table 5 sweeps this)
+
+	CPU   cpu.Config
+	Cache cache.Config
+	Sched sched.Config
+
+	// OpenRow switches the controller to an open-row page policy
+	// (ablation D4).
+	OpenRow bool
+
+	// AdjustTiming, if non-nil, edits the derived timing parameters before
+	// the system is built (the Table 4 tFAW/tRRD sweep).
+	AdjustTiming func(*timing.Params)
+
+	// Policy, if non-nil, overrides the scheduling policy built from
+	// Mechanism (the Mechanism still selects SARP and the timing mode).
+	// Used by the DESIGN.md ablations to run DARP variants.
+	Policy func(v sched.View, seed int64) sched.RefreshPolicy
+
+	Seed int64
+
+	// Warmup and Measure are DRAM-cycle counts. The paper runs 256M CPU
+	// cycles; see DESIGN.md substitution 2 for the scaled defaults.
+	Warmup  int64
+	Measure int64
+
+	// Check attaches the DRAM protocol checker (slower; used in tests).
+	Check bool
+}
+
+// WithDefaults fills unset fields with the paper's Table 1 configuration.
+func (c Config) WithDefaults() Config {
+	if c.Channels == 0 {
+		c.Channels = 2
+	}
+	if c.SubarraysPerBank == 0 {
+		c.SubarraysPerBank = 8
+	}
+	if c.CPU == (cpu.Config{}) {
+		c.CPU = cpu.DefaultConfig()
+	}
+	if c.Cache == (cache.Config{}) {
+		c.Cache = cache.DefaultConfig()
+	}
+	if c.Sched == (sched.Config{}) {
+		c.Sched = sched.DefaultConfig()
+	}
+	if c.Density == 0 {
+		c.Density = timing.Gb8
+	}
+	if c.Retention == 0 {
+		c.Retention = timing.Retention32ms
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 50_000
+	}
+	if c.Measure == 0 {
+		c.Measure = 200_000
+	}
+	return c
+}
+
+// Result is the outcome of one simulation's measurement window.
+type Result struct {
+	Mechanism string
+	Workload  string
+
+	IPC   []float64 // per-core IPC over the measurement window
+	MPKI  []float64 // per-core LLC misses per kilo-instruction
+	Cores []cpu.Stats
+	Cache []cache.Stats
+
+	DRAM   dram.Stats
+	Sched  sched.Stats
+	Energy power.Breakdown
+
+	MeasuredCycles int64 // DRAM cycles
+	CheckErr       error
+}
+
+// EnergyPerAccess is nJ per serviced DRAM access in the window.
+func (r Result) EnergyPerAccess() float64 { return r.Energy.PerAccess(r.DRAM.Accesses()) }
+
+// System is a fully wired simulated machine.
+type System struct {
+	cfg    Config
+	tp     timing.Params
+	geom   dram.Geometry
+	mapper sched.Mapper
+
+	devs   []*dram.Device
+	ctrls  []*sched.Controller
+	slices []*cache.Slice
+	cores  []*cpu.Core
+
+	now    int64
+	nextID int64
+}
+
+// coreBaseStride separates core footprints in physical memory (8 GB apart).
+const coreBaseStride = 1 << 33
+
+// NewSystem wires a system from a config.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.WithDefaults()
+	nCores := len(cfg.Workload.Benchmarks)
+	if nCores == 0 {
+		return nil, fmt.Errorf("sim: workload %q has no benchmarks", cfg.Workload.Name)
+	}
+
+	tp := timing.DDR3(timing.Config{
+		Density:   cfg.Density,
+		Retention: cfg.Retention,
+		Mode:      cfg.Mechanism.RefMode(),
+	})
+	if cfg.AdjustTiming != nil {
+		cfg.AdjustTiming(&tp)
+	}
+	geom := dram.Default()
+	geom.SubarraysPerBank = cfg.SubarraysPerBank
+
+	s := &System{cfg: cfg, tp: tp, geom: geom,
+		mapper: sched.Mapper{Channels: cfg.Channels, Geom: geom}}
+
+	schedCfg := cfg.Sched
+	schedCfg.OpenRow = cfg.OpenRow
+	for ch := 0; ch < cfg.Channels; ch++ {
+		dev, err := dram.New(geom, tp, dram.Options{SARP: cfg.Mechanism.SARP(), Check: cfg.Check})
+		if err != nil {
+			return nil, err
+		}
+		ctrl := sched.NewController(dev, schedCfg, nil)
+		seed := cfg.Seed*7919 + int64(ch)
+		if cfg.Policy != nil {
+			ctrl.SetPolicy(cfg.Policy(ctrl, seed))
+		} else {
+			ctrl.SetPolicy(core.New(cfg.Mechanism, ctrl, seed))
+		}
+		s.devs = append(s.devs, dev)
+		s.ctrls = append(s.ctrls, ctrl)
+	}
+
+	for i, prof := range cfg.Workload.Benchmarks {
+		port := &memPort{sys: s, core: i}
+		slice := cache.NewSlice(cfg.Cache, port)
+		gen := trace.New(prof, cfg.Seed*1_000_003+int64(i))
+		c := cpu.New(i, cfg.CPU, gen, prof.MaxOutstanding, uint64(i+1)*coreBaseStride, slice)
+		s.slices = append(s.slices, slice)
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// memPort adapts a cache slice to one controller per channel.
+type memPort struct {
+	sys  *System
+	core int
+}
+
+// ReadLine implements cache.Backend.
+func (p *memPort) ReadLine(addr uint64, onDone func(now int64)) bool {
+	s := p.sys
+	ch, da := s.mapper.Map(addr)
+	s.nextID++
+	req := &sched.Request{ID: s.nextID, Core: p.core, Addr: da, OnComplete: onDone}
+	return s.ctrls[ch].EnqueueRead(req, s.now)
+}
+
+// WriteLine implements cache.Backend.
+func (p *memPort) WriteLine(addr uint64) bool {
+	s := p.sys
+	ch, da := s.mapper.Map(addr)
+	s.nextID++
+	req := &sched.Request{ID: s.nextID, Core: p.core, IsWrite: true, Addr: da}
+	return s.ctrls[ch].EnqueueWrite(req, s.now)
+}
+
+// Step advances the whole system one DRAM cycle.
+func (s *System) Step() {
+	t := s.now
+	for _, sl := range s.slices {
+		sl.Tick(t)
+	}
+	for _, c := range s.cores {
+		c.Tick(t)
+	}
+	for _, ctrl := range s.ctrls {
+		ctrl.Tick(t)
+	}
+	s.now++
+}
+
+// Now returns the current DRAM cycle.
+func (s *System) Now() int64 { return s.now }
+
+// Controllers exposes the per-channel controllers (tests, diagnostics).
+func (s *System) Controllers() []*sched.Controller { return s.ctrls }
+
+// Devices exposes the per-channel DRAM devices.
+func (s *System) Devices() []*dram.Device { return s.devs }
+
+type snapshot struct {
+	cores []cpu.Stats
+	cache []cache.Stats
+	dram  dram.Stats
+	sched sched.Stats
+}
+
+func (s *System) snap() snapshot {
+	sn := snapshot{}
+	for _, c := range s.cores {
+		sn.cores = append(sn.cores, c.Stats())
+	}
+	for _, sl := range s.slices {
+		sn.cache = append(sn.cache, sl.Stats())
+	}
+	for _, d := range s.devs {
+		sn.dram.Add(d.Stats())
+	}
+	for _, c := range s.ctrls {
+		sn.sched.Add(c.Stats())
+	}
+	return sn
+}
+
+// Run executes warmup + measurement and returns the windowed result.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.WithDefaults()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for s.now < cfg.Warmup {
+		s.Step()
+	}
+	start := s.snap()
+	for s.now < cfg.Warmup+cfg.Measure {
+		s.Step()
+	}
+	end := s.snap()
+
+	res := Result{
+		Mechanism:      s.ctrls[0].Policy().Name(),
+		Workload:       cfg.Workload.Name,
+		DRAM:           end.dram.Sub(start.dram),
+		Sched:          end.sched.Sub(start.sched),
+		MeasuredCycles: cfg.Measure,
+	}
+	for i := range s.cores {
+		cs := cpu.Stats{
+			Retired:      end.cores[i].Retired - start.cores[i].Retired,
+			CPUCycles:    end.cores[i].CPUCycles - start.cores[i].CPUCycles,
+			Loads:        end.cores[i].Loads - start.cores[i].Loads,
+			Stores:       end.cores[i].Stores - start.cores[i].Stores,
+			MemStallBeat: end.cores[i].MemStallBeat - start.cores[i].MemStallBeat,
+		}
+		res.Cores = append(res.Cores, cs)
+		res.IPC = append(res.IPC, cs.IPC())
+
+		cc := cache.Stats{
+			Accesses:   end.cache[i].Accesses - start.cache[i].Accesses,
+			Hits:       end.cache[i].Hits - start.cache[i].Hits,
+			Misses:     end.cache[i].Misses - start.cache[i].Misses,
+			MSHRMerges: end.cache[i].MSHRMerges - start.cache[i].MSHRMerges,
+			Writebacks: end.cache[i].Writebacks - start.cache[i].Writebacks,
+		}
+		res.Cache = append(res.Cache, cc)
+		mpki := 0.0
+		if cs.Retired > 0 {
+			mpki = float64(cc.Misses) / float64(cs.Retired) * 1000
+		}
+		res.MPKI = append(res.MPKI, mpki)
+	}
+
+	res.Energy = power.Default().Compute(res.DRAM, s.tp, cfg.Measure, s.geom.Ranks*cfg.Channels)
+	if cfg.Check {
+		for _, d := range s.devs {
+			if ck := d.Checker(); ck != nil && ck.Err() != nil {
+				res.CheckErr = ck.Err()
+				break
+			}
+		}
+	}
+	return res, nil
+}

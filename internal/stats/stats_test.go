@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestGmean(t *testing.T) {
+	if got := Gmean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Gmean = %v, want 2", got)
+	}
+	if got := Gmean([]float64{2, 0}); got != 0 {
+		t.Errorf("Gmean with zero = %v, want 0", got)
+	}
+	if got := Gmean(nil); got != 0 {
+		t.Errorf("Gmean(nil) = %v", got)
+	}
+}
+
+func TestGmeanLeqMeanProperty(t *testing.T) {
+	// AM-GM inequality holds for any positive data.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1
+		}
+		return Gmean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Max(xs) != 3 || Min(xs) != 1 {
+		t.Errorf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty Max/Min should be 0")
+	}
+}
+
+func TestSortedCopies(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := Sorted(xs)
+	if got[0] != 1 || got[2] != 3 {
+		t.Errorf("Sorted = %v", got)
+	}
+	if xs[0] != 3 {
+		t.Error("Sorted mutated its input")
+	}
+}
+
+func TestPctImprovement(t *testing.T) {
+	if got := PctImprovement(1.152); math.Abs(got-15.2) > 1e-9 {
+		t.Errorf("PctImprovement = %v", got)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	got := Ratios([]float64{2, 9}, []float64{1, 3})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("Ratios = %v", got)
+	}
+	got = Ratios([]float64{1}, []float64{0})
+	if got[0] != 0 {
+		t.Errorf("Ratios with zero denominator = %v", got)
+	}
+}

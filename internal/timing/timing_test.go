@@ -1,0 +1,170 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR3Defaults(t *testing.T) {
+	p := DDR3(Config{})
+	if p.Density != Gb8 || p.Retention != Retention32ms {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	// Table 1 anchor values: tREFIab = 3.9us = 2600 cycles at 1.5ns.
+	if p.TREFIab != 2600 {
+		t.Errorf("tREFIab = %d, want 2600", p.TREFIab)
+	}
+	if p.TREFIpb != 325 {
+		t.Errorf("tREFIpb = %d, want 325", p.TREFIpb)
+	}
+	// tRFCab(8Gb) = 350ns = 234 cycles (rounded up).
+	if p.TRFCab != 234 {
+		t.Errorf("tRFCab = %d, want 234", p.TRFCab)
+	}
+}
+
+func TestTRFCabPerDensity(t *testing.T) {
+	// Paper Table 1: tRFCab = 350/530/890 ns for 8/16/32 Gb.
+	cases := []struct {
+		d  Density
+		ns float64
+	}{{Gb1, 110}, {Gb2, 160}, {Gb4, 260}, {Gb8, 350}, {Gb16, 530}, {Gb32, 890}}
+	for _, c := range cases {
+		if got := TRFCabNs(c.d); got != c.ns {
+			t.Errorf("TRFCabNs(%v) = %v, want %v", c.d, got, c.ns)
+		}
+	}
+}
+
+func TestProjectionsMatchPaperAnchors(t *testing.T) {
+	// Projection 2 passes through the 4 and 8 Gb datasheet points and
+	// reaches ~1.6us at 64 Gb (paper §3.1).
+	if got := Projection2(4); got != 260 {
+		t.Errorf("Projection2(4) = %v, want 260", got)
+	}
+	if got := Projection2(8); got != 350 {
+		t.Errorf("Projection2(8) = %v, want 350", got)
+	}
+	if got := Projection2(64); got != 1610 {
+		t.Errorf("Projection2(64) = %v, want 1610", got)
+	}
+	// Projection 1 passes through the early-generation points.
+	for _, c := range []struct{ d, ns float64 }{{1, 110}, {2, 160}, {4, 260}} {
+		if got := Projection1(c.d); got != c.ns {
+			t.Errorf("Projection1(%v) = %v, want %v", c.d, got, c.ns)
+		}
+	}
+}
+
+func TestTRFCpbRatio(t *testing.T) {
+	// tRFCpb = tRFCab / 2.3 (paper §3.1), checked within rounding.
+	for _, d := range []Density{Gb8, Gb16, Gb32} {
+		p := DDR3(Config{Density: d, Mode: RefPB})
+		lo := NsToCycles(TRFCabNs(d)/2.3) - 1
+		if p.TRFCpb < lo || p.TRFCpb > lo+2 {
+			t.Errorf("%v: tRFCpb = %d cycles, want ~%d", d, p.TRFCpb, lo+1)
+		}
+		if p.TRFCpb >= p.TRFCab {
+			t.Errorf("%v: tRFCpb (%d) >= tRFCab (%d)", d, p.TRFCpb, p.TRFCab)
+		}
+	}
+}
+
+func TestRetention64(t *testing.T) {
+	p := DDR3(Config{Retention: Retention64ms})
+	if p.TREFIab != 5200 {
+		t.Errorf("tREFIab at 64ms = %d, want 5200 (7.8us)", p.TREFIab)
+	}
+}
+
+func TestFGRScaling(t *testing.T) {
+	base := DDR3(Config{Density: Gb32})
+	two := DDR3(Config{Density: Gb32, Mode: RefFGR2x})
+	four := DDR3(Config{Density: Gb32, Mode: RefFGR4x})
+
+	if two.TREFIab != base.TREFIab/2 || four.TREFIab != base.TREFIab/4 {
+		t.Fatalf("FGR rate scaling wrong: base=%d 2x=%d 4x=%d", base.TREFIab, two.TREFIab, four.TREFIab)
+	}
+	// tRFCab shrinks by only 1.35x / 1.63x [13], so the total refresh
+	// lockout per unit time *grows* — the paper's Fig. 16 premise.
+	baseDuty := float64(base.TRFCab) / float64(base.TREFIab)
+	twoDuty := float64(two.TRFCab) / float64(two.TREFIab)
+	fourDuty := float64(four.TRFCab) / float64(four.TREFIab)
+	if !(fourDuty > twoDuty && twoDuty > baseDuty) {
+		t.Errorf("FGR duty should increase: 1x=%.3f 2x=%.3f 4x=%.3f", baseDuty, twoDuty, fourDuty)
+	}
+	for _, p := range []Params{two, four} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("FGR params invalid: %v", err)
+		}
+	}
+}
+
+func TestSARPThrottle(t *testing.T) {
+	p := DDR3(Config{})
+	// Paper §4.3.3: 2.1x during all-bank refresh, 13.8% during per-bank.
+	tfaw, trrd := p.SARPThrottledAB()
+	if tfaw != 42 || trrd != 9 {
+		t.Errorf("AB throttle = (%d, %d), want (42, 9)", tfaw, trrd)
+	}
+	tfaw, trrd = p.SARPThrottledPB()
+	if tfaw != 23 || trrd != 5 {
+		t.Errorf("PB throttle = (%d, %d), want (23, 5)", tfaw, trrd)
+	}
+}
+
+func TestNsToCyclesRoundsUp(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want int
+	}{{1.5, 1}, {1.6, 2}, {3.0, 2}, {0, 0}, {350, 234}}
+	for _, c := range cases {
+		if got := NsToCycles(c.ns); got != c.want {
+			t.Errorf("NsToCycles(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestNsCyclesRoundTripProperty(t *testing.T) {
+	// For any cycle count, converting to ns and back is the identity
+	// (timing constraints never shrink through unit conversion).
+	f := func(c uint16) bool {
+		return NsToCycles(CyclesToNs(int(c))) == int(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	p := DDR3(Config{})
+	p.TRC = p.TRAS // < tRAS + tRP
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted tRC < tRAS+tRP")
+	}
+	p = DDR3(Config{})
+	p.TRFCpb = p.TRFCab + 1
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted tRFCpb > tRFCab")
+	}
+	p = DDR3(Config{})
+	p.TRFCab = p.TREFIab + 1
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted tRFCab >= tREFIab")
+	}
+}
+
+func TestTrendCoversPaperRange(t *testing.T) {
+	pts := TRFCTrend()
+	if pts[0].DensityGb != 1 || pts[len(pts)-1].DensityGb != 64 {
+		t.Fatalf("trend should span 1..64 Gb, got %v..%v", pts[0].DensityGb, pts[len(pts)-1].DensityGb)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Projection1 <= pts[i-1].Projection1 || pts[i].Projection2 <= pts[i-1].Projection2 {
+			t.Errorf("projections must increase with density at %v Gb", pts[i].DensityGb)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package workload defines the synthetic benchmark library and the random
+// workload mixes of the paper's evaluation (§5): benchmarks modeled after
+// the SPEC CPU2006 / STREAM / TPC / HPCC-RandomAccess suite, classified as
+// memory-intensive (MPKI >= 10) or non-intensive, combined into 100
+// workloads across five intensity categories (0/25/50/75/100% intensive).
+package workload
+
+import (
+	"fmt"
+
+	"dsarp/internal/trace"
+)
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// Library returns the synthetic benchmark suite. Names carry the workload
+// family they are modeled after; parameters are chosen so measured LLC MPKI
+// lands in the intended class for the paper's 512 KB/core LLC slice.
+func Library() []trace.Profile {
+	return []trace.Profile{
+		// --- Memory-intensive (MPKI >= 10) ---
+		{Name: "stream.triad", MPKI: 48, APKI: 50, FootprintBytes: 16 * mb,
+			WriteFrac: 0.35, Pattern: trace.Stream},
+		{Name: "rand.access", MPKI: 33, APKI: 35, FootprintBytes: 64 * mb,
+			WriteFrac: 0.25, Pattern: trace.Random, BurstLen: 1, MaxOutstanding: 6},
+		{Name: "mcf.chase", MPKI: 38, APKI: 40, FootprintBytes: 32 * mb,
+			WriteFrac: 0.20, Pattern: trace.Chase, BurstLen: 2, MaxOutstanding: 2},
+		{Name: "libq.scan", MPKI: 28, APKI: 30, FootprintBytes: 8 * mb,
+			WriteFrac: 0.05, Pattern: trace.Stream},
+		{Name: "lbm.sweep", MPKI: 24, APKI: 26, FootprintBytes: 24 * mb,
+			WriteFrac: 0.45, Pattern: trace.Strided, StrideLines: 2},
+		{Name: "milc.lattice", MPKI: 19, APKI: 22, FootprintBytes: 16 * mb,
+			WriteFrac: 0.30, Pattern: trace.Strided, StrideLines: 4, MaxOutstanding: 6},
+		{Name: "soplex.solve", MPKI: 16, APKI: 32, FootprintBytes: 12 * mb,
+			WriteFrac: 0.25, Pattern: trace.Zipf, BurstLen: 4, MaxOutstanding: 4},
+		{Name: "gems.fdtd", MPKI: 14, APKI: 17, FootprintBytes: 20 * mb,
+			WriteFrac: 0.30, Pattern: trace.Strided, StrideLines: 8},
+		{Name: "tpcc.oltp", MPKI: 12, APKI: 26, FootprintBytes: 32 * mb,
+			WriteFrac: 0.30, Pattern: trace.Zipf, BurstLen: 3, MaxOutstanding: 3},
+		{Name: "tpch.scan", MPKI: 11, APKI: 14, FootprintBytes: 48 * mb,
+			WriteFrac: 0.10, Pattern: trace.Random, BurstLen: 16, MaxOutstanding: 4},
+
+		// --- Memory-non-intensive (MPKI < 10) ---
+		// These stay close to CPU-bound, as the paper's low-MPKI SPEC
+		// benchmarks are: small footprints that mostly fit the 512 KB LLC
+		// slice and sparse access streams.
+		{Name: "astar.path", MPKI: 1.5, APKI: 3, FootprintBytes: 1 * mb,
+			WriteFrac: 0.25, Pattern: trace.Random, BurstLen: 2, MaxOutstanding: 4},
+		{Name: "gcc.compile", MPKI: 0.8, APKI: 3, FootprintBytes: 768 * kb,
+			WriteFrac: 0.35, Pattern: trace.Zipf, BurstLen: 4},
+		{Name: "sjeng.search", MPKI: 0.5, APKI: 2.5, FootprintBytes: 640 * kb,
+			WriteFrac: 0.20, Pattern: trace.Random, BurstLen: 1},
+		{Name: "h264.encode", MPKI: 0.35, APKI: 2, FootprintBytes: 576 * kb,
+			WriteFrac: 0.30, Pattern: trace.Stream},
+		{Name: "gobmk.eval", MPKI: 0.25, APKI: 2, FootprintBytes: 512 * kb,
+			WriteFrac: 0.30, Pattern: trace.Zipf, BurstLen: 2},
+		{Name: "calculix.fe", MPKI: 0.15, APKI: 1.5, FootprintBytes: 448 * kb,
+			WriteFrac: 0.30, Pattern: trace.Strided, StrideLines: 2},
+		{Name: "namd.md", MPKI: 0.08, APKI: 1.5, FootprintBytes: 320 * kb,
+			WriteFrac: 0.25, Pattern: trace.Stream},
+		{Name: "povray.render", MPKI: 0.02, APKI: 1, FootprintBytes: 192 * kb,
+			WriteFrac: 0.30, Pattern: trace.Zipf, BurstLen: 2},
+	}
+}
+
+// ByName returns the library profile with the given name.
+func ByName(name string) (trace.Profile, error) {
+	for _, p := range Library() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return trace.Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Intensive returns the memory-intensive subset of the library.
+func Intensive() []trace.Profile { return filter(true) }
+
+// NonIntensive returns the memory-non-intensive subset of the library.
+func NonIntensive() []trace.Profile { return filter(false) }
+
+func filter(intensive bool) []trace.Profile {
+	var out []trace.Profile
+	for _, p := range Library() {
+		if p.Intensive() == intensive {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsarp/internal/trace"
+)
+
+// Workload is a multiprogrammed mix: one benchmark per core.
+type Workload struct {
+	Name       string
+	Category   int // percentage of memory-intensive benchmarks (0..100)
+	Benchmarks []trace.Profile
+}
+
+// Categories are the paper's five intensity buckets (§5).
+func Categories() []int { return []int{0, 25, 50, 75, 100} }
+
+// Mixes builds the paper's randomly mixed workloads: perCategory workloads
+// in each of the five categories, each with cores benchmarks, where a
+// category-C workload draws C% of its slots from the intensive subset. The
+// construction is deterministic in seed.
+func Mixes(perCategory, cores int, seed int64) []Workload {
+	rng := rand.New(rand.NewSource(seed))
+	intensive := Intensive()
+	nonIntensive := NonIntensive()
+	var out []Workload
+	id := 0
+	for _, cat := range Categories() {
+		nInt := cat * cores / 100
+		for w := 0; w < perCategory; w++ {
+			mix := make([]trace.Profile, 0, cores)
+			for i := 0; i < nInt; i++ {
+				mix = append(mix, intensive[rng.Intn(len(intensive))])
+			}
+			for i := nInt; i < cores; i++ {
+				mix = append(mix, nonIntensive[rng.Intn(len(nonIntensive))])
+			}
+			rng.Shuffle(len(mix), func(i, j int) { mix[i], mix[j] = mix[j], mix[i] })
+			out = append(out, Workload{
+				Name:       fmt.Sprintf("mix%02d.cat%d", id, cat),
+				Category:   cat,
+				Benchmarks: mix,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// IntensiveMixes builds all-intensive workloads for the sensitivity studies
+// (§6.2-6.4 use 16 randomly selected memory-intensive workloads).
+func IntensiveMixes(count, cores int, seed int64) []Workload {
+	rng := rand.New(rand.NewSource(seed))
+	intensive := Intensive()
+	out := make([]Workload, 0, count)
+	for w := 0; w < count; w++ {
+		mix := make([]trace.Profile, cores)
+		for i := range mix {
+			mix[i] = intensive[rng.Intn(len(intensive))]
+		}
+		out = append(out, Workload{
+			Name:       fmt.Sprintf("intmix%02d", w),
+			Category:   100,
+			Benchmarks: mix,
+		})
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLibraryClassBalance(t *testing.T) {
+	in, non := Intensive(), NonIntensive()
+	if len(in) < 8 {
+		t.Errorf("intensive library too small: %d", len(in))
+	}
+	if len(non) < 6 {
+		t.Errorf("non-intensive library too small: %d", len(non))
+	}
+	for _, p := range in {
+		if p.MPKI < 10 {
+			t.Errorf("%s in intensive set with MPKI %v", p.Name, p.MPKI)
+		}
+	}
+	for _, p := range non {
+		if p.MPKI >= 10 {
+			t.Errorf("%s in non-intensive set with MPKI %v", p.Name, p.MPKI)
+		}
+	}
+}
+
+func TestLibraryNamesUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Library() {
+		if seen[p.Name] {
+			t.Errorf("duplicate benchmark name %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, err := ByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("ByName(%q) = %v, %v", p.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+func TestMixesStructure(t *testing.T) {
+	const perCat, cores = 20, 8
+	ws := Mixes(perCat, cores, 42)
+	if len(ws) != perCat*len(Categories()) {
+		t.Fatalf("got %d workloads, want %d", len(ws), perCat*len(Categories()))
+	}
+	counts := map[int]int{}
+	for _, w := range ws {
+		counts[w.Category]++
+		if len(w.Benchmarks) != cores {
+			t.Fatalf("%s has %d benchmarks, want %d", w.Name, len(w.Benchmarks), cores)
+		}
+		intensive := 0
+		for _, b := range w.Benchmarks {
+			if b.Intensive() {
+				intensive++
+			}
+		}
+		if want := w.Category * cores / 100; intensive != want {
+			t.Errorf("%s: %d intensive slots, want %d", w.Name, intensive, want)
+		}
+	}
+	for _, c := range Categories() {
+		if counts[c] != perCat {
+			t.Errorf("category %d%%: %d workloads, want %d", c, counts[c], perCat)
+		}
+	}
+}
+
+func TestMixesDeterministic(t *testing.T) {
+	a := Mixes(5, 8, 7)
+	b := Mixes(5, 8, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Mixes not deterministic for equal seeds")
+	}
+	c := Mixes(5, 8, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Error("Mixes identical across different seeds")
+	}
+}
+
+func TestIntensiveMixesAllIntensive(t *testing.T) {
+	ws := IntensiveMixes(16, 8, 3)
+	if len(ws) != 16 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+	for _, w := range ws {
+		for _, b := range w.Benchmarks {
+			if !b.Intensive() {
+				t.Errorf("%s contains non-intensive %s", w.Name, b.Name)
+			}
+		}
+	}
+}
