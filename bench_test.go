@@ -16,7 +16,9 @@ import (
 )
 
 // benchOpts keeps each experiment benchmark in the seconds range: one
-// workload per category, 4 cores, short windows.
+// workload per category, 4 cores, short windows. Parallelism is pinned to 1
+// so single-thread scheduler performance stays comparable across machines
+// and against the seed; BenchmarkTable2_Parallel measures the fan-out.
 func benchOpts() exp.Options {
 	return exp.Options{
 		PerCategory: 1,
@@ -25,6 +27,7 @@ func benchOpts() exp.Options {
 		Warmup:      10_000,
 		Measure:     50_000,
 		Seed:        42,
+		Parallelism: 1,
 		Densities:   []timing.Density{timing.Gb8, timing.Gb32},
 	}
 }
@@ -83,6 +86,23 @@ func BenchmarkTable2_Improvements(b *testing.B) {
 		last := t.Rows[len(t.Rows)-1] // DSARP at the highest density
 		b.ReportMetric(last.GmeanAB, "dsarp_gmean%_vs_ab")
 		b.ReportMetric(last.GmeanPB, "dsarp_gmean%_vs_pb")
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkTable2_Parallel is BenchmarkTable2_Improvements with the worker
+// pool at one worker per CPU; the ratio of the two is the sweep-engine
+// speedup on this machine.
+func BenchmarkTable2_Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Parallelism = 0 // one worker per CPU
+		r := exp.NewRunner(opts)
+		t := r.Table2()
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last.GmeanAB, "dsarp_gmean%_vs_ab")
 		if i == 0 {
 			b.Log("\n" + t.String())
 		}

@@ -5,13 +5,16 @@
 //
 //	experiments [-run all|fig5|fig6|fig7|fig12|fig13|fig14|fig15|fig16|
 //	             table2|table3|table4|table5|table6|breakdown|ablations]
-//	            [-scale default|paper] [-percat N] [-measure N] [-seed N] [-v]
+//	            [-scale default|paper] [-percat N] [-measure N] [-seed N]
+//	            [-parallel N] [-cpuprofile F] [-memprofile F] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,16 +23,25 @@ import (
 )
 
 func main() {
+	// All work happens in mainImpl so its deferred profile teardown runs
+	// before the process exits, on every path.
+	os.Exit(mainImpl())
+}
+
+func mainImpl() int {
 	var (
-		run     = flag.String("run", "all", "experiment to run (comma-separated), or 'all'")
-		scale   = flag.String("scale", "default", "experiment scale: default | paper")
-		percat  = flag.Int("percat", 0, "override workloads per intensity category")
-		sens    = flag.Int("sensitivity", 0, "override sensitivity workload count")
-		measure = flag.Int64("measure", 0, "override measurement window (DRAM cycles)")
-		warmup  = flag.Int64("warmup", 0, "override warmup (DRAM cycles)")
-		seed    = flag.Int64("seed", 0, "override workload seed")
-		verbose = flag.Bool("v", false, "print per-simulation progress")
-		csvDir  = flag.String("csv", "", "also write each experiment's data series to this directory as CSV")
+		run      = flag.String("run", "all", "experiment to run (comma-separated), or 'all'")
+		scale    = flag.String("scale", "default", "experiment scale: default | paper")
+		percat   = flag.Int("percat", 0, "override workloads per intensity category")
+		sens     = flag.Int("sensitivity", 0, "override sensitivity workload count")
+		measure  = flag.Int64("measure", 0, "override measurement window (DRAM cycles)")
+		warmup   = flag.Int64("warmup", 0, "override warmup (DRAM cycles)")
+		seed     = flag.Int64("seed", 0, "override workload seed")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		verbose  = flag.Bool("v", false, "print per-simulation progress")
+		csvDir   = flag.String("csv", "", "also write each experiment's data series to this directory as CSV")
 	)
 	flag.Parse()
 
@@ -52,10 +64,41 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	opts.Parallelism = *parallel
 	if *verbose {
 		opts.Progress = func(done, _ int, label string) {
 			fmt.Fprintf(os.Stderr, "[%4d] %s\n", done, label)
 		}
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	r := exp.NewRunner(opts)
@@ -108,8 +151,9 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; see -h\n", *run)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // writeCSVs exports any experiment result that carries exportable series.

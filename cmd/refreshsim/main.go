@@ -5,6 +5,7 @@
 // Examples:
 //
 //	refreshsim -mechanism DSARP -density 32
+//	refreshsim -mechanism DSARP -density 8,16,32 -parallel 3
 //	refreshsim -mechanism REFpb -workload stream.triad,rand.access,mcf.chase,libq.scan
 //	refreshsim -list
 package main
@@ -13,7 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"dsarp/internal/core"
@@ -26,7 +30,7 @@ import (
 func main() {
 	var (
 		mech      = flag.String("mechanism", "DSARP", "refresh mechanism (see -list)")
-		density   = flag.Int("density", 32, "DRAM chip density in Gb (8, 16, 32)")
+		density   = flag.String("density", "32", "DRAM chip density in Gb (8, 16, 32); comma-separate for a sweep")
 		retention = flag.Int("retention", 32, "retention time in ms (32 or 64)")
 		benches   = flag.String("workload", "", "comma-separated benchmark names (default: a random intensive mix)")
 		cores     = flag.Int("cores", 8, "core count when using a random mix")
@@ -34,6 +38,7 @@ func main() {
 		warmup    = flag.Int64("warmup", 50_000, "warmup DRAM cycles")
 		measure   = flag.Int64("measure", 200_000, "measured DRAM cycles")
 		seed      = flag.Int64("seed", 42, "simulation seed")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations in a density sweep (0 = one per CPU)")
 		check     = flag.Bool("check", false, "attach the DRAM protocol checker")
 		list      = flag.Bool("list", false, "list mechanisms and benchmarks, then exit")
 	)
@@ -62,28 +67,91 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	densities, err := parseDensities(*density)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	ret := timing.Retention32ms
 	if *retention == 64 {
 		ret = timing.Retention64ms
 	}
-	res, err := sim.Run(sim.Config{
-		Workload:         wl,
-		Mechanism:        kind,
-		Density:          timing.Density(*density),
-		Retention:        ret,
-		SubarraysPerBank: *subarrays,
-		Seed:             *seed,
-		Warmup:           *warmup,
-		Measure:          *measure,
-		Check:            *check,
-	})
-	if err != nil {
-		fatalf("%v", err)
+
+	// Run the sweep on a bounded worker pool; reports print in flag order
+	// regardless of completion order, and every simulation is independent,
+	// so the output is identical to a serial sweep.
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	report(wl, res)
-	if res.CheckErr != nil {
-		fatalf("protocol violations:\n%v", res.CheckErr)
+	if workers > len(densities) {
+		workers = len(densities)
 	}
+	results := make([]sim.Result, len(densities))
+	errs := make([]error, len(densities))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(densities) {
+					return
+				}
+				results[i], errs[i] = sim.Run(sim.Config{
+					Workload:         wl,
+					Mechanism:        kind,
+					Density:          densities[i],
+					Retention:        ret,
+					SubarraysPerBank: *subarrays,
+					Seed:             *seed,
+					Warmup:           *warmup,
+					Measure:          *measure,
+					Check:            *check,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if errs[i] != nil {
+			fatalf("%v", errs[i])
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if len(densities) > 1 {
+			fmt.Printf("=== density %s ===\n", densities[i])
+		}
+		report(wl, res)
+		if res.CheckErr != nil {
+			fatalf("protocol violations:\n%v", res.CheckErr)
+		}
+	}
+}
+
+// parseDensities parses the -density flag: one value or a comma-separated
+// sweep.
+func parseDensities(s string) ([]timing.Density, error) {
+	var out []timing.Density
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad density %q: %v", part, err)
+		}
+		out = append(out, timing.Density(n))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no densities given")
+	}
+	return out, nil
 }
 
 func buildWorkload(names string, cores int, seed int64) (workload.Workload, error) {

@@ -1,0 +1,3 @@
+module dsarp
+
+go 1.24

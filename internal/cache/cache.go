@@ -39,8 +39,13 @@ type line struct {
 }
 
 type mshrEntry struct {
-	waiters []func(now int64)
-	dirty   bool // a store merged into the pending fill
+	waiters  []func(now int64)
+	dirty    bool   // a store merged into the pending fill
+	lineAddr uint64 // line being filled
+	// onFill hands the returned line to Slice.fill; built once per entry
+	// and reused through the slice's free list so steady-state misses
+	// allocate nothing.
+	onFill func(at int64)
 }
 
 // Slice is one core's private LLC slice.
@@ -49,6 +54,7 @@ type Slice struct {
 	sets    [][]line
 	setMask uint64
 	mshr    map[uint64]*mshrEntry
+	free    []*mshrEntry // filled entries awaiting reuse
 
 	pendingWB []uint64 // writebacks the backend rejected; retried in Tick
 
@@ -146,13 +152,23 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 
 	// New fill: admit to DRAM first so a full read queue backpressures the
 	// core without mutating cache state.
-	e := &mshrEntry{dirty: write}
+	var e *mshrEntry
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		e.waiters = e.waiters[:0]
+		e.dirty = write
+	} else {
+		e = &mshrEntry{dirty: write}
+		e.onFill = func(at int64) { s.fill(at, e) }
+	}
+	e.lineAddr = lineAddr
 	if onDone != nil {
 		e.waiters = append(e.waiters, onDone)
 	}
 	missAddr := lineAddr * uint64(s.cfg.LineBytes)
-	ok := s.backend.ReadLine(missAddr, func(at int64) { s.fill(at, lineAddr) })
-	if !ok {
+	if !s.backend.ReadLine(missAddr, e.onFill) {
+		s.free = append(s.free, e)
 		return false
 	}
 	s.stats.Accesses++
@@ -162,9 +178,11 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 }
 
 // fill installs a returned line, evicting the LRU way (dirty victims are
-// written back), and wakes the miss's waiters.
-func (s *Slice) fill(now int64, lineAddr uint64) {
-	e := s.mshr[lineAddr]
+// written back), and wakes the miss's waiters. The entry returns to the
+// free list afterwards: its waiters have been delivered and its fill
+// callback cannot fire again.
+func (s *Slice) fill(now int64, e *mshrEntry) {
+	lineAddr := e.lineAddr
 	delete(s.mshr, lineAddr)
 
 	set := s.sets[lineAddr&s.setMask]
@@ -187,6 +205,7 @@ func (s *Slice) fill(now int64, lineAddr uint64) {
 	for _, w := range e.waiters {
 		w(now)
 	}
+	s.free = append(s.free, e)
 }
 
 func (s *Slice) writeback(addr uint64) {

@@ -28,6 +28,7 @@ type Adaptive struct {
 	// refresh being paid down at 4x granularity.
 	quarters []int
 	forced   []bool
+	epoch    uint64
 
 	dur4x  int // 4x command latency: tRFCab / 1.63
 	rows4x int
@@ -67,14 +68,19 @@ func (p *Adaptive) RankBlocked(rank int) bool { return p.forced[rank] }
 // BankBlocked implements sched.RefreshPolicy.
 func (p *Adaptive) BankBlocked(int, int) bool { return false }
 
-func (p *Adaptive) rankIdle(rank int) bool {
-	for b := 0; b < p.banks; b++ {
-		if p.v.PendingDemand(rank, b) != 0 {
-			return false
-		}
+// BlockedEpoch implements sched.RefreshPolicy.
+func (p *Adaptive) BlockedEpoch() uint64 { return p.epoch }
+
+// setForced updates a rank's forced flag, bumping the blocked epoch on
+// change.
+func (p *Adaptive) setForced(r int, v bool) {
+	if p.forced[r] != v {
+		p.forced[r] = v
+		p.epoch++
 	}
-	return true
 }
+
+func (p *Adaptive) rankIdle(rank int) bool { return p.v.PendingRankDemand(rank) == 0 }
 
 // Tick implements sched.RefreshPolicy.
 func (p *Adaptive) Tick(now int64, _ bool) bool {
@@ -86,7 +92,7 @@ func (p *Adaptive) Tick(now int64, _ bool) bool {
 			p.next[r] += tREFI
 		}
 		if p.owedN[r] == 0 && p.quarters[r] == 0 {
-			p.forced[r] = false
+			p.setForced(r, false)
 			continue
 		}
 
@@ -97,7 +103,7 @@ func (p *Adaptive) Tick(now int64, _ bool) bool {
 				p.v.IssueCmd(cmd, now)
 				p.quarters[r]--
 				if p.quarters[r] == 0 {
-					p.forced[r] = p.owedN[r] >= maxFlex
+					p.setForced(r, p.owedN[r] >= maxFlex)
 				}
 				return true
 			}
@@ -124,7 +130,7 @@ func (p *Adaptive) Tick(now int64, _ bool) bool {
 		if overdue {
 			// Busy rank out of slack: switch to 4x mode for this refresh so
 			// each lockout is shorter.
-			p.forced[r] = true
+			p.setForced(r, true)
 			p.owedN[r]--
 			p.quarters[r] = 4
 			if p.drainRank(r, now) {

@@ -28,8 +28,9 @@ type DARP struct {
 	rng    *rand.Rand
 	scheds []*bankSchedule
 	forced [][]bool // rank x bank: refresh overdue, demand held
-	slot   []int64  // per rank: last observed tREFIpb slot index
+	slotAt []int64  // per rank: start of the next unobserved tREFIpb slot
 	banks  int
+	epoch  uint64
 	elig   []int // scratch buffer for bank selection
 }
 
@@ -62,14 +63,13 @@ func NewDARP(v sched.View, opts DARPOptions, seed int64) *DARP {
 		rng:    rand.New(rand.NewSource(seed)),
 		scheds: make([]*bankSchedule, g.Ranks),
 		forced: make([][]bool, g.Ranks),
-		slot:   make([]int64, g.Ranks),
+		slotAt: make([]int64, g.Ranks),
 		banks:  g.Banks,
 	}
 	base := phaseOffset(seed, int64(v.Timing().TREFIpb))
 	for r := 0; r < g.Ranks; r++ {
 		p.scheds[r] = newBankSchedule(g.Banks, int64(v.Timing().TREFIpb), int64(opts.MaxPostpone), base)
 		p.forced[r] = make([]bool, g.Banks)
-		p.slot[r] = -1
 	}
 	return p
 }
@@ -93,6 +93,18 @@ func (p *DARP) RankBlocked(int) bool { return false }
 // has exhausted its postponement credit and must refresh now.
 func (p *DARP) BankBlocked(rank, bank int) bool { return p.forced[rank][bank] }
 
+// BlockedEpoch implements sched.RefreshPolicy.
+func (p *DARP) BlockedEpoch() uint64 { return p.epoch }
+
+// setForced updates a bank's forced flag, bumping the blocked epoch on
+// change.
+func (p *DARP) setForced(r, b int, v bool) {
+	if p.forced[r][b] != v {
+		p.forced[r][b] = v
+		p.epoch++
+	}
+}
+
 // Tick implements sched.RefreshPolicy, following the decision flow of the
 // paper's Fig. 8 with Algorithm 1 layered on top during writeback mode.
 func (p *DARP) Tick(now int64, demandReady bool) bool {
@@ -100,17 +112,23 @@ func (p *DARP) Tick(now int64, demandReady bool) bool {
 	g := dev.Geometry()
 
 	// 1. Mandatory refreshes: banks out of postponement credit. The bank is
-	// blocked from demand, drained, and refreshed as soon as possible.
+	// blocked from demand, drained, and refreshed as soon as possible. While
+	// every bank still has credit (now < minForcedAt) the whole sweep is a
+	// no-op: any stale forced flag would imply a bank whose credit is still
+	// exhausted, which would put minForcedAt in the past.
 	for r := 0; r < g.Ranks; r++ {
 		sch := p.scheds[r]
+		if now < sch.minForcedAt {
+			continue
+		}
 		for b := 0; b < p.banks; b++ {
 			if !sch.mustRefresh(b, now) {
-				p.forced[r][b] = false
+				p.setForced(r, b, false)
 				continue
 			}
-			p.forced[r][b] = true
+			p.setForced(r, b, true)
 			if p.tryRefresh(r, b, now) {
-				p.forced[r][b] = sch.mustRefresh(b, now)
+				p.setForced(r, b, sch.mustRefresh(b, now))
 				return true
 			}
 			if p.drain(r, b, now) {
@@ -138,9 +156,8 @@ func (p *DARP) Tick(now int64, demandReady bool) bool {
 	// postponed (debt accrues passively in the schedule).
 	for r := 0; r < g.Ranks; r++ {
 		sch := p.scheds[r]
-		s := now / sch.tREFIpb
-		if s != p.slot[r] {
-			p.slot[r] = s
+		if now >= p.slotAt[r] {
+			p.slotAt[r] = (now/sch.tREFIpb + 1) * sch.tREFIpb
 			b := sch.slotBank(now)
 			if sch.owed(b, now) > 0 && p.v.PendingDemand(r, b) == 0 && p.tryRefresh(r, b, now) {
 				return true
@@ -232,8 +249,9 @@ func (p *DARP) pickWriteModeBank(rank int, now int64) (int, bool) {
 func (p *DARP) pickIdleBank(rank int, now int64) (int, bool) {
 	sch := p.scheds[rank]
 	elig := p.elig[:0]
+	rankIdle := p.v.PendingRankDemand(rank) == 0
 	for b := 0; b < p.banks; b++ {
-		if p.v.PendingDemand(rank, b) != 0 || !sch.canPullIn(b, now) {
+		if !sch.canPullIn(b, now) || (!rankIdle && p.v.PendingDemand(rank, b) != 0) {
 			continue
 		}
 		elig = append(elig, b)

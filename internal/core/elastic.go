@@ -26,6 +26,7 @@ type Elastic struct {
 	idleRun []int64 // consecutive idle cycles per rank
 	avgIdle []float64
 	forced  []bool
+	epoch   uint64
 }
 
 // NewElastic builds the elastic refresh policy over a controller view.
@@ -60,15 +61,20 @@ func (p *Elastic) RankBlocked(rank int) bool { return p.forced[rank] }
 // BankBlocked implements sched.RefreshPolicy.
 func (p *Elastic) BankBlocked(int, int) bool { return false }
 
-// rankIdle reports whether the rank has no queued demand.
-func (p *Elastic) rankIdle(rank int) bool {
-	for b := 0; b < p.banks; b++ {
-		if p.v.PendingDemand(rank, b) != 0 {
-			return false
-		}
+// BlockedEpoch implements sched.RefreshPolicy.
+func (p *Elastic) BlockedEpoch() uint64 { return p.epoch }
+
+// setForced updates a rank's forced flag, bumping the blocked epoch on
+// change.
+func (p *Elastic) setForced(r int, v bool) {
+	if p.forced[r] != v {
+		p.forced[r] = v
+		p.epoch++
 	}
-	return true
 }
+
+// rankIdle reports whether the rank has no queued demand.
+func (p *Elastic) rankIdle(rank int) bool { return p.v.PendingRankDemand(rank) == 0 }
 
 // threshold is the idle-run length required before releasing a postponed
 // refresh; it relaxes linearly toward zero as the postponement budget is
@@ -107,7 +113,7 @@ func (p *Elastic) Tick(now int64, _ bool) bool {
 			continue
 		}
 
-		p.forced[r] = p.owedN[r] >= maxFlex || now >= p.next[r]
+		p.setForced(r, p.owedN[r] >= maxFlex || now >= p.next[r])
 		release := p.forced[r] || (idle && p.idleRun[r] >= p.threshold(r))
 		if !release {
 			continue
@@ -116,7 +122,7 @@ func (p *Elastic) Tick(now int64, _ bool) bool {
 		if dev.CanIssue(cmd, now) {
 			p.v.IssueCmd(cmd, now)
 			p.owedN[r]--
-			p.forced[r] = false
+			p.setForced(r, false)
 			issuedSlot = true
 			continue
 		}

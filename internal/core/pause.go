@@ -27,6 +27,7 @@ type Pausing struct {
 	owedN []int64 // per-rank refreshes due (in whole-REFab units)
 	segs  []int   // per-rank remaining segments of the in-progress refresh
 	force []bool
+	epoch uint64
 
 	segments int
 	segDur   int
@@ -75,14 +76,18 @@ func (p *Pausing) RankBlocked(rank int) bool { return p.force[rank] }
 // BankBlocked implements sched.RefreshPolicy.
 func (p *Pausing) BankBlocked(int, int) bool { return false }
 
-func (p *Pausing) rankIdle(rank int) bool {
-	for b := 0; b < p.banks; b++ {
-		if p.v.PendingDemand(rank, b) != 0 {
-			return false
-		}
+// BlockedEpoch implements sched.RefreshPolicy.
+func (p *Pausing) BlockedEpoch() uint64 { return p.epoch }
+
+// setForce updates a rank's force flag, bumping the blocked epoch on change.
+func (p *Pausing) setForce(r int, v bool) {
+	if p.force[r] != v {
+		p.force[r] = v
+		p.epoch++
 	}
-	return true
 }
+
+func (p *Pausing) rankIdle(rank int) bool { return p.v.PendingRankDemand(rank) == 0 }
 
 // Tick implements sched.RefreshPolicy.
 func (p *Pausing) Tick(now int64, _ bool) bool {
@@ -94,11 +99,11 @@ func (p *Pausing) Tick(now int64, _ bool) bool {
 			p.next[r] += tREFI
 		}
 		if p.owedN[r] == 0 && p.segs[r] == 0 {
-			p.force[r] = false
+			p.setForce(r, false)
 			continue
 		}
 		// Forced when the budget is exhausted: finish segments back to back.
-		p.force[r] = p.owedN[r] >= maxFlex || (p.owedN[r] > 0 && now >= p.next[r])
+		p.setForce(r, p.owedN[r] >= maxFlex || (p.owedN[r] > 0 && now >= p.next[r]))
 		if p.segs[r] == 0 {
 			// Start a new refresh (consume one owed REFab).
 			p.owedN[r]--

@@ -20,6 +20,7 @@ type AllBank struct {
 	ranks   int
 	next    []int64 // next nominal refresh time per rank
 	due     []bool
+	epoch   uint64
 	refRows int // rows per refresh op (scaled down under FGR)
 }
 
@@ -71,13 +72,24 @@ func (p *AllBank) RankBlocked(rank int) bool { return !p.v.Dev().SARP() && p.due
 // BankBlocked implements sched.RefreshPolicy.
 func (p *AllBank) BankBlocked(int, int) bool { return false }
 
+// BlockedEpoch implements sched.RefreshPolicy.
+func (p *AllBank) BlockedEpoch() uint64 { return p.epoch }
+
+// setDue updates a rank's due flag, bumping the blocked epoch on change.
+func (p *AllBank) setDue(r int, v bool) {
+	if p.due[r] != v {
+		p.due[r] = v
+		p.epoch++
+	}
+}
+
 // Tick implements sched.RefreshPolicy.
 func (p *AllBank) Tick(now int64, _ bool) bool {
 	tREFI := int64(p.v.Timing().TREFIab)
 	dev := p.v.Dev()
 	for r := 0; r < p.ranks; r++ {
 		if now >= p.next[r] {
-			p.due[r] = true
+			p.setDue(r, true)
 		}
 		if !p.due[r] {
 			continue
@@ -86,7 +98,7 @@ func (p *AllBank) Tick(now int64, _ bool) bool {
 		if dev.CanIssue(cmd, now) {
 			p.v.IssueCmd(cmd, now)
 			p.next[r] += tREFI
-			p.due[r] = now >= p.next[r] // back-to-back if we fell behind
+			p.setDue(r, now >= p.next[r]) // back-to-back if we fell behind
 			return true
 		}
 		if p.drainRank(r, now) {

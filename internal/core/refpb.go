@@ -20,6 +20,7 @@ type PerBank struct {
 	banks int
 	next  []int64 // per-rank next nominal refresh time
 	owedN []int64 // per-rank refreshes due but not yet issued
+	epoch uint64
 }
 
 // NewPerBank builds the round-robin REFpb policy over a controller view.
@@ -64,12 +65,21 @@ func (p *PerBank) BankBlocked(rank, bank int) bool {
 	return p.owedN[rank] > 0 && p.v.Dev().RefreshUnit(rank).PeekBank() == bank
 }
 
+// BlockedEpoch implements sched.RefreshPolicy. BankBlocked depends on the
+// owed count and the refresh unit's round-robin position; the latter only
+// moves when this policy issues a refresh, which is covered by the same
+// epoch bump.
+func (p *PerBank) BlockedEpoch() uint64 { return p.epoch }
+
 // Tick implements sched.RefreshPolicy.
 func (p *PerBank) Tick(now int64, _ bool) bool {
 	tREFIpb := int64(p.v.Timing().TREFIpb)
 	dev := p.v.Dev()
 	for r := 0; r < p.ranks; r++ {
 		for now >= p.next[r] {
+			if p.owedN[r] == 0 {
+				p.epoch++ // bank block engages
+			}
 			p.owedN[r]++
 			p.next[r] += tREFIpb
 		}
@@ -81,6 +91,7 @@ func (p *PerBank) Tick(now int64, _ bool) bool {
 		if dev.CanIssue(cmd, now) {
 			p.v.IssueCmd(cmd, now)
 			p.owedN[r]--
+			p.epoch++ // owed count or round-robin bank changed
 			return true
 		}
 		if p.drainBank(r, bank, now) {

@@ -26,6 +26,13 @@ type bankSchedule struct {
 	flex    int64   // postpone/pull-in bound (maxFlex, or the D1 ablation's)
 	phase   []int64 // nominal time of bank b's first refresh
 	issued  []int64 // refreshes issued per bank
+
+	// Precomputed thresholds: owed(b, t) crosses the flex bounds exactly at
+	// these absolute cycles, so the per-cycle credit checks are compares
+	// instead of divisions. Maintained by record().
+	forcedAt    []int64 // earliest t with mustRefresh(b, t)
+	pullOkAt    []int64 // earliest t with canPullIn(b, t)
+	minForcedAt int64   // min over banks of forcedAt (rank-level fast path)
 }
 
 // maxFlex is the number of refreshes a bank may be postponed or pulled in,
@@ -38,17 +45,43 @@ func newBankSchedule(banks int, tREFIpb int64, flex, offset int64) *bankSchedule
 		flex = maxFlex
 	}
 	s := &bankSchedule{
-		tREFIpb: tREFIpb,
-		period:  int64(banks) * tREFIpb,
-		banks:   banks,
-		flex:    flex,
-		phase:   make([]int64, banks),
-		issued:  make([]int64, banks),
+		tREFIpb:  tREFIpb,
+		period:   int64(banks) * tREFIpb,
+		banks:    banks,
+		flex:     flex,
+		phase:    make([]int64, banks),
+		issued:   make([]int64, banks),
+		forcedAt: make([]int64, banks),
+		pullOkAt: make([]int64, banks),
 	}
 	for b := 0; b < banks; b++ {
 		s.phase[b] = offset + int64(b)*tREFIpb
+		s.recalcThresholds(b)
 	}
+	s.recalcMinForced()
 	return s
+}
+
+// recalcThresholds rederives bank b's credit-crossing cycles from its issue
+// count: mustRefresh first holds once due reaches issued+flex, canPullIn
+// once due exceeds issued-flex (immediately, while issued < flex).
+func (s *bankSchedule) recalcThresholds(b int) {
+	s.forcedAt[b] = s.phase[b] + (s.issued[b]+s.flex-1)*s.period
+	if k := s.issued[b] - s.flex; k < 0 {
+		s.pullOkAt[b] = -1 << 62
+	} else {
+		s.pullOkAt[b] = s.phase[b] + k*s.period
+	}
+}
+
+func (s *bankSchedule) recalcMinForced() {
+	m := s.forcedAt[0]
+	for _, t := range s.forcedAt[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	s.minForcedAt = m
 }
 
 // due is the number of nominal refresh slots for bank b that have passed by
@@ -65,16 +98,20 @@ func (s *bankSchedule) due(b int, now int64) int64 {
 func (s *bankSchedule) owed(b int, now int64) int64 { return s.due(b, now) - s.issued[b] }
 
 // canPostpone reports whether bank b's next due refresh may be postponed.
-func (s *bankSchedule) canPostpone(b int, now int64) bool { return s.owed(b, now) < s.flex }
+func (s *bankSchedule) canPostpone(b int, now int64) bool { return now < s.forcedAt[b] }
 
 // mustRefresh reports whether bank b has exhausted its postponement credit.
-func (s *bankSchedule) mustRefresh(b int, now int64) bool { return s.owed(b, now) >= s.flex }
+func (s *bankSchedule) mustRefresh(b int, now int64) bool { return now >= s.forcedAt[b] }
 
 // canPullIn reports whether bank b may be refreshed ahead of schedule.
-func (s *bankSchedule) canPullIn(b int, now int64) bool { return s.owed(b, now) > -s.flex }
+func (s *bankSchedule) canPullIn(b int, now int64) bool { return now >= s.pullOkAt[b] }
 
 // record notes a refresh issued to bank b.
-func (s *bankSchedule) record(b int) { s.issued[b]++ }
+func (s *bankSchedule) record(b int) {
+	s.issued[b]++
+	s.recalcThresholds(b)
+	s.recalcMinForced()
+}
 
 // slotBank returns the bank whose nominal refresh slot contains cycle now
 // (the round-robin target "R" of the paper's Fig. 8).

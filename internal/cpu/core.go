@@ -33,6 +33,12 @@ type Memory interface {
 type loadEntry struct {
 	pos  int64 // instruction position of the load
 	done bool
+	// onDone marks the entry complete; built once per entry and reused via
+	// the core's free list, so issuing a load allocates nothing in steady
+	// state. Safe to reuse: an entry is only recycled after retirement,
+	// which requires done (the callback has already fired and cannot fire
+	// again).
+	onDone func(now int64)
 }
 
 // Core is one trace-driven core.
@@ -49,6 +55,7 @@ type Core struct {
 	cpuCycles   int64
 	outstanding int
 	loads       []*loadEntry // in program order
+	freeLoads   []*loadEntry // retired entries awaiting reuse
 
 	next     trace.Access
 	nextPos  int64
@@ -97,7 +104,30 @@ func (c *Core) Stats() Stats {
 
 // Tick advances the core by the configured number of CPU cycles per DRAM
 // cycle. now is the current DRAM cycle (used for memory callbacks).
+//
+// Two stall states are fully determined by core-local fields and can only
+// be broken by a load-completion callback, which never fires between the
+// sub-cycles of one Tick — so they fast-forward the whole DRAM cycle while
+// accumulating exactly the counters the cycle-by-cycle loop would:
+//
+//  1. Retirement blocked on an incomplete load at the window head with the
+//     instruction window full: every CPU cycle is pure wait.
+//  2. Retirement blocked the same way, window not full, but the next
+//     instruction is a load and the MSHRs are full: every CPU cycle waits
+//     and records one memory-stall beat (the dispatch loop's first action
+//     would be the failed MSHR check).
 func (c *Core) Tick(now int64) {
+	if len(c.loads) > 0 && c.loads[0].pos == c.retired && !c.loads[0].done {
+		if c.issued-c.retired >= int64(c.cfg.Window) {
+			c.cpuCycles += int64(c.cfg.CPUPerDRAM)
+			return
+		}
+		if c.haveNext && c.issued == c.nextPos && !c.next.Write && c.outstanding >= c.maxOut {
+			c.cpuCycles += int64(c.cfg.CPUPerDRAM)
+			c.stats.MemStallBeat += int64(c.cfg.CPUPerDRAM)
+			return
+		}
+	}
 	for i := 0; i < c.cfg.CPUPerDRAM; i++ {
 		c.cpuTick(now)
 	}
@@ -112,6 +142,7 @@ func (c *Core) cpuTick(now int64) {
 			if !c.loads[0].done {
 				break
 			}
+			c.freeLoads = append(c.freeLoads, c.loads[0])
 			c.loads = c.loads[1:]
 		}
 		c.retired++
@@ -154,11 +185,20 @@ func (c *Core) cpuTick(now int64) {
 				c.stats.MemStallBeat++
 				break
 			}
-			ld := &loadEntry{pos: c.issued}
-			if !c.mem.Access(now, addr, false, func(int64) {
-				ld.done = true
-				c.outstanding--
-			}) {
+			var ld *loadEntry
+			if n := len(c.freeLoads); n > 0 {
+				ld = c.freeLoads[n-1]
+				c.freeLoads = c.freeLoads[:n-1]
+				ld.pos, ld.done = c.issued, false
+			} else {
+				ld = &loadEntry{pos: c.issued}
+				ld.onDone = func(int64) {
+					ld.done = true
+					c.outstanding--
+				}
+			}
+			if !c.mem.Access(now, addr, false, ld.onDone) {
+				c.freeLoads = append(c.freeLoads, ld)
 				c.stats.MemStallBeat++
 				break
 			}

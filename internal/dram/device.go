@@ -337,6 +337,43 @@ func (d *Device) RefreshingSubarray(rankID, bankID int, t int64) int {
 // any) completes; per-bank refreshes may not overlap within a rank.
 func (d *Device) PBRefBusyUntil(rankID int) int64 { return d.ranks[rankID].pbRefUntil }
 
+// EarliestColumn returns the first cycle at which a read (write=false) or
+// write (write=true) column command to the bank could satisfy every timing
+// constraint, assuming the addressed row is open in the bank. The bound is
+// exact: given the row is open, a column command is legal at t iff
+// t >= EarliestColumn. Schedulers use it to defer re-evaluating a bank
+// until the command could actually go out.
+func (d *Device) EarliestColumn(rankID, bankID int, write bool) int64 {
+	b := &d.ranks[rankID].banks[bankID]
+	if write {
+		return max(b.nextWrite, d.nextWrite, d.busFreeAt-int64(d.tp.CWL))
+	}
+	return max(b.nextRead, d.nextRead, d.busFreeAt-int64(d.tp.CL))
+}
+
+// EarliestACT returns a lower bound on the first cycle an ACT to the bank
+// could be legal: it covers tRC/tRP after precharge, rank tRRD, and the
+// un-throttled tFAW window, but not SARP refresh collisions or the inflated
+// refresh-time tFAW/tRRD — those can only delay the ACT further, so the
+// bound stays conservative.
+func (d *Device) EarliestACT(rankID, bankID int) int64 {
+	r := d.ranks[rankID]
+	t := max(r.banks[bankID].nextAct, r.nextAct)
+	if r.actCount >= 4 {
+		t = max(t, r.actRing[r.actCount%4]+int64(d.tp.TFAW))
+	}
+	return t
+}
+
+// EarliestPRE returns the first cycle a PRE to the bank could be legal,
+// assuming the bank has an open row. The bound is exact: it covers tRAS/
+// tRTP/tWR (via the bank's precharge timer) and any in-progress refresh.
+func (d *Device) EarliestPRE(rankID, bankID int) int64 {
+	r := d.ranks[rankID]
+	b := &r.banks[bankID]
+	return max(b.nextPre, b.refUntil, r.refUntil)
+}
+
 // ReadDataAt returns the cycle the last beat of a read issued at t arrives.
 func (d *Device) ReadDataAt(t int64) int64 { return t + int64(d.tp.CL) + int64(d.tp.BL) }
 

@@ -10,7 +10,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dsarp/internal/core"
 	"dsarp/internal/metrics"
@@ -30,7 +32,16 @@ type Options struct {
 	Measure     int64 // DRAM cycles
 	Seed        int64
 	Densities   []timing.Density
-	// Progress, if non-nil, is called after each completed simulation.
+	// Parallelism bounds how many simulations run concurrently: 0 (the
+	// default) uses one worker per available CPU, 1 runs fully serial with
+	// no goroutines, n > 1 uses n workers. Every setting produces
+	// bit-identical tables: each simulation derives all state from its own
+	// config and seed, and in-flight runs are deduplicated so experiments
+	// still share cached results. Only the Progress callback order varies.
+	Parallelism int
+	// Progress, if non-nil, is called after each completed simulation. It
+	// is never called concurrently, but under parallelism the callback
+	// order is completion order, not submission order.
 	Progress func(done, total int, label string)
 }
 
@@ -61,16 +72,92 @@ func Paper() Options {
 	return o
 }
 
-// Runner executes and caches simulations.
+// Runner executes and caches simulations. All methods are safe for
+// concurrent use; the runner itself fans simulations out over
+// Options.Parallelism workers.
 type Runner struct {
-	opts       Options
-	mixes      []workload.Workload
-	sensitive  []workload.Workload
+	opts      Options
+	mixes     []workload.Workload
+	sensitive []workload.Workload
+
 	mu         sync.Mutex
 	cache      map[runKey]sim.Result
-	alone      map[string]float64 // benchmark name -> alone IPC
+	running    map[runKey]*inflight[sim.Result] // deduplicates concurrent runs
+	alone      map[string]float64               // benchmark name -> alone IPC
+	aloneRun   map[string]*inflight[float64]
 	done       int
 	totalGuess int
+
+	progressMu sync.Mutex // serializes the Progress callback
+}
+
+// inflight is a computation another worker is already performing; waiters
+// block on done and then read res. If the computing worker panicked,
+// panicked carries its panic value and waiters re-raise it instead of
+// returning a zero result.
+type inflight[T any] struct {
+	done     chan struct{}
+	res      T
+	panicked any
+}
+
+// await blocks until the computation finishes and returns its result,
+// re-raising the computing worker's panic if it had one.
+func (fl *inflight[T]) await() T {
+	<-fl.done
+	if fl.panicked != nil {
+		panic(fl.panicked)
+	}
+	return fl.res
+}
+
+// abort releases an inflight registration when the computation panics:
+// deregister it so a later call can retry, record the panic for waiters,
+// and wake them. Without this, waiters on the same key would block forever
+// while the panic unwound past them.
+func abort[T any, K comparable](r *Runner, m map[K]*inflight[T], key K, fl *inflight[T]) {
+	if v := recover(); v != nil {
+		r.mu.Lock()
+		delete(m, key)
+		r.mu.Unlock()
+		fl.panicked = v
+		close(fl.done)
+		panic(v)
+	}
+}
+
+// singleflight returns cache[key], computing it with fn exactly once across
+// concurrent callers: the first caller runs fn, everyone else waits for its
+// result (or its panic). onStore, if non-nil, runs under the runner lock in
+// the same critical section that publishes the result. The bool reports
+// whether this caller did the computing.
+func singleflight[K comparable, T any](r *Runner, cache map[K]T, running map[K]*inflight[T], key K, fn func() T, onStore func()) (T, bool) {
+	r.mu.Lock()
+	if v, ok := cache[key]; ok {
+		r.mu.Unlock()
+		return v, false
+	}
+	if fl, ok := running[key]; ok {
+		r.mu.Unlock()
+		return fl.await(), false
+	}
+	fl := &inflight[T]{done: make(chan struct{})}
+	running[key] = fl
+	r.mu.Unlock()
+	defer abort(r, running, key, fl)
+
+	v := fn()
+
+	r.mu.Lock()
+	cache[key] = v
+	delete(running, key)
+	if onStore != nil {
+		onStore()
+	}
+	r.mu.Unlock()
+	fl.res = v
+	close(fl.done)
+	return v, true
 }
 
 type runKey struct {
@@ -89,7 +176,66 @@ func NewRunner(opts Options) *Runner {
 		mixes:     workload.Mixes(opts.PerCategory, opts.Cores, opts.Seed),
 		sensitive: workload.IntensiveMixes(opts.Sensitivity, opts.Cores, opts.Seed+1),
 		cache:     map[runKey]sim.Result{},
+		running:   map[runKey]*inflight[sim.Result]{},
 		alone:     map[string]float64{},
+		aloneRun:  map[string]*inflight[float64]{},
+	}
+}
+
+// parallelism resolves Options.Parallelism to a worker count.
+func (r *Runner) parallelism() int {
+	if r.opts.Parallelism > 0 {
+		return r.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1), fanning out over the runner's worker budget.
+// Each call brings up its own workers, so nested use cannot deadlock; with
+// Parallelism 1 (or a single task) it degenerates to a plain loop on the
+// calling goroutine. A panic in fn is re-raised on the caller.
+func (r *Runner) forEach(n int, fn func(int)) {
+	p := r.parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = v
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
 	}
 }
 
@@ -115,58 +261,54 @@ func (r *Runner) baseConfig(wl workload.Workload, k core.Kind, d timing.Density)
 }
 
 // run executes (or recalls) one simulation. variant tags non-default
-// configurations; mod applies them.
+// configurations; mod applies them. Concurrent calls with the same key
+// share a single execution: the first caller computes, the rest wait.
 func (r *Runner) run(wl workload.Workload, k core.Kind, d timing.Density, variant string, mod func(*sim.Config)) sim.Result {
 	key := runKey{workload: wl.Name, mech: k, density: d, variant: variant}
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
+	var done int
+	res, computed := singleflight(r, r.cache, r.running, key, func() sim.Result {
+		cfg := r.baseConfig(wl, k, d)
+		if mod != nil {
+			mod(&cfg)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %s/%v/%v/%s: %v", wl.Name, k, d, variant, err))
+		}
 		return res
-	}
-	r.mu.Unlock()
-
-	cfg := r.baseConfig(wl, k, d)
-	if mod != nil {
-		mod(&cfg)
-	}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s/%v/%v/%s: %v", wl.Name, k, d, variant, err))
-	}
-
-	r.mu.Lock()
-	r.cache[key] = res
-	r.done++
-	done := r.done
-	r.mu.Unlock()
-	if r.opts.Progress != nil {
-		r.opts.Progress(done, r.totalGuess, fmt.Sprintf("%s %v %v %s", wl.Name, k, d, variant))
+	}, func() {
+		r.done++
+		done = r.done
+	})
+	if computed {
+		r.progress(done, fmt.Sprintf("%s %v %v %s", wl.Name, k, d, variant))
 	}
 	return res
+}
+
+func (r *Runner) progress(done int, label string) {
+	if r.opts.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	r.opts.Progress(done, r.totalGuess, label)
 }
 
 // aloneIPC returns a benchmark's alone-run IPC: a single-core run on the
 // full memory system with refresh disabled. Refresh-free alone IPCs make
 // weighted-speedup ratios across mechanisms exact (the normalization
-// constant cancels).
+// constant cancels). Like run, concurrent callers share one execution.
 func (r *Runner) aloneIPC(prof trace.Profile) float64 {
-	r.mu.Lock()
-	if ipc, ok := r.alone[prof.Name]; ok {
-		r.mu.Unlock()
-		return ipc
-	}
-	r.mu.Unlock()
-
-	wl := workload.Workload{Name: "alone." + prof.Name, Benchmarks: []trace.Profile{prof}}
-	cfg := r.baseConfig(wl, core.KindNoRef, timing.Gb8)
-	res, err := sim.Run(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("exp: alone run %s: %v", prof.Name, err))
-	}
-	ipc := res.IPC[0]
-	r.mu.Lock()
-	r.alone[prof.Name] = ipc
-	r.mu.Unlock()
+	ipc, _ := singleflight(r, r.alone, r.aloneRun, prof.Name, func() float64 {
+		wl := workload.Workload{Name: "alone." + prof.Name, Benchmarks: []trace.Profile{prof}}
+		cfg := r.baseConfig(wl, core.KindNoRef, timing.Gb8)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("exp: alone run %s: %v", prof.Name, err))
+		}
+		return res.IPC[0]
+	}, nil)
 	return ipc
 }
 
@@ -185,12 +327,13 @@ func (r *Runner) WS(wl workload.Workload, k core.Kind, d timing.Density, variant
 	return metrics.WeightedSpeedup(res.IPC, r.aloneIPCs(wl))
 }
 
-// wsSeries computes WS for every workload in ws.
+// wsSeries computes WS for every workload in ws, fanning the simulations
+// out over the runner's workers.
 func (r *Runner) wsSeries(ws []workload.Workload, k core.Kind, d timing.Density, variant string, mod func(*sim.Config)) []float64 {
 	out := make([]float64, len(ws))
-	for i, wl := range ws {
-		out[i] = r.WS(wl, k, d, variant, mod)
-	}
+	r.forEach(len(ws), func(i int) {
+		out[i] = r.WS(ws[i], k, d, variant, mod)
+	})
 	return out
 }
 

@@ -49,17 +49,24 @@ type Fig6Result struct {
 func (r *Runner) Fig6() Fig6Result {
 	out := Fig6Result{Categories: workload.Categories()}
 	for _, d := range r.opts.Densities {
+		// Fan out all (workload x mechanism) runs, then assemble the
+		// per-category ratios in the deterministic workload order.
+		ratio := make([]float64, len(r.mixes))
+		r.forEach(len(r.mixes), func(i int) {
+			wl := r.mixes[i]
+			ab := r.WS(wl, core.KindREFab, d, "", nil)
+			ideal := r.WS(wl, core.KindNoRef, d, "", nil)
+			ratio[i] = ab / ideal
+		})
 		row := LossRow{Density: d, ByCategory: map[int]float64{}}
 		var all []float64
 		for _, cat := range out.Categories {
 			var ratios []float64
-			for _, wl := range r.mixes {
+			for i, wl := range r.mixes {
 				if wl.Category != cat {
 					continue
 				}
-				ab := r.WS(wl, core.KindREFab, d, "", nil)
-				ideal := r.WS(wl, core.KindNoRef, d, "", nil)
-				ratios = append(ratios, ab/ideal)
+				ratios = append(ratios, ratio[i])
 			}
 			row.ByCategory[cat] = (1 - stats.Gmean(ratios)) * 100
 			all = append(all, ratios...)
@@ -98,12 +105,14 @@ type Fig7Result struct {
 func (r *Runner) Fig7() Fig7Result {
 	out := Fig7Result{Densities: r.opts.Densities}
 	for _, d := range r.opts.Densities {
-		var ab, pb []float64
-		for _, wl := range r.mixes {
+		ab := make([]float64, len(r.mixes))
+		pb := make([]float64, len(r.mixes))
+		r.forEach(len(r.mixes), func(i int) {
+			wl := r.mixes[i]
 			ideal := r.WS(wl, core.KindNoRef, d, "", nil)
-			ab = append(ab, r.WS(wl, core.KindREFab, d, "", nil)/ideal)
-			pb = append(pb, r.WS(wl, core.KindREFpb, d, "", nil)/ideal)
-		}
+			ab[i] = r.WS(wl, core.KindREFab, d, "", nil) / ideal
+			pb[i] = r.WS(wl, core.KindREFpb, d, "", nil) / ideal
+		})
 		out.LossAB = append(out.LossAB, (1-stats.Gmean(ab))*100)
 		out.LossPB = append(out.LossPB, (1-stats.Gmean(pb))*100)
 	}
@@ -142,14 +151,16 @@ type Fig12Result struct {
 // SARPpb and DSARP at one density, sorted by DARP improvement.
 func (r *Runner) Fig12(d timing.Density) Fig12Result {
 	out := Fig12Result{Density: d}
-	for _, wl := range r.mixes {
+	out.Curves = make([]Fig12Curve, len(r.mixes))
+	r.forEach(len(r.mixes), func(i int) {
+		wl := r.mixes[i]
 		ab := r.WS(wl, core.KindREFab, d, "", nil)
 		c := Fig12Curve{Workload: wl.Name, Norm: map[core.Kind]float64{}}
 		for _, k := range Fig12Mechanisms() {
 			c.Norm[k] = r.WS(wl, k, d, "", nil) / ab
 		}
-		out.Curves = append(out.Curves, c)
-	}
+		out.Curves[i] = c
+	})
 	sort.Slice(out.Curves, func(i, j int) bool {
 		return out.Curves[i].Norm[core.KindDARP] < out.Curves[j].Norm[core.KindDARP]
 	})
@@ -245,10 +256,10 @@ func (r *Runner) Fig14() Fig14Result {
 	out := Fig14Result{Densities: r.opts.Densities, EPA: map[core.Kind][]float64{}}
 	for di, d := range r.opts.Densities {
 		for _, k := range Fig14Mechanisms() {
-			var vals []float64
-			for _, wl := range r.mixes {
-				vals = append(vals, r.run(wl, k, d, "", nil).EnergyPerAccess())
-			}
+			vals := make([]float64, len(r.mixes))
+			r.forEach(len(r.mixes), func(i int) {
+				vals[i] = r.run(r.mixes[i], k, d, "", nil).EnergyPerAccess()
+			})
 			out.EPA[k] = append(out.EPA[k], stats.Mean(vals))
 		}
 		red := (1 - out.EPA[core.KindDSARP][di]/out.EPA[core.KindREFab][di]) * 100
@@ -298,15 +309,22 @@ func (r *Runner) Fig15() Fig15Result {
 		OverPB:     map[int][]float64{},
 	}
 	for _, d := range r.opts.Densities {
+		abR := make([]float64, len(r.mixes))
+		pbR := make([]float64, len(r.mixes))
+		r.forEach(len(r.mixes), func(i int) {
+			wl := r.mixes[i]
+			ds := r.WS(wl, core.KindDSARP, d, "", nil)
+			abR[i] = ds / r.WS(wl, core.KindREFab, d, "", nil)
+			pbR[i] = ds / r.WS(wl, core.KindREFpb, d, "", nil)
+		})
 		for _, cat := range out.Categories {
 			var ab, pb []float64
-			for _, wl := range r.mixes {
+			for i, wl := range r.mixes {
 				if wl.Category != cat {
 					continue
 				}
-				ds := r.WS(wl, core.KindDSARP, d, "", nil)
-				ab = append(ab, ds/r.WS(wl, core.KindREFab, d, "", nil))
-				pb = append(pb, ds/r.WS(wl, core.KindREFpb, d, "", nil))
+				ab = append(ab, abR[i])
+				pb = append(pb, pbR[i])
 			}
 			out.OverAB[cat] = append(out.OverAB[cat], stats.PctImprovement(stats.Gmean(ab)))
 			out.OverPB[cat] = append(out.OverPB[cat], stats.PctImprovement(stats.Gmean(pb)))

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dsarp/internal/core"
+	"dsarp/internal/timing"
+	"dsarp/internal/workload"
+)
+
+// goldenOpts is the fixed configuration behind the golden table strings
+// below: small enough to run in seconds, large enough to exercise several
+// densities and mechanisms.
+func goldenOpts() Options {
+	return Options{
+		PerCategory: 1,
+		Sensitivity: 1,
+		Cores:       2,
+		Warmup:      5_000,
+		Measure:     20_000,
+		Seed:        42,
+		Densities:   []timing.Density{timing.Gb8, timing.Gb32},
+	}
+}
+
+// goldenTable2/goldenFig13 were produced by the seed (serial, pre-index)
+// runner at goldenOpts. Any scheduler or runner change that alters them is a
+// behavior change, not an optimization.
+const goldenTable2 = `Table 2 — WS improvement (%):
+ density mech         max/PB    max/AB  gmean/PB  gmean/AB
+     8Gb DARP            1.7      16.8       0.7      11.0
+     8Gb SARPpb          3.0      16.4       1.9      12.4
+     8Gb DSARP           2.6      15.2       0.9      11.3
+    32Gb DARP            3.8      70.3      -1.6      50.3
+    32Gb SARPpb         20.0      75.4       6.4      62.5
+    32Gb DSARP          15.5      65.1       2.1      55.9
+`
+
+const goldenFig13 = `Fig. 13 — WS improvement over REFab (%):
+mech          8Gb    32Gb
+REFpb        10.3    52.8
+Elastic       3.3    10.9
+DARP         11.0    50.3
+SARPab        5.1    15.4
+SARPpb       12.4    62.5
+DSARP        11.3    55.9
+NoREF        14.5    73.6
+(REFab absolute WS per density: 8Gb=1.66 32Gb=1.10)
+`
+
+// TestGoldenTablesMatchSeed pins Table2 and Fig13 output to the seed
+// runner's, byte for byte, at every parallelism level: fully serial, a
+// worker pool wider than the task list, and the auto (per-CPU) setting.
+func TestGoldenTablesMatchSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation golden run")
+	}
+	for _, par := range []int{1, 8, 0} {
+		opts := goldenOpts()
+		opts.Parallelism = par
+		r := NewRunner(opts)
+		if got := r.Table2().String(); got != goldenTable2 {
+			t.Errorf("Parallelism=%d: Table2 diverged from seed:\n got:\n%s\nwant:\n%s", par, got, goldenTable2)
+		}
+		if got := r.Fig13().String(); got != goldenFig13 {
+			t.Errorf("Parallelism=%d: Fig13 diverged from seed:\n got:\n%s\nwant:\n%s", par, got, goldenFig13)
+		}
+	}
+}
+
+// TestParallelRunnerSharedRuns checks that concurrent experiments still
+// share simulations: after Table2 and Fig13 (which reuse the same REFab/
+// REFpb/DSARP runs) the cache must hold every completed run exactly once.
+func TestParallelRunnerSharedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation run")
+	}
+	opts := goldenOpts()
+	opts.Parallelism = 8
+	var mu sync.Mutex
+	seen := map[string]int{}
+	opts.Progress = func(_, _ int, label string) {
+		mu.Lock()
+		seen[label]++
+		mu.Unlock()
+	}
+	r := NewRunner(opts)
+	r.Table2()
+	r.Fig13()
+	for label, n := range seen {
+		if n != 1 {
+			t.Errorf("simulation %q ran %d times; in-flight dedup failed", label, n)
+		}
+	}
+	if len(seen) != r.done {
+		t.Errorf("progress reported %d distinct runs, runner counted %d", len(seen), r.done)
+	}
+}
+
+// TestRunPanicReleasesWaiters pins the failure contract of the in-flight
+// dedup: when the computing worker panics (simulation config error), every
+// waiter on the same key must be released with the same panic instead of
+// blocking forever on the entry's done channel.
+func TestRunPanicReleasesWaiters(t *testing.T) {
+	opts := goldenOpts()
+	opts.Parallelism = 2
+	r := NewRunner(opts)
+	bad := workload.Workload{Name: "bad"} // no benchmarks: sim.Run errors, run panics
+
+	results := make(chan any, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer func() { results <- recover() }()
+			r.run(bad, core.KindNoRef, timing.Gb8, "", nil)
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-results:
+			if v == nil {
+				t.Error("run on a broken workload should panic")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("waiter deadlocked on a panicked in-flight run")
+		}
+	}
+}

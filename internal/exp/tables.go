@@ -133,17 +133,21 @@ func (r *Runner) Table3() Table3Result {
 	d := timing.Gb32
 	for _, cores := range []int{2, 4, 8} {
 		mixes := workload.IntensiveMixes(r.opts.Sensitivity, cores, r.opts.Seed+1)
-		var wsR, hsR, msR, epaR []float64
-		for _, wl := range mixes {
+		wsR := make([]float64, len(mixes))
+		hsR := make([]float64, len(mixes))
+		msR := make([]float64, len(mixes))
+		epaR := make([]float64, len(mixes))
+		r.forEach(len(mixes), func(i int) {
+			wl := mixes[i]
 			alone := r.aloneIPCs(wl)
 			variant := fmt.Sprintf("cores%d", cores)
 			resAB := r.run(wl, core.KindREFab, d, variant, nil)
 			resDS := r.run(wl, core.KindDSARP, d, variant, nil)
-			wsR = append(wsR, metrics.WeightedSpeedup(resDS.IPC, alone)/metrics.WeightedSpeedup(resAB.IPC, alone))
-			hsR = append(hsR, metrics.HarmonicSpeedup(resDS.IPC, alone)/metrics.HarmonicSpeedup(resAB.IPC, alone))
-			msR = append(msR, metrics.MaxSlowdown(resDS.IPC, alone)/metrics.MaxSlowdown(resAB.IPC, alone))
-			epaR = append(epaR, resDS.EnergyPerAccess()/resAB.EnergyPerAccess())
-		}
+			wsR[i] = metrics.WeightedSpeedup(resDS.IPC, alone) / metrics.WeightedSpeedup(resAB.IPC, alone)
+			hsR[i] = metrics.HarmonicSpeedup(resDS.IPC, alone) / metrics.HarmonicSpeedup(resAB.IPC, alone)
+			msR[i] = metrics.MaxSlowdown(resDS.IPC, alone) / metrics.MaxSlowdown(resAB.IPC, alone)
+			epaR[i] = resDS.EnergyPerAccess() / resAB.EnergyPerAccess()
+		})
 		out.Rows = append(out.Rows, Table3Row{
 			Cores:          cores,
 			WSImprove:      stats.PctImprovement(stats.Gmean(wsR)),
@@ -188,12 +192,13 @@ func (r *Runner) Table4() Table4Result {
 				p.TRRD = max(1, tfaw/5)
 			}
 		}
-		var ratios []float64
-		for _, wl := range r.sensitive {
+		ratios := make([]float64, len(r.sensitive))
+		r.forEach(len(r.sensitive), func(i int) {
+			wl := r.sensitive[i]
 			sp := r.WS(wl, core.KindSARPpb, d, variant, mod)
 			pb := r.WS(wl, core.KindREFpb, d, variant, mod)
-			ratios = append(ratios, sp/pb)
-		}
+			ratios[i] = sp / pb
+		})
 		out.Improve = append(out.Improve, stats.PctImprovement(stats.Gmean(ratios)))
 	}
 	return out
@@ -231,12 +236,13 @@ func (r *Runner) Table5() Table5Result {
 		subs := subs
 		variant := fmt.Sprintf("subs%d", subs)
 		mod := func(c *sim.Config) { c.SubarraysPerBank = subs }
-		var ratios []float64
-		for _, wl := range r.sensitive {
+		ratios := make([]float64, len(r.sensitive))
+		r.forEach(len(r.sensitive), func(i int) {
+			wl := r.sensitive[i]
 			sp := r.WS(wl, core.KindSARPpb, d, variant, mod)
 			pb := r.WS(wl, core.KindREFpb, d, variant, mod)
-			ratios = append(ratios, sp/pb)
-		}
+			ratios[i] = sp / pb
+		})
 		out.Improve = append(out.Improve, stats.PctImprovement(stats.Gmean(ratios)))
 	}
 	return out

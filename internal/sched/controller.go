@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"dsarp/internal/dram"
 	"dsarp/internal/timing"
@@ -29,6 +30,18 @@ func DefaultConfig() Config {
 }
 
 // Controller schedules one DRAM channel.
+//
+// Requests are indexed per (rank, bank) rather than kept in flat queues:
+// FR-FCFS selection walks the banks (checking the open row's bucket for
+// hits, else the oldest activation candidate per bank) instead of scanning
+// every queued request three times per DRAM cycle. Between cycles the
+// controller caches a failed demand-command search together with the
+// earliest cycle the device could accept any rejected candidate, and skips
+// re-scanning until that cycle — or until an enqueue, dequeue, issued
+// command, write-mode flip, or refresh-policy block change invalidates the
+// cached miss. Both layers are exact: the controller issues the same
+// command stream, cycle for cycle, as the seed's flat-scan implementation
+// (pinned by TestGoldenFixedTraceStats).
 type Controller struct {
 	dev    *dram.Device
 	tp     timing.Params
@@ -36,11 +49,23 @@ type Controller struct {
 	cfg    Config
 	policy RefreshPolicy
 
-	readQ    []*Request
-	writeQ   []*Request
-	pending  *bankPending
-	inflight []*Request // reads awaiting data return
-	wmode    bool
+	readIx      queueIndex
+	writeIx     queueIndex
+	writeAddrs  map[dram.Addr]struct{} // queued write addresses (forwarding/merge probes)
+	pending     *bankPending
+	inflight    []*Request // reads awaiting data return
+	inflightMin int64      // earliest Done among inflight (MaxInt64 when empty)
+	wmode       bool
+	seq         int64 // next admission sequence number
+
+	// Cached demand-search miss: while missValid, chooseDemand would find no
+	// issuable command before missNextTry, provided the policy's blocked
+	// epoch still matches missEpoch and no invalidating event occurred.
+	missValid   bool
+	missNextTry int64
+	missEpoch   uint64
+
+	reqFree []*Request // completed requests awaiting reuse (NewRequest), capped
 
 	stats Stats
 }
@@ -58,14 +83,16 @@ func NewController(dev *dram.Device, cfg Config, policy RefreshPolicy) *Controll
 	}
 	g := dev.Geometry()
 	return &Controller{
-		dev:     dev,
-		tp:      dev.Timing(),
-		geom:    g,
-		cfg:     cfg,
-		policy:  policy,
-		readQ:   make([]*Request, 0, cfg.ReadQueueCap),
-		writeQ:  make([]*Request, 0, cfg.WriteQueueCap),
-		pending: newBankPending(g.Ranks, g.Banks),
+		dev:         dev,
+		tp:          dev.Timing(),
+		geom:        g,
+		cfg:         cfg,
+		policy:      policy,
+		readIx:      newQueueIndex(g.Ranks, g.Banks),
+		writeIx:     newQueueIndex(g.Ranks, g.Banks),
+		writeAddrs:  make(map[dram.Addr]struct{}, cfg.WriteQueueCap),
+		pending:     newBankPending(g.Ranks, g.Banks),
+		inflightMin: math.MaxInt64,
 	}
 }
 
@@ -80,6 +107,7 @@ func (c *Controller) SetPolicy(p RefreshPolicy) {
 		p = NoRefresh{}
 	}
 	c.policy = p
+	c.missValid = false
 }
 
 // Stats returns accumulated controller statistics.
@@ -94,6 +122,9 @@ func (c *Controller) Timing() timing.Params { return c.tp }
 // PendingDemand implements View.
 func (c *Controller) PendingDemand(rank, bank int) int { return c.pending.Demand(rank, bank) }
 
+// PendingRankDemand implements View.
+func (c *Controller) PendingRankDemand(rank int) int { return c.pending.Rank(rank) }
+
 // PendingReads implements View.
 func (c *Controller) PendingReads(rank, bank int) int { return c.pending.Reads(rank, bank) }
 
@@ -103,55 +134,88 @@ func (c *Controller) WriteMode() bool { return c.wmode }
 // IssueCmd implements View: policies issue refresh/drain commands through it.
 func (c *Controller) IssueCmd(cmd dram.Cmd, now int64) {
 	c.dev.Issue(cmd, now)
+	c.missValid = false
 	if cmd.Kind.IsRefresh() {
 		c.stats.RefreshSlots++
 	}
 }
 
+// NewRequest returns a zeroed Request, recycling completed ones. A request
+// passed to EnqueueRead/EnqueueWrite becomes controller-owned regardless of
+// the result: the controller recycles a read after its completion callback
+// runs, a write after it issues (or merges), and a rejected request
+// immediately — so callers must not retain one past the enqueue call, and
+// must retry a rejection with a fresh request.
+func (c *Controller) NewRequest() *Request {
+	if n := len(c.reqFree); n > 0 {
+		req := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		*req = Request{}
+		return req
+	}
+	return &Request{}
+}
+
+func (c *Controller) recycle(req *Request) {
+	// Cap the pool at the maximum pooled working set (both queues plus a
+	// generous in-flight margin): drivers that allocate their own requests
+	// and never call NewRequest would otherwise grow it one entry per
+	// request, forever.
+	if len(c.reqFree) < 2*(c.cfg.ReadQueueCap+c.cfg.WriteQueueCap) {
+		c.reqFree = append(c.reqFree, req)
+	}
+}
+
 // ReadQueueLen returns the current read queue occupancy.
-func (c *Controller) ReadQueueLen() int { return len(c.readQ) }
+func (c *Controller) ReadQueueLen() int { return c.readIx.n }
 
 // WriteQueueLen returns the current write queue occupancy.
-func (c *Controller) WriteQueueLen() int { return len(c.writeQ) }
+func (c *Controller) WriteQueueLen() int { return c.writeIx.n }
 
 // EnqueueRead admits a read request; it returns false when the read queue is
 // full (the caller must retry — this is MSHR backpressure). A read that hits
 // a queued write is forwarded from the write queue without touching DRAM.
 func (c *Controller) EnqueueRead(req *Request, now int64) bool {
-	for _, w := range c.writeQ {
-		if w.Addr == req.Addr {
-			req.Done = now + 1
-			c.inflight = append(c.inflight, req)
-			c.stats.ForwardedReads++
-			return true
-		}
+	if _, ok := c.writeAddrs[req.Addr]; ok {
+		req.Done = now + 1
+		c.addInflight(req)
+		c.stats.ForwardedReads++
+		return true
 	}
-	if len(c.readQ) >= c.cfg.ReadQueueCap {
+	if c.readIx.n >= c.cfg.ReadQueueCap {
 		c.stats.ReadQueueFullStalls++
+		c.recycle(req) // rejected: the caller retries with a fresh request
 		return false
 	}
 	req.Arrive = now
-	c.readQ = append(c.readQ, req)
+	req.seq = c.seq
+	c.seq++
+	c.readIx.add(req)
 	c.pending.add(req, 1)
+	c.missValid = false
 	return true
 }
 
 // EnqueueWrite admits a write request; it returns false when the write queue
 // is full. Writes to an already-queued address are merged.
 func (c *Controller) EnqueueWrite(req *Request, now int64) bool {
-	for _, w := range c.writeQ {
-		if w.Addr == req.Addr {
-			c.stats.MergedWrites++
-			return true
-		}
+	if _, ok := c.writeAddrs[req.Addr]; ok {
+		c.stats.MergedWrites++
+		c.recycle(req) // merged: the queued write stands in for it
+		return true
 	}
-	if len(c.writeQ) >= c.cfg.WriteQueueCap {
+	if c.writeIx.n >= c.cfg.WriteQueueCap {
 		c.stats.WriteQueueFullStalls++
+		c.recycle(req) // rejected: the caller retries with a fresh request
 		return false
 	}
 	req.Arrive = now
-	c.writeQ = append(c.writeQ, req)
+	req.seq = c.seq
+	c.seq++
+	c.writeIx.add(req)
+	c.writeAddrs[req.Addr] = struct{}{}
 	c.pending.add(req, 1)
+	c.missValid = false
 	return true
 }
 
@@ -165,7 +229,7 @@ func (c *Controller) Tick(now int64) {
 		c.stats.WriteModeCycles++
 	}
 
-	cmd, req, autopre, ok := c.chooseDemand(now)
+	cmd, req, autopre, ok := c.chooseDemandCached(now)
 	if c.policy.Tick(now, ok) {
 		return // policy consumed the command slot
 	}
@@ -174,11 +238,19 @@ func (c *Controller) Tick(now int64) {
 	}
 }
 
+func (c *Controller) addInflight(req *Request) {
+	c.inflight = append(c.inflight, req)
+	if req.Done < c.inflightMin {
+		c.inflightMin = req.Done
+	}
+}
+
 func (c *Controller) completeReads(now int64) {
-	if len(c.inflight) == 0 {
-		return
+	if now < c.inflightMin {
+		return // nothing can have returned yet (MaxInt64 when empty)
 	}
 	kept := c.inflight[:0]
+	minDone := int64(math.MaxInt64)
 	for _, r := range c.inflight {
 		if r.Done <= now {
 			c.stats.ReadsServed++
@@ -186,20 +258,27 @@ func (c *Controller) completeReads(now int64) {
 			if r.OnComplete != nil {
 				r.OnComplete(now)
 			}
+			c.recycle(r)
 		} else {
 			kept = append(kept, r)
+			if r.Done < minDone {
+				minDone = r.Done
+			}
 		}
 	}
 	c.inflight = kept
+	c.inflightMin = minDone
 }
 
 func (c *Controller) updateWriteMode() {
-	if !c.wmode && len(c.writeQ) >= c.cfg.WriteHigh {
+	if !c.wmode && c.writeIx.n >= c.cfg.WriteHigh {
 		c.wmode = true
+		c.missValid = false
 		c.stats.WriteModeEntries++
 	}
-	if c.wmode && len(c.writeQ) <= c.cfg.WriteLow {
+	if c.wmode && c.writeIx.n <= c.cfg.WriteLow {
 		c.wmode = false
+		c.missValid = false
 	}
 }
 
@@ -207,83 +286,163 @@ func (c *Controller) blocked(rank, bank int) bool {
 	return c.policy.RankBlocked(rank) || c.policy.BankBlocked(rank, bank)
 }
 
+// chooseDemandCached reuses the previous cycle's failed demand search when
+// nothing that could change its outcome has happened: no queue or device
+// mutation (tracked via missValid), no write-mode flip, no policy block
+// change (BlockedEpoch), and the earliest-ready bound still in the future.
+func (c *Controller) chooseDemandCached(now int64) (dram.Cmd, *Request, bool, bool) {
+	if c.readIx.n == 0 && c.writeIx.n == 0 {
+		return dram.Cmd{}, nil, false, false
+	}
+	if c.missValid && now < c.missNextTry && c.policy.BlockedEpoch() == c.missEpoch {
+		// Replicate the one observable side effect of a fruitless scan: the
+		// opportunistic-drain counter ticks whenever write drain is
+		// considered outside writeback mode.
+		if !c.wmode && c.readIx.n == 0 && c.writeIx.n > 0 {
+			c.stats.OpportunisticDrain++
+		}
+		return dram.Cmd{}, nil, false, false
+	}
+	cmd, req, autopre, ok, nextTry := c.chooseDemand(now)
+	if ok {
+		c.missValid = false
+	} else {
+		c.missValid = true
+		c.missNextTry = nextTry
+		c.missEpoch = c.policy.BlockedEpoch()
+	}
+	return cmd, req, autopre, ok
+}
+
 // chooseDemand picks the best demand command under FR-FCFS: first-ready
 // column command to an open row (oldest first), then the oldest activation,
-// then a conflict precharge. It does not mutate state.
-func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool) {
-	q := c.readQ
-	if c.wmode || len(c.readQ) == 0 {
+// then a conflict precharge. It does not mutate scheduling state. When no
+// command is issuable it also returns the earliest cycle any rejected
+// candidate could become issuable on its own (device timing expiring), which
+// backs the cross-cycle miss cache.
+func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool, int64) {
+	ix := &c.readIx
+	isWrite := false
+	if c.wmode || c.readIx.n == 0 {
 		// Writeback mode, or opportunistic write drain while no reads are
 		// waiting (otherwise sub-watermark writes would sit forever).
-		q = c.writeQ
-		if !c.wmode && len(q) > 0 {
+		ix = &c.writeIx
+		isWrite = true
+		if !c.wmode && ix.n > 0 {
 			c.stats.OpportunisticDrain++
 		}
 	}
-	// Pass 1: row hits.
-	for _, r := range q {
-		if c.blocked(r.Addr.Rank, r.Addr.Bank) {
+	nextTry := int64(math.MaxInt64)
+	if ix.n == 0 {
+		return dram.Cmd{}, nil, false, false, nextTry
+	}
+	banks := c.geom.Banks
+
+	// Pass 1: row hits. Per bank the candidate is the oldest request to the
+	// open row; EarliestColumn is exact, so no separate CanIssue is needed.
+	var best *Request
+	for _, bi := range ix.active {
+		bkt := &ix.buckets[bi]
+		if best != nil && bkt.reqs[0].seq > best.seq {
+			continue // even this bank's oldest request is younger
+		}
+		rank, bank := bi/banks, bi%banks
+		open := c.dev.OpenRow(rank, bank)
+		if open == dram.NoRow || bkt.rowCount(open) == 0 || c.blocked(rank, bank) {
 			continue
 		}
-		if c.dev.OpenRow(r.Addr.Rank, r.Addr.Bank) != r.Addr.Row {
+		if e := c.dev.EarliestColumn(rank, bank, isWrite); e > now {
+			if e < nextTry {
+				nextTry = e
+			}
 			continue
 		}
-		autopre := !c.cfg.OpenRow && !c.hasAnotherRowHit(q, r)
-		kind := colKind(r.IsWrite, autopre)
-		cmd := dram.Cmd{Kind: kind, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Row: r.Addr.Row, Col: r.Addr.Col}
-		if c.dev.CanIssue(cmd, now) {
-			return cmd, r, autopre, true
+		if r := bkt.oldestForRow(open); best == nil || r.seq < best.seq {
+			best = r
 		}
 	}
-	// Pass 2: activations for precharged banks.
-	for _, r := range q {
-		if c.blocked(r.Addr.Rank, r.Addr.Bank) {
+	if best != nil {
+		bkt := ix.bucketOf(best.Addr.Rank, best.Addr.Bank)
+		autopre := !c.cfg.OpenRow && bkt.rowCount(best.Addr.Row) < 2
+		kind := colKind(best.IsWrite, autopre)
+		cmd := dram.Cmd{Kind: kind, Rank: best.Addr.Rank, Bank: best.Addr.Bank, Row: best.Addr.Row, Col: best.Addr.Col}
+		return cmd, best, autopre, true, 0
+	}
+
+	// Pass 2: activations for precharged banks. EarliestACT is a lower
+	// bound only — with SARP, ACT legality depends on the target row's
+	// subarray — so surviving banks still go through CanIssue per row.
+	for _, bi := range ix.active {
+		bkt := &ix.buckets[bi]
+		if best != nil && bkt.reqs[0].seq > best.seq {
 			continue
 		}
-		if c.dev.OpenRow(r.Addr.Rank, r.Addr.Bank) != dram.NoRow {
+		rank, bank := bi/banks, bi%banks
+		if c.dev.OpenRow(rank, bank) != dram.NoRow || c.blocked(rank, bank) {
 			continue
 		}
-		cmd := dram.Cmd{Kind: dram.CmdACT, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Row: r.Addr.Row}
-		if c.dev.CanIssue(cmd, now) {
-			return cmd, r, false, true
+		if e := c.dev.EarliestACT(rank, bank); e > now {
+			if e < nextTry {
+				nextTry = e
+			}
+			continue
+		}
+		found := false
+		for _, r := range bkt.reqs {
+			if best != nil && r.seq > best.seq {
+				found = true // an older candidate already won; bank stays live
+				break
+			}
+			cmd := dram.Cmd{Kind: dram.CmdACT, Rank: rank, Bank: bank, Row: r.Addr.Row}
+			if c.dev.CanIssue(cmd, now) {
+				best = r
+				found = true
+				break
+			}
+		}
+		if !found && now+1 < nextTry {
+			// Thresholds passed but every queued row is held off by an
+			// in-progress refresh (SARP subarray collision or throttled
+			// tFAW); re-evaluate next cycle.
+			nextTry = now + 1
 		}
 	}
-	// Pass 3: precharge a conflicting open row nobody queued wants.
-	for _, r := range q {
-		if c.blocked(r.Addr.Rank, r.Addr.Bank) {
+	if best != nil {
+		cmd := dram.Cmd{Kind: dram.CmdACT, Rank: best.Addr.Rank, Bank: best.Addr.Bank, Row: best.Addr.Row}
+		return cmd, best, false, true, 0
+	}
+
+	// Pass 3: precharge a conflicting open row nobody queued wants. The
+	// bank's oldest request stands in for FR-FCFS age ordering; EarliestPRE
+	// is exact.
+	bestBank := -1
+	for _, bi := range ix.active {
+		bkt := &ix.buckets[bi]
+		if best != nil && bkt.reqs[0].seq > best.seq {
 			continue
 		}
-		open := c.dev.OpenRow(r.Addr.Rank, r.Addr.Bank)
-		if open == dram.NoRow || open == r.Addr.Row {
+		rank, bank := bi/banks, bi%banks
+		open := c.dev.OpenRow(rank, bank)
+		if open == dram.NoRow || c.blocked(rank, bank) {
 			continue
 		}
-		if c.queuedForRow(q, r.Addr.Rank, r.Addr.Bank, open) {
+		if bkt.rowCount(open) > 0 {
 			continue // FR-FCFS: let the row hits drain first
 		}
-		cmd := dram.Cmd{Kind: dram.CmdPRE, Rank: r.Addr.Rank, Bank: r.Addr.Bank}
-		if c.dev.CanIssue(cmd, now) {
-			return cmd, nil, false, true
+		if e := c.dev.EarliestPRE(rank, bank); e > now {
+			if e < nextTry {
+				nextTry = e
+			}
+			continue
 		}
+		best = bkt.reqs[0]
+		bestBank = bi
 	}
-	return dram.Cmd{}, nil, false, false
-}
-
-func (c *Controller) hasAnotherRowHit(q []*Request, cur *Request) bool {
-	for _, r := range q {
-		if r != cur && r.Addr.Rank == cur.Addr.Rank && r.Addr.Bank == cur.Addr.Bank && r.Addr.Row == cur.Addr.Row {
-			return true
-		}
+	if bestBank >= 0 {
+		cmd := dram.Cmd{Kind: dram.CmdPRE, Rank: bestBank / banks, Bank: bestBank % banks}
+		return cmd, nil, false, true, 0
 	}
-	return false
-}
-
-func (c *Controller) queuedForRow(q []*Request, rank, bank, row int) bool {
-	for _, r := range q {
-		if r.Addr.Rank == rank && r.Addr.Bank == bank && r.Addr.Row == row {
-			return true
-		}
-	}
-	return false
+	return dram.Cmd{}, nil, false, false, nextTry
 }
 
 func colKind(write, autopre bool) dram.CmdKind {
@@ -301,6 +460,7 @@ func colKind(write, autopre bool) dram.CmdKind {
 
 func (c *Controller) issueDemand(cmd dram.Cmd, req *Request, autopre bool, now int64) {
 	c.dev.Issue(cmd, now)
+	c.missValid = false
 	c.stats.DemandSlots++
 	if !cmd.Kind.IsColumn() {
 		return // ACT/PRE keep the request queued
@@ -311,27 +471,24 @@ func (c *Controller) issueDemand(cmd dram.Cmd, req *Request, autopre bool, now i
 		req.Done = c.dev.WriteDataAt(now)
 		c.stats.WritesServed++
 		c.stats.WriteLatencySum += req.Done - req.Arrive
+		c.recycle(req)
 		return
 	}
 	req.Done = c.dev.ReadDataAt(now)
-	c.inflight = append(c.inflight, req)
+	c.addInflight(req)
 }
 
 func (c *Controller) removeRequest(req *Request) {
-	q := &c.readQ
 	if req.IsWrite {
-		q = &c.writeQ
+		c.writeIx.remove(req)
+		delete(c.writeAddrs, req.Addr)
+	} else {
+		c.readIx.remove(req)
 	}
-	for i, r := range *q {
-		if r == req {
-			*q = append((*q)[:i], (*q)[i+1:]...)
-			return
-		}
-	}
-	panic("sched: request not queued")
+	c.missValid = false
 }
 
 // Drained reports whether all queues and in-flight reads are empty.
 func (c *Controller) Drained() bool {
-	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.inflight) == 0
+	return c.readIx.n == 0 && c.writeIx.n == 0 && len(c.inflight) == 0
 }

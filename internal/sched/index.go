@@ -1,0 +1,122 @@
+package sched
+
+// queueIndex holds one request queue (read or write) bucketed per
+// (rank, bank), replacing the seed controller's flat slice. Each bucket
+// keeps its requests in arrival order and a row→count table, so FR-FCFS can
+// answer "oldest row hit for the open row", "any other hit to this row"
+// (auto-precharge) and "anyone queued for the open row" (conflict PRE)
+// without scanning the whole queue. The active list enumerates nonempty
+// buckets so scheduling scans skip idle banks entirely; its order is
+// arbitrary — FR-FCFS age ordering is recovered via Request.seq.
+type queueIndex struct {
+	banks   int
+	buckets []bucket
+	active  []int // indices of nonempty buckets, unordered
+	n       int   // total queued requests across all buckets
+}
+
+// bucket is the per-(rank,bank) request list. rows is a small association
+// list rather than a map: buckets hold a handful of requests (the 64-entry
+// queue spreads over 16 banks), so linear probes beat map overhead.
+type bucket struct {
+	reqs []*Request // arrival (seq) order
+	rows []rowCount // row -> number of queued requests for it
+	apos int        // position in queueIndex.active, -1 when empty
+}
+
+type rowCount struct {
+	row int
+	n   int
+}
+
+func newQueueIndex(ranks, banks int) queueIndex {
+	ix := queueIndex{banks: banks, buckets: make([]bucket, ranks*banks)}
+	for i := range ix.buckets {
+		ix.buckets[i].apos = -1
+	}
+	return ix
+}
+
+func (ix *queueIndex) bucketOf(rank, bank int) *bucket {
+	return &ix.buckets[rank*ix.banks+bank]
+}
+
+func (ix *queueIndex) add(req *Request) {
+	bi := req.Addr.Rank*ix.banks + req.Addr.Bank
+	b := &ix.buckets[bi]
+	if len(b.reqs) == 0 {
+		b.apos = len(ix.active)
+		ix.active = append(ix.active, bi)
+	}
+	b.reqs = append(b.reqs, req)
+	b.addRow(req.Addr.Row)
+	ix.n++
+}
+
+// remove deletes req from its bucket, preserving arrival order. It panics
+// if the request is not queued — the controller only removes requests it
+// just scheduled, so absence is a bookkeeping bug.
+func (ix *queueIndex) remove(req *Request) {
+	bi := req.Addr.Rank*ix.banks + req.Addr.Bank
+	b := &ix.buckets[bi]
+	for i, r := range b.reqs {
+		if r == req {
+			b.reqs = append(b.reqs[:i], b.reqs[i+1:]...)
+			b.removeRow(req.Addr.Row)
+			ix.n--
+			if len(b.reqs) == 0 {
+				last := ix.active[len(ix.active)-1]
+				ix.active[b.apos] = last
+				ix.buckets[last].apos = b.apos
+				ix.active = ix.active[:len(ix.active)-1]
+				b.apos = -1
+			}
+			return
+		}
+	}
+	panic("sched: request not queued")
+}
+
+func (b *bucket) addRow(row int) {
+	for i := range b.rows {
+		if b.rows[i].row == row {
+			b.rows[i].n++
+			return
+		}
+	}
+	b.rows = append(b.rows, rowCount{row: row, n: 1})
+}
+
+func (b *bucket) removeRow(row int) {
+	for i := range b.rows {
+		if b.rows[i].row == row {
+			b.rows[i].n--
+			if b.rows[i].n == 0 {
+				b.rows[i] = b.rows[len(b.rows)-1]
+				b.rows = b.rows[:len(b.rows)-1]
+			}
+			return
+		}
+	}
+	panic("sched: row count underflow")
+}
+
+// rowCount returns how many queued requests in the bucket target row.
+func (b *bucket) rowCount(row int) int {
+	for i := range b.rows {
+		if b.rows[i].row == row {
+			return b.rows[i].n
+		}
+	}
+	return 0
+}
+
+// oldestForRow returns the oldest queued request targeting row, or nil.
+func (b *bucket) oldestForRow(row int) *Request {
+	for _, r := range b.reqs {
+		if r.Addr.Row == row {
+			return r
+		}
+	}
+	return nil
+}

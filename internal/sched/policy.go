@@ -28,6 +28,14 @@ type RefreshPolicy interface {
 	// BankBlocked reports that demand to one bank must be held while a
 	// per-bank refresh is pending on it.
 	BankBlocked(rank, bank int) bool
+
+	// BlockedEpoch is a counter the policy bumps whenever any RankBlocked or
+	// BankBlocked answer may have changed. Policies unblock on their own
+	// schedule without issuing a command, so the controller uses the epoch
+	// to know when a cached scheduling decision that honored the old block
+	// state must be re-derived. A policy may bump spuriously (that only
+	// costs a re-scan) but must never miss a change.
+	BlockedEpoch() uint64
 }
 
 // View is the controller surface a RefreshPolicy operates through.
@@ -38,6 +46,10 @@ type View interface {
 	Timing() timing.Params
 	// PendingDemand is the number of queued reads+writes for a bank.
 	PendingDemand(rank, bank int) int
+	// PendingRankDemand is the number of queued reads+writes for a whole
+	// rank — the O(1) form of the per-bank sum that idle-rank checks
+	// (Elastic, AR, Pausing) would otherwise rebuild every cycle.
+	PendingRankDemand(rank int) int
 	// PendingReads is the number of queued reads for a bank.
 	PendingReads(rank, bank int) int
 	// WriteMode reports whether the controller is draining a write batch.
@@ -61,3 +73,6 @@ func (NoRefresh) RankBlocked(int) bool { return false }
 
 // BankBlocked implements RefreshPolicy.
 func (NoRefresh) BankBlocked(int, int) bool { return false }
+
+// BlockedEpoch implements RefreshPolicy: nothing ever blocks.
+func (NoRefresh) BlockedEpoch() uint64 { return 0 }

@@ -25,6 +25,11 @@ type Request struct {
 	// OnComplete, if non-nil, is invoked when a read's data returns (used by
 	// the cache/CPU to unblock the miss). Writes complete silently.
 	OnComplete func(now int64)
+
+	// seq is the controller-assigned admission order. FR-FCFS age comparisons
+	// across per-bank buckets use it to recover the flat queue order the seed
+	// controller scanned in.
+	seq int64
 }
 
 // Latency is the request's queueing+service latency in DRAM cycles.
@@ -37,11 +42,13 @@ type bankPending struct {
 	banks  int
 	reads  []int
 	writes []int
+	rank   []int // per-rank reads+writes totals
 }
 
 func newBankPending(ranks, banks int) *bankPending {
 	n := ranks * banks
-	return &bankPending{banks: banks, reads: make([]int, n), writes: make([]int, n)}
+	return &bankPending{banks: banks, reads: make([]int, n), writes: make([]int, n),
+		rank: make([]int, ranks)}
 }
 
 func (p *bankPending) idx(rank, bank int) int { return rank*p.banks + bank }
@@ -53,6 +60,7 @@ func (p *bankPending) add(r *Request, delta int) {
 	} else {
 		p.reads[i] += delta
 	}
+	p.rank[r.Addr.Rank] += delta
 }
 
 // Demand is the total queued demand (reads+writes) for a bank.
@@ -60,6 +68,9 @@ func (p *bankPending) Demand(rank, bank int) int {
 	i := p.idx(rank, bank)
 	return p.reads[i] + p.writes[i]
 }
+
+// Rank is the total queued demand (reads+writes) for a whole rank.
+func (p *bankPending) Rank(rank int) int { return p.rank[rank] }
 
 // Reads is the queued read count for a bank.
 func (p *bankPending) Reads(rank, bank int) int { return p.reads[p.idx(rank, bank)] }

@@ -190,7 +190,8 @@ func (p *memPort) ReadLine(addr uint64, onDone func(now int64)) bool {
 	s := p.sys
 	ch, da := s.mapper.Map(addr)
 	s.nextID++
-	req := &sched.Request{ID: s.nextID, Core: p.core, Addr: da, OnComplete: onDone}
+	req := s.ctrls[ch].NewRequest()
+	req.ID, req.Core, req.Addr, req.OnComplete = s.nextID, p.core, da, onDone
 	return s.ctrls[ch].EnqueueRead(req, s.now)
 }
 
@@ -199,7 +200,8 @@ func (p *memPort) WriteLine(addr uint64) bool {
 	s := p.sys
 	ch, da := s.mapper.Map(addr)
 	s.nextID++
-	req := &sched.Request{ID: s.nextID, Core: p.core, IsWrite: true, Addr: da}
+	req := s.ctrls[ch].NewRequest()
+	req.ID, req.Core, req.IsWrite, req.Addr = s.nextID, p.core, true, da
 	return s.ctrls[ch].EnqueueWrite(req, s.now)
 }
 
