@@ -12,7 +12,9 @@ import (
 
 	"dsarp/internal/core"
 	"dsarp/internal/exp"
+	"dsarp/internal/sim"
 	"dsarp/internal/timing"
+	"dsarp/internal/workload"
 )
 
 // benchOpts keeps each experiment benchmark in the seconds range: one
@@ -214,6 +216,32 @@ func BenchmarkFig16_FGR(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + f.String())
 		}
+	}
+}
+
+// BenchmarkIdleHeavy pins the clock-skipping engine's win on a
+// low-intensity, idle-heavy workload — the regime the event engine targets:
+// four compute-bound cores whose long instruction bursts, cache-hit waits,
+// and refresh lockouts are provably eventless and skipped wholesale. The
+// frac_simulated metric is the fraction of DRAM cycles actually simulated
+// (1.0 = pure cycle stepping).
+func BenchmarkIdleHeavy(b *testing.B) {
+	lib := workload.NonIntensive()
+	wl := workload.Workload{Name: "idleheavy", Benchmarks: lib[len(lib)-4:]}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Workload:  wl,
+			Mechanism: core.KindREFab,
+			Density:   timing.Gb32,
+			Seed:      42,
+			Warmup:    20_000,
+			Measure:   200_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SkipRate(), "frac_simulated")
+		b.ReportMetric(res.IPC[0], "ipc0")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dsarp/internal/exp"
+	"dsarp/internal/sim"
 	"dsarp/internal/timing"
 )
 
@@ -38,6 +39,7 @@ func mainImpl() int {
 		warmup   = flag.Int64("warmup", 0, "override warmup (DRAM cycles)")
 		seed     = flag.Int64("seed", 0, "override workload seed")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+		engine   = flag.String("engine", "event", "simulation engine: event (clock-skipping) or cycle (reference stepper); tables are bit-identical")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		verbose  = flag.Bool("v", false, "print per-simulation progress")
@@ -65,6 +67,12 @@ func mainImpl() int {
 		opts.Seed = *seed
 	}
 	opts.Parallelism = *parallel
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	opts.Engine = eng
 	if *verbose {
 		opts.Progress = func(done, _ int, label string) {
 			fmt.Fprintf(os.Stderr, "[%4d] %s\n", done, label)

@@ -4,7 +4,10 @@
 // that DARP's write-refresh parallelization hides refreshes behind.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Config sets the slice organization.
 type Config struct {
@@ -52,16 +55,18 @@ type mshrEntry struct {
 type Slice struct {
 	cfg     Config
 	sets    [][]line
+	mru     []uint16 // per-set way of the last hit: probed before the scan
 	setMask uint64
 	mshr    map[uint64]*mshrEntry
 	free    []*mshrEntry // filled entries awaiting reuse
 
 	pendingWB []uint64 // writebacks the backend rejected; retried in Tick
 
-	hits    []hitDelivery
-	backend Backend
-	tick    int64
-	stats   Stats
+	hits      []hitDelivery
+	nextHitAt int64 // earliest pending hit delivery (MaxInt64 when none)
+	backend   Backend
+	tick      int64
+	stats     Stats
 }
 
 type hitDelivery struct {
@@ -98,11 +103,13 @@ func NewSlice(cfg Config, backend Backend) *Slice {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
 	return &Slice{
-		cfg:     cfg,
-		sets:    sets,
-		setMask: uint64(nSets - 1),
-		mshr:    map[uint64]*mshrEntry{},
-		backend: backend,
+		cfg:       cfg,
+		sets:      sets,
+		mru:       make([]uint16, nSets),
+		setMask:   uint64(nSets - 1),
+		mshr:      map[uint64]*mshrEntry{},
+		nextHitAt: math.MaxInt64,
+		backend:   backend,
 	}
 }
 
@@ -118,22 +125,38 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 	// The full line address serves as the tag (set bits included): simplest
 	// and unambiguous.
 	tag := lineAddr
-	set := s.sets[lineAddr&s.setMask]
+	si := lineAddr & s.setMask
+	set := s.sets[si]
 
 	s.tick++
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].used = s.tick
-			if write {
-				set[i].dirty = true
+	// Probe the set's most recently hit way first (tags are unique within a
+	// set, so probe order cannot change the outcome), then scan.
+	way := int(s.mru[si])
+	if !(set[way].valid && set[way].tag == tag) {
+		way = -1
+		for i := range set {
+			if set[i].valid && set[i].tag == tag {
+				way = i
+				break
 			}
-			s.stats.Accesses++
-			s.stats.Hits++
-			if onDone != nil {
-				s.hits = append(s.hits, hitDelivery{at: now + int64(s.cfg.HitLatency), onDone: onDone})
-			}
-			return true
 		}
+	}
+	if way >= 0 {
+		s.mru[si] = uint16(way)
+		set[way].used = s.tick
+		if write {
+			set[way].dirty = true
+		}
+		s.stats.Accesses++
+		s.stats.Hits++
+		if onDone != nil {
+			at := now + int64(s.cfg.HitLatency)
+			s.hits = append(s.hits, hitDelivery{at: at, onDone: onDone})
+			if at < s.nextHitAt {
+				s.nextHitAt = at
+			}
+		}
+		return true
 	}
 
 	// Miss. Merge into an outstanding fill if one exists.
@@ -218,16 +241,21 @@ func (s *Slice) writeback(addr uint64) {
 // Tick delivers due hit callbacks and retries rejected writebacks. Call
 // once per DRAM cycle before the cores advance.
 func (s *Slice) Tick(now int64) {
-	if len(s.hits) > 0 {
+	if now >= s.nextHitAt {
 		kept := s.hits[:0]
+		next := int64(math.MaxInt64)
 		for _, h := range s.hits {
 			if h.at <= now {
 				h.onDone(now)
 			} else {
 				kept = append(kept, h)
+				if h.at < next {
+					next = h.at
+				}
 			}
 		}
 		s.hits = kept
+		s.nextHitAt = next
 	}
 	for len(s.pendingWB) > 0 {
 		if !s.backend.WriteLine(s.pendingWB[0]) {
@@ -235,6 +263,19 @@ func (s *Slice) Tick(now int64) {
 		}
 		s.pendingWB = s.pendingWB[1:]
 	}
+}
+
+// NextEvent returns the earliest cycle >= now at which Tick could do
+// anything: deliver a pending hit, or retry a rejected writeback (retries
+// probe the controller — and mutate its stall counters — every cycle, so a
+// non-empty retry list pins the slice to cycle stepping). Part of the
+// clock-skipping engine's NextEvent contract (see sim); the slice has no
+// per-cycle accounting, so it needs no Skip.
+func (s *Slice) NextEvent(now int64) int64 {
+	if len(s.pendingWB) > 0 || s.nextHitAt <= now {
+		return now
+	}
+	return s.nextHitAt
 }
 
 // PendingWritebacks reports writebacks awaiting controller admission.

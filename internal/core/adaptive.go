@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"dsarp/internal/dram"
 	"dsarp/internal/sched"
 	"dsarp/internal/timing"
@@ -81,6 +83,54 @@ func (p *Adaptive) setForced(r int, v bool) {
 }
 
 func (p *Adaptive) rankIdle(rank int) bool { return p.v.PendingRankDemand(rank) == 0 }
+
+// NextDeadline implements sched.RefreshPolicy. The policy probes the device
+// every cycle while paying down a 4x backlog, while a refresh is overdue, or
+// while an idle rank has owed refreshes; the only quiescent states are "no
+// debt" and "busy rank with slack", both of which hold until the rank's 1x
+// timer fires.
+func (p *Adaptive) NextDeadline(now int64) int64 {
+	ev := int64(math.MaxInt64)
+	for r := 0; r < p.ranks; r++ {
+		if p.quarters[r] > 0 {
+			return now
+		}
+		if p.owedN[r] < maxFlex && now >= p.next[r] {
+			return now // owed count accrues this cycle
+		}
+		if p.owedN[r] == 0 {
+			if p.forced[r] {
+				return now // Tick clears the stale forced flag (epoch bump)
+			}
+			if p.next[r] < ev {
+				ev = p.next[r]
+			}
+			continue
+		}
+		if p.owedN[r] >= maxFlex {
+			return now // overdue: draining or switching to 4x granularity
+		}
+		if p.rankIdle(r) {
+			// An idle rank probes CanIssue(REFab) every cycle, but with the
+			// refresh not overdue it never drains; refabProbeDeadline names
+			// the first cycle the probe could succeed.
+			e := refabProbeDeadline(p.v.Dev(), r, p.banks, now)
+			if e <= now {
+				return now
+			}
+			if e < ev {
+				ev = e
+			}
+		}
+		if p.next[r] < ev {
+			ev = p.next[r] // overdue flips at the timer
+		}
+	}
+	return ev
+}
+
+// Skip implements sched.RefreshPolicy: no per-cycle accounting.
+func (p *Adaptive) Skip(int64, int64) {}
 
 // Tick implements sched.RefreshPolicy.
 func (p *Adaptive) Tick(now int64, _ bool) bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 
 	"dsarp/internal/dram"
@@ -31,7 +32,18 @@ type DARP struct {
 	slotAt []int64  // per rank: start of the next unobserved tREFIpb slot
 	banks  int
 	epoch  uint64
-	elig   []int // scratch buffer for bank selection
+	elig   []int // scratch buffer for write-mode bank selection
+
+	// Cached pull-in eligibility: the per-rank lists of banks that are
+	// demand-free and past their pull-in threshold — the candidate set of
+	// Fig. 8's idle-bank refresh, consumed by Tick's pickIdleBank,
+	// NextDeadline's step-4 deadline, and Skip's rng replay. Valid while
+	// the controller's demand epoch is unchanged, no refresh has been
+	// recorded, and now is before the next pull-in crossing (eligJoin).
+	eligValid bool
+	eligEpoch uint64
+	eligJoin  int64
+	eligList  [][]int
 }
 
 // DARPOptions toggle DARP components for the paper's §6.1.2 breakdown and
@@ -178,6 +190,139 @@ func (p *DARP) Tick(now int64, demandReady bool) bool {
 	return false
 }
 
+// NextDeadline implements sched.RefreshPolicy. Inside a skip window demand
+// is never issuable, so the idle-bank refresh step of Fig. 8 runs every
+// cycle — and it consumes one rng draw per rank with a pull-in-eligible
+// bank. Those draws are still skippable while a refresh is in progress on
+// the rank: every REFpb the pick could attempt is guaranteed illegal until
+// RefreshBusyUntil, the eligible set cannot change (pull-in credit only
+// crosses thresholds, demand is frozen), and Skip replays the draws
+// verbatim. The deadline is the earliest of: a bank running out of
+// postponement credit, a tREFIpb slot boundary, a refresh window ending
+// with an eligible bank waiting, or a bank newly gaining pull-in
+// eligibility — with writeback mode pinning the policy to cycle stepping.
+func (p *DARP) NextDeadline(now int64) int64 {
+	ev := int64(math.MaxInt64)
+	for r := range p.scheds {
+		// Step 1: mandatory refreshes once a bank's credit runs out.
+		if now >= p.scheds[r].minForcedAt {
+			return now
+		}
+		if p.scheds[r].minForcedAt < ev {
+			ev = p.scheds[r].minForcedAt
+		}
+		// Step 3: tREFIpb slot boundaries update slotAt and may refresh.
+		if now >= p.slotAt[r] {
+			return now
+		}
+		if p.slotAt[r] < ev {
+			ev = p.slotAt[r]
+		}
+	}
+	// Step 2: write-refresh parallelization only acts on a rank whose
+	// previous refresh has completed — while every rank is still busy the
+	// sweep touches nothing (the min-pending pick runs only after the
+	// rank clears), so the next action is the earliest completion.
+	dev := p.v.Dev()
+	if p.opts.WriteRefresh && p.v.WriteMode() {
+		for r := range p.scheds {
+			busy := dev.RefreshBusyUntil(r)
+			if now >= busy {
+				return now
+			}
+			if busy < ev {
+				ev = busy
+			}
+		}
+	}
+	// Step 4: idle-bank selection.
+	p.eligCache(now)
+	for r := range p.scheds {
+		if len(p.eligList[r]) == 0 {
+			continue
+		}
+		busyUntil := dev.RefreshBusyUntil(r)
+		if now >= busyUntil {
+			return now // a picked refresh could actually issue
+		}
+		if busyUntil < ev {
+			ev = busyUntil
+		}
+	}
+	if p.eligJoin < ev {
+		ev = p.eligJoin // a bank joins the eligible set here
+	}
+	return ev
+}
+
+// eligCache (re)derives the per-rank pull-in-eligible bank counts. The
+// cache is exact, not heuristic: the counts can only change when a request
+// enters or leaves a queue (demand epoch), a refresh is recorded (pull-in
+// thresholds move), or the clock reaches the next pull-in crossing — all of
+// which invalidate it.
+func (p *DARP) eligCache(now int64) {
+	ep := p.v.DemandEpoch()
+	if p.eligValid && p.eligEpoch == ep && now < p.eligJoin {
+		return
+	}
+	if p.eligList == nil {
+		p.eligList = make([][]int, len(p.scheds))
+		for r := range p.eligList {
+			p.eligList[r] = make([]int, 0, p.banks)
+		}
+	}
+	join := int64(math.MaxInt64)
+	for r := range p.scheds {
+		sch := p.scheds[r]
+		rankIdle := p.v.PendingRankDemand(r) == 0
+		elig := p.eligList[r][:0]
+		for b := 0; b < p.banks; b++ {
+			if !rankIdle && p.v.PendingDemand(r, b) != 0 {
+				continue
+			}
+			if now >= sch.pullOkAt[b] {
+				elig = append(elig, b)
+			} else if sch.pullOkAt[b] < join {
+				join = sch.pullOkAt[b]
+			}
+		}
+		p.eligList[r] = elig
+	}
+	p.eligJoin = join
+	p.eligEpoch = ep
+	p.eligValid = true
+}
+
+// Skip implements sched.RefreshPolicy. Refresh debt accrues passively
+// through the bank schedules' absolute-time thresholds; the one per-cycle
+// effect to replay is the idle-bank pick of Fig. 8 step 3, which draws from
+// the rng once per rank with a non-empty eligible set — NextDeadline only
+// grants windows in which those sets are constant and every pick's refresh
+// attempt is rejected by the in-progress refresh.
+func (p *DARP) Skip(from, to int64) {
+	if p.opts.GreedyIdlePick {
+		return // deterministic pick: rejected attempts touch no state
+	}
+	p.eligCache(from)
+	any := false
+	for _, elig := range p.eligList {
+		if len(elig) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	for u := from; u < to; u++ {
+		for _, elig := range p.eligList {
+			if len(elig) > 0 {
+				p.rng.Intn(len(elig))
+			}
+		}
+	}
+}
+
 // tryRefresh issues REFpb to (rank, bank) if the device accepts it.
 func (p *DARP) tryRefresh(rank, bank int, now int64) bool {
 	cmd := dram.Cmd{Kind: dram.CmdREFpb, Rank: rank, Bank: bank}
@@ -186,6 +331,7 @@ func (p *DARP) tryRefresh(rank, bank int, now int64) bool {
 	}
 	p.v.IssueCmd(cmd, now)
 	p.scheds[rank].record(bank)
+	p.eligValid = false // pull-in thresholds moved
 	return true
 }
 
@@ -246,21 +392,17 @@ func (p *DARP) pickWriteModeBank(rank int, now int64) (int, bool) {
 
 // pickIdleBank selects a bank with no pending demand whose credit allows a
 // refresh (postponed catch-up first by construction of owed, or a pull-in).
+// The candidate set comes from the eligibility cache, which tracks exactly
+// this condition and rebuilds in ascending bank order, so the rng draw is
+// identical to an inline scan.
 func (p *DARP) pickIdleBank(rank int, now int64) (int, bool) {
-	sch := p.scheds[rank]
-	elig := p.elig[:0]
-	rankIdle := p.v.PendingRankDemand(rank) == 0
-	for b := 0; b < p.banks; b++ {
-		if !sch.canPullIn(b, now) || (!rankIdle && p.v.PendingDemand(rank, b) != 0) {
-			continue
-		}
-		elig = append(elig, b)
-	}
-	p.elig = elig
+	p.eligCache(now)
+	elig := p.eligList[rank]
 	if len(elig) == 0 {
 		return 0, false
 	}
 	if p.opts.GreedyIdlePick {
+		sch := p.scheds[rank]
 		best := elig[0]
 		for _, b := range elig[1:] {
 			if sch.owed(b, now) > sch.owed(best, now) {

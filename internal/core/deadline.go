@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+
+	"dsarp/internal/dram"
+)
+
+// Shared NextDeadline building blocks. The contract these serve — a lower
+// bound that never misses an event — is safety-critical for the
+// clock-skipping engine's bit-exactness, so the reasoning lives here once
+// instead of being copied into each policy.
+
+// refabProbeDeadline bounds a policy that probes CanIssue(REFab) on rank
+// every cycle but does not drain open rows (Elastic's released-but-unforced
+// refresh, Adaptive's idle-rank 1x refresh). On a SARP device legality
+// depends on subarray state, so the answer is a conservative "now". With
+// any bank open the probe stays rejected until demand closes the rank —
+// which takes a controller tick the engine already treats as an event — so
+// the policy has no self-deadline (MaxInt64). With the rank precharged the
+// exact earliest-REFab bound is returned; a value <= now means the probe
+// could succeed this cycle and the caller must answer now.
+func refabProbeDeadline(dev *dram.Device, rank, banks int, now int64) int64 {
+	if dev.SARP() {
+		return now
+	}
+	for b := 0; b < banks; b++ {
+		if dev.OpenRow(rank, b) != dram.NoRow {
+			return math.MaxInt64
+		}
+	}
+	return dev.EarliestREFab(rank)
+}
+
+// sarpConflictOpen reports whether an open row conflicts with the subarray
+// its pending refresh targets — i.e. a SARP-aware drain loop would be
+// issuing (or retrying) a precharge right now. bank >= 0 checks only that
+// bank (per-bank refresh); bank < 0 checks the whole rank (all-bank).
+func sarpConflictOpen(dev *dram.Device, rank, bank int) bool {
+	g := dev.Geometry()
+	unit := dev.RefreshUnit(rank)
+	if bank >= 0 {
+		open := dev.OpenRow(rank, bank)
+		return open != dram.NoRow && g.SubarrayOf(open) == unit.PeekSubarray(bank)
+	}
+	for b := 0; b < g.Banks; b++ {
+		if open := dev.OpenRow(rank, b); open != dram.NoRow && g.SubarrayOf(open) == unit.PeekSubarray(b) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"dsarp/internal/dram"
 	"dsarp/internal/sched"
 )
@@ -85,6 +87,65 @@ func (p *Elastic) threshold(rank int) int64 {
 		return 0
 	}
 	return int64(p.avgIdle[rank] * float64(maxFlex-n) / float64(maxFlex))
+}
+
+// NextDeadline implements sched.RefreshPolicy. Outside of a skip window the
+// policy is active whenever a timer fires, a rank is forced, or a postponed
+// refresh could be released; the idle-time predictor's idleRun counter grows
+// by one per elided Tick (replayed by Skip), so the release point of a
+// postponed refresh on an idle rank is a straight-line extrapolation.
+func (p *Elastic) NextDeadline(now int64) int64 {
+	ev := int64(math.MaxInt64)
+	for r := 0; r < p.ranks; r++ {
+		if p.owedN[r] < maxFlex {
+			if now >= p.next[r] {
+				return now // owed count accrues this cycle
+			}
+			if p.next[r] < ev {
+				ev = p.next[r]
+			}
+		}
+		if p.owedN[r] == 0 {
+			continue
+		}
+		if p.owedN[r] >= maxFlex || p.forced[r] {
+			return now // forced: probing CanIssue/drain every cycle
+		}
+		if p.rankIdle(r) {
+			// Tick at cycle u sees idleRun[r] + (u-now+1); release when it
+			// reaches the threshold.
+			need := p.threshold(r) - p.idleRun[r] - 1
+			if need > 0 {
+				if now+need < ev {
+					ev = now + need
+				}
+				continue
+			}
+			// Released but not forced: the policy probes CanIssue(REFab)
+			// every cycle without draining; refabProbeDeadline names the
+			// first cycle the probe could succeed.
+			e := refabProbeDeadline(p.v.Dev(), r, p.banks, now)
+			if e <= now {
+				return now
+			}
+			if e < ev {
+				ev = e
+			}
+		}
+	}
+	return ev
+}
+
+// Skip implements sched.RefreshPolicy: each elided Tick would have extended
+// the idle run of every idle rank by one cycle. (A busy rank's idle run was
+// already folded into the moving average and zeroed by the last real Tick,
+// and rank idleness cannot change inside a skip window.)
+func (p *Elastic) Skip(from, to int64) {
+	for r := 0; r < p.ranks; r++ {
+		if p.rankIdle(r) {
+			p.idleRun[r] += to - from
+		}
+	}
 }
 
 // Tick implements sched.RefreshPolicy.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"dsarp/internal/dram"
 	"dsarp/internal/sched"
 )
@@ -88,6 +90,44 @@ func (p *Pausing) setForce(r int, v bool) {
 }
 
 func (p *Pausing) rankIdle(rank int) bool { return p.v.PendingRankDemand(rank) == 0 }
+
+// NextDeadline implements sched.RefreshPolicy. The one quiescent state with
+// refresh work outstanding is the pausing point itself: segments remain,
+// demand is pending, and the refresh is not forced — which holds until the
+// rank's timer fires (accruing debt and possibly forcing). Everything else
+// (starting a refresh, issuing a segment to an idle rank, draining when
+// forced) probes the device every cycle.
+func (p *Pausing) NextDeadline(now int64) int64 {
+	ev := int64(math.MaxInt64)
+	for r := 0; r < p.ranks; r++ {
+		if p.owedN[r] < maxFlex && now >= p.next[r] {
+			return now // owed count accrues this cycle
+		}
+		if p.owedN[r] == 0 && p.segs[r] == 0 {
+			if p.force[r] {
+				return now // Tick clears the stale force flag (epoch bump)
+			}
+			if p.next[r] < ev {
+				ev = p.next[r]
+			}
+			continue
+		}
+		if p.segs[r] == 0 {
+			return now // a new refresh starts (owed consumed, segments armed)
+		}
+		forced := p.owedN[r] >= maxFlex || (p.owedN[r] > 0 && now >= p.next[r])
+		if forced || p.force[r] || p.rankIdle(r) {
+			return now
+		}
+		if p.next[r] < ev {
+			ev = p.next[r] // paused: resumes when idle or forced at the timer
+		}
+	}
+	return ev
+}
+
+// Skip implements sched.RefreshPolicy: no per-cycle accounting.
+func (p *Pausing) Skip(int64, int64) {}
 
 // Tick implements sched.RefreshPolicy.
 func (p *Pausing) Tick(now int64, _ bool) bool {

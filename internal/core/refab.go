@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"dsarp/internal/dram"
 	"dsarp/internal/sched"
 	"dsarp/internal/timing"
@@ -18,6 +20,7 @@ import (
 type AllBank struct {
 	v       sched.View
 	ranks   int
+	banks   int
 	next    []int64 // next nominal refresh time per rank
 	due     []bool
 	epoch   uint64
@@ -33,6 +36,7 @@ func NewAllBank(v sched.View, seed int64) *AllBank {
 	p := &AllBank{
 		v:     v,
 		ranks: g.Ranks,
+		banks: g.Banks,
 		next:  make([]int64, g.Ranks),
 		due:   make([]bool, g.Ranks),
 	}
@@ -74,6 +78,61 @@ func (p *AllBank) BankBlocked(int, int) bool { return false }
 
 // BlockedEpoch implements sched.RefreshPolicy.
 func (p *AllBank) BlockedEpoch() uint64 { return p.epoch }
+
+// NextDeadline implements sched.RefreshPolicy. A rank with a due refresh is
+// active only while it drains open banks or could actually issue; once the
+// rank is fully precharged the exact earliest-REFab bound names the cycle
+// the wait ends (post-drain tRP, a still-running refresh when the schedule
+// has fallen behind). SARP devices keep the conservative per-cycle answer —
+// their refresh legality depends on subarray state.
+func (p *AllBank) NextDeadline(now int64) int64 {
+	ev := int64(math.MaxInt64)
+	dev := p.v.Dev()
+	for r := 0; r < p.ranks; r++ {
+		if now >= p.next[r] && !p.due[r] {
+			return now // due flag flips this cycle
+		}
+		if !p.due[r] {
+			if p.next[r] < ev {
+				ev = p.next[r]
+			}
+			continue
+		}
+		if dev.SARP() {
+			// While a refresh occupies the rank every REFab is rejected,
+			// and only a subarray-conflicting open row gets drained.
+			busy := dev.RefreshBusyUntil(r)
+			if now >= busy || sarpConflictOpen(dev, r, -1) {
+				return now
+			}
+			if busy < ev {
+				ev = busy
+			}
+			continue
+		}
+		open := false
+		for b := 0; b < p.banks; b++ {
+			if dev.OpenRow(r, b) != dram.NoRow {
+				open = true
+				break
+			}
+		}
+		if open {
+			return now // draining
+		}
+		e := dev.EarliestREFab(r)
+		if e <= now {
+			return now
+		}
+		if e < ev {
+			ev = e
+		}
+	}
+	return ev
+}
+
+// Skip implements sched.RefreshPolicy: no per-cycle accounting.
+func (p *AllBank) Skip(int64, int64) {}
 
 // setDue updates a rank's due flag, bumping the blocked epoch on change.
 func (p *AllBank) setDue(r int, v bool) {

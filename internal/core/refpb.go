@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"dsarp/internal/dram"
 	"dsarp/internal/sched"
 )
@@ -70,6 +72,54 @@ func (p *PerBank) BankBlocked(rank, bank int) bool {
 // moves when this policy issues a refresh, which is covered by the same
 // epoch bump.
 func (p *PerBank) BlockedEpoch() uint64 { return p.epoch }
+
+// NextDeadline implements sched.RefreshPolicy. A rank with owed refreshes
+// is only genuinely active when its round-robin bank needs draining or the
+// refresh could actually issue; while an earlier refresh still occupies the
+// rank (or the bank's own timing holds the REFpb off) every attempt is
+// provably rejected and the whole wait is skippable.
+func (p *PerBank) NextDeadline(now int64) int64 {
+	ev := int64(math.MaxInt64)
+	dev := p.v.Dev()
+	for r := 0; r < p.ranks; r++ {
+		if now >= p.next[r] {
+			return now // owed count accrues this cycle
+		}
+		if p.next[r] < ev {
+			ev = p.next[r]
+		}
+		if p.owedN[r] == 0 {
+			continue
+		}
+		bank := dev.RefreshUnit(r).PeekBank()
+		if dev.SARP() {
+			// All REFpb to the rank fail while any refresh is in progress;
+			// the drain only applies to a subarray-conflicting open row.
+			busy := dev.RefreshBusyUntil(r)
+			if now >= busy || sarpConflictOpen(dev, r, bank) {
+				return now
+			}
+			if busy < ev {
+				ev = busy
+			}
+			continue
+		}
+		if open := dev.OpenRow(r, bank); open != dram.NoRow {
+			return now // draining the round-robin bank
+		}
+		e := dev.EarliestREFpb(r, bank)
+		if e <= now {
+			return now
+		}
+		if e < ev {
+			ev = e
+		}
+	}
+	return ev
+}
+
+// Skip implements sched.RefreshPolicy: no per-cycle accounting.
+func (p *PerBank) Skip(int64, int64) {}
 
 // Tick implements sched.RefreshPolicy.
 func (p *PerBank) Tick(now int64, _ bool) bool {

@@ -7,7 +7,11 @@
 // benchmark's own memory-level-parallelism cap for dependent chains).
 package cpu
 
-import "dsarp/internal/trace"
+import (
+	"math"
+
+	"dsarp/internal/trace"
+)
 
 // Config sets the core microarchitecture parameters.
 type Config struct {
@@ -49,6 +53,10 @@ type Core struct {
 	mem    Memory
 	base   uint64 // physical address offset isolating this core's footprint
 	maxOut int
+	// burstQuantum is Width*CPUPerDRAM: instructions dispatched per DRAM
+	// cycle during a compute burst (0 disables bursts for degenerate
+	// configs with Window < Width).
+	burstQuantum int64
 
 	issued      int64 // instructions dispatched
 	retired     int64
@@ -60,6 +68,19 @@ type Core struct {
 	next     trace.Access
 	nextPos  int64
 	haveNext bool
+
+	// Memoized NextEvent answer and skip trajectory. The next-event cycle,
+	// the trajectory mode, the blocking load position, and the absolute CPU
+	// cycle at which memory-stall beats begin are all derived purely from
+	// core state and invariant under Skip (which moves the state along the
+	// exact trajectory they were derived from) — so the memo survives skips
+	// and is only dropped when the state actually forks: a Tick ran, or a
+	// load-completion callback arrived.
+	evCached     int64
+	evValid      bool
+	trajMode     int8  // stallNone/stallWindow/stallMSHR at classification
+	trajB        int64 // first incomplete load position (-1 none)
+	trajBeatFrom int64 // absolute cpuCycles before the first beat tick
 
 	stats Stats
 }
@@ -88,7 +109,11 @@ func New(id int, cfg Config, gen trace.Generator, maxOutstanding int, base uint6
 	if maxOutstanding <= 0 || maxOutstanding > cfg.MSHRs {
 		maxOutstanding = cfg.MSHRs
 	}
-	return &Core{cfg: cfg, id: id, gen: gen, mem: mem, base: base, maxOut: maxOutstanding}
+	c := &Core{cfg: cfg, id: id, gen: gen, mem: mem, base: base, maxOut: maxOutstanding}
+	if cfg.Window >= cfg.Width {
+		c.burstQuantum = int64(cfg.Width * cfg.CPUPerDRAM)
+	}
+	return c
 }
 
 // ID returns the core's index.
@@ -117,19 +142,207 @@ func (c *Core) Stats() Stats {
 //     and records one memory-stall beat (the dispatch loop's first action
 //     would be the failed MSHR check).
 func (c *Core) Tick(now int64) {
-	if len(c.loads) > 0 && c.loads[0].pos == c.retired && !c.loads[0].done {
-		if c.issued-c.retired >= int64(c.cfg.Window) {
-			c.cpuCycles += int64(c.cfg.CPUPerDRAM)
-			return
-		}
-		if c.haveNext && c.issued == c.nextPos && !c.next.Write && c.outstanding >= c.maxOut {
-			c.cpuCycles += int64(c.cfg.CPUPerDRAM)
-			c.stats.MemStallBeat += int64(c.cfg.CPUPerDRAM)
-			return
-		}
+	c.evValid = false
+	switch c.stallState() {
+	case stallWindow:
+		c.cpuCycles += int64(c.cfg.CPUPerDRAM)
+		return
+	case stallMSHR:
+		c.cpuCycles += int64(c.cfg.CPUPerDRAM)
+		c.stats.MemStallBeat += int64(c.cfg.CPUPerDRAM)
+		return
 	}
 	for i := 0; i < c.cfg.CPUPerDRAM; i++ {
 		c.cpuTick(now)
+	}
+}
+
+// Stall states recognized by Tick's fast paths and the skip machinery.
+const (
+	stallNone   = iota
+	stallWindow // retirement blocked, instruction window full
+	stallMSHR   // retirement blocked, next instruction a load, MSHRs full
+)
+
+// stallState classifies the core per the exact conditions of Tick's two
+// fast paths. Both states are functions of core-local fields that only a
+// load-completion callback can change, so they persist across any window in
+// which no memory callback fires.
+func (c *Core) stallState() int {
+	if len(c.loads) > 0 && c.loads[0].pos == c.retired && !c.loads[0].done {
+		if c.issued-c.retired >= int64(c.cfg.Window) {
+			return stallWindow
+		}
+		if c.haveNext && c.issued == c.nextPos && !c.next.Write && c.outstanding >= c.maxOut {
+			return stallMSHR
+		}
+	}
+	return stallNone
+}
+
+// The fast-forward machinery below exploits that, absent memory callbacks
+// and slice interactions, the retire and dispatch loops obey a closed form.
+// With b the position of the oldest incomplete load (retirement can pop
+// completed loads for free but stops dead at b), P the position of the next
+// memory instruction, W the width, and N the window, after t CPU ticks:
+//
+//	R(t) = min(R0 + W*t, b)                      (b = +inf when no load pends)
+//	I(t) = min(I0 + W*t, P, b + N)
+//
+// (dispatch can never outrun the window anchored at the pinned retirement,
+// and the per-tick saturation collapses into the min). Everything the core
+// does before its next slice access — the only interaction the rest of the
+// system can observe — follows from these two lines, so NextEvent can name
+// the exact cycle of that access and Skip can replay any prefix in O(1).
+
+// firstIncomplete returns the position of the oldest incomplete load, or -1.
+// Load entries are kept in program order, and in the common case the oldest
+// entry is the incomplete one, so the scan terminates immediately.
+func (c *Core) firstIncomplete() int64 {
+	for _, ld := range c.loads {
+		if !ld.done {
+			return ld.pos
+		}
+	}
+	return -1
+}
+
+// attemptTick returns the 1-based CPU tick in which the dispatch loop first
+// attempts the memory instruction at nextPos: the tick where I(t) reaches P
+// with loop budget left (a full-width arrival defers to the next tick), but
+// no earlier than retirement has freed enough window room for the loop to
+// get past its window check (gap = P - R(t) < N). The caller must have
+// established P < b + N — which also guarantees b > P - N, so the pin at b
+// never keeps retirement from reaching the required P - N + 1 and the
+// unpinned retirement trajectory alone decides when the room opens.
+func (c *Core) attemptTick() int64 {
+	w := int64(c.cfg.Width)
+	at := int64(1)
+	if l := c.nextPos - c.issued; l > 0 {
+		tArr := (l + w - 1) / w
+		at = tArr
+		if l-w*(tArr-1) == w {
+			at = tArr + 1
+		}
+	}
+	// Window room: R(t) must exceed P - N before the memory branch runs.
+	if need := c.nextPos - int64(c.cfg.Window) + 1 - c.retired; need > 0 {
+		if tOpen := (need + w - 1) / w; tOpen > at {
+			at = tOpen
+		}
+	}
+	return at
+}
+
+// NextEvent returns the earliest cycle >= now at which Tick could do
+// anything beyond the linear accounting Skip replays — that is, the cycle
+// of the core's next slice access. A core that will stall before reaching
+// one (window full behind an incomplete load, or its next load facing full
+// MSHRs) cannot wake itself — only a load-completion callback out of the
+// cache or the memory controller can, and the clock-skipping engine bounds
+// every skip by those components' own events — so it reports no deadline at
+// all. Part of the engine's NextEvent contract (see sim).
+func (c *Core) NextEvent(now int64) int64 {
+	if c.evValid {
+		return c.evCached
+	}
+	c.evCached = c.nextEvent(now)
+	c.evValid = true
+	return c.evCached
+}
+
+// nextEvent classifies the core's trajectory (caching the parameters Skip
+// replays from) and returns the next event cycle.
+func (c *Core) nextEvent(now int64) int64 {
+	c.trajB = -1
+	c.trajBeatFrom = math.MaxInt64
+	c.trajMode = int8(c.stallState())
+	switch c.trajMode {
+	case stallWindow, stallMSHR:
+		return math.MaxInt64
+	}
+	if !c.haveNext || c.burstQuantum == 0 {
+		return now // about to draw from the generator: unpredictable
+	}
+	b := c.firstIncomplete()
+	c.trajB = b
+	if b < 0 {
+		// Pure compute: full-width dispatch straight toward the access.
+		if l := c.nextPos - c.issued; l >= c.burstQuantum {
+			return now + l/c.burstQuantum
+		}
+		return now
+	}
+	if c.nextPos >= b+int64(c.cfg.Window) {
+		return math.MaxInt64 // will fill the window behind the load and stall
+	}
+	if !c.next.Write && c.outstanding >= c.maxOut {
+		// Will reach the load and sit on full MSHRs, burning one beat per
+		// CPU cycle from the attempt tick on.
+		c.trajBeatFrom = c.cpuCycles + c.attemptTick() - 1
+		return math.MaxInt64
+	}
+	if k := (c.attemptTick() - 1) / int64(c.cfg.CPUPerDRAM); k > 0 {
+		return now + k
+	}
+	return now
+}
+
+// Skip replays the accounting of `cycles` elided Ticks (within the window
+// NextEvent granted): CPU cycles always accrue; retirement and dispatch
+// advance per the closed form above; memory-stall beats accrue from the
+// tick the dispatch loop first parks on a full-MSHR load; and completed
+// loads that retirement passed are popped exactly as the per-cycle retire
+// loop would (an entry whose position equals the final retired count has
+// not been retired yet and stays).
+func (c *Core) Skip(cycles int64) {
+	if !c.evValid {
+		c.nextEvent(0) // classify the trajectory (result cycle unused)
+	}
+	n := cycles * int64(c.cfg.CPUPerDRAM)
+	before := c.cpuCycles
+	c.cpuCycles += n
+	switch c.trajMode {
+	case stallWindow:
+		return
+	case stallMSHR:
+		c.stats.MemStallBeat += n
+		return
+	}
+	w := int64(c.cfg.Width)
+	b := c.trajB
+	if b < 0 {
+		gap := c.issued - c.retired
+		c.issued += w * n
+		if gap < w {
+			c.retired += gap + w*(n-1)
+		} else {
+			c.retired += w * n
+		}
+	} else {
+		if from := c.trajBeatFrom; from < c.cpuCycles {
+			if from < before {
+				from = before
+			}
+			c.stats.MemStallBeat += c.cpuCycles - from
+		}
+		if r := c.retired + w*n; r < b {
+			c.retired = r
+		} else {
+			c.retired = b
+		}
+		i := c.issued + w*n
+		if i > c.nextPos {
+			i = c.nextPos
+		}
+		if lim := b + int64(c.cfg.Window); i > lim {
+			i = lim
+		}
+		c.issued = i
+	}
+	for len(c.loads) > 0 && c.loads[0].pos < c.retired {
+		c.freeLoads = append(c.freeLoads, c.loads[0])
+		c.loads = c.loads[1:]
 	}
 }
 
@@ -137,16 +350,26 @@ func (c *Core) cpuTick(now int64) {
 	c.cpuCycles++
 
 	// Retire: up to Width instructions, stopping at an incomplete load.
-	for n := 0; n < c.cfg.Width && c.retired < c.issued; {
-		if len(c.loads) > 0 && c.loads[0].pos == c.retired {
-			if !c.loads[0].done {
-				break
+	// With no loads awaiting retirement the loop is a bounded increment.
+	if len(c.loads) == 0 {
+		if adv := c.issued - c.retired; adv > 0 {
+			if adv > int64(c.cfg.Width) {
+				adv = int64(c.cfg.Width)
 			}
-			c.freeLoads = append(c.freeLoads, c.loads[0])
-			c.loads = c.loads[1:]
+			c.retired += adv
 		}
-		c.retired++
-		n++
+	} else {
+		for n := 0; n < c.cfg.Width && c.retired < c.issued; {
+			if len(c.loads) > 0 && c.loads[0].pos == c.retired {
+				if !c.loads[0].done {
+					break
+				}
+				c.freeLoads = append(c.freeLoads, c.loads[0])
+				c.loads = c.loads[1:]
+			}
+			c.retired++
+			n++
+		}
 	}
 
 	// Dispatch: up to Width instructions, bounded by the window.
@@ -195,6 +418,7 @@ func (c *Core) cpuTick(now int64) {
 				ld.onDone = func(int64) {
 					ld.done = true
 					c.outstanding--
+					c.evValid = false
 				}
 			}
 			if !c.mem.Access(now, addr, false, ld.onDone) {

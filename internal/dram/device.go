@@ -337,6 +337,34 @@ func (d *Device) RefreshingSubarray(rankID, bankID int, t int64) int {
 // any) completes; per-bank refreshes may not overlap within a rank.
 func (d *Device) PBRefBusyUntil(rankID int) int64 { return d.ranks[rankID].pbRefUntil }
 
+// RefreshBusyUntil returns the cycle by which every in-progress refresh in
+// the rank (all-bank or per-bank) completes. Any REFpb to the rank is
+// guaranteed illegal before then — the bound clock-skipping refresh
+// policies use to prove a window of refresh attempts would all be rejected.
+func (d *Device) RefreshBusyUntil(rankID int) int64 {
+	r := d.ranks[rankID]
+	return max(r.pbRefUntil, r.refUntil)
+}
+
+// EarliestREFab returns the first cycle an all-bank refresh to the rank
+// could be legal on a non-SARP device, assuming every bank is precharged
+// (an open row needs a drain first, which the caller must treat as
+// activity). Exact under that assumption: CanIssue(REFab) holds at t iff
+// t >= EarliestREFab.
+func (d *Device) EarliestREFab(rankID int) int64 {
+	r := d.ranks[rankID]
+	return max(r.refUntil, r.pbRefUntil, r.actReadyAll())
+}
+
+// EarliestREFpb returns the first cycle a per-bank refresh to the bank
+// could be legal on a non-SARP device, assuming the bank is precharged.
+// Exact under that assumption.
+func (d *Device) EarliestREFpb(rankID, bankID int) int64 {
+	r := d.ranks[rankID]
+	b := &r.banks[bankID]
+	return max(r.pbRefUntil, r.refUntil, b.refUntil, b.nextAct, r.nextAct)
+}
+
 // EarliestColumn returns the first cycle at which a read (write=false) or
 // write (write=true) column command to the bank could satisfy every timing
 // constraint, assuming the addressed row is open in the bank. The bound is

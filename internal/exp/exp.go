@@ -39,6 +39,9 @@ type Options struct {
 	// config and seed, and in-flight runs are deduplicated so experiments
 	// still share cached results. Only the Progress callback order varies.
 	Parallelism int
+	// Engine selects the simulation run loop (default: the clock-skipping
+	// event engine). Both engines produce bit-identical tables.
+	Engine sim.Engine
 	// Progress, if non-nil, is called after each completed simulation. It
 	// is never called concurrently, but under parallelism the callback
 	// order is completion order, not submission order.
@@ -254,6 +257,7 @@ func (r *Runner) baseConfig(wl workload.Workload, k core.Kind, d timing.Density)
 		Workload:  wl,
 		Mechanism: k,
 		Density:   d,
+		Engine:    r.opts.Engine,
 		Seed:      r.opts.Seed,
 		Warmup:    r.opts.Warmup,
 		Measure:   r.opts.Measure,

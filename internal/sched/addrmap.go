@@ -1,6 +1,10 @@
 package sched
 
-import "dsarp/internal/dram"
+import (
+	"math/bits"
+
+	"dsarp/internal/dram"
+)
 
 // Mapper translates flat physical line addresses into channel + DRAM
 // coordinates. The interleaving is line-granular across channels, then
@@ -34,12 +38,7 @@ func (m Mapper) permuteRow(raw uint64) uint64 {
 	if rows&(rows-1) != 0 {
 		return raw
 	}
-	var out uint64
-	for bits := rows; bits > 1; bits >>= 1 {
-		out = out<<1 | raw&1
-		raw >>= 1
-	}
-	return out
+	return bits.Reverse64(raw) >> (64 - bits.TrailingZeros64(rows))
 }
 
 // LineBytes is the cache line (and DRAM column) size in bytes.

@@ -51,7 +51,7 @@ type Controller struct {
 
 	readIx      queueIndex
 	writeIx     queueIndex
-	writeAddrs  map[dram.Addr]struct{} // queued write addresses (forwarding/merge probes)
+	writeAddrs  map[uint64]struct{} // queued write addresses, packed (forwarding/merge probes)
 	pending     *bankPending
 	inflight    []*Request // reads awaiting data return
 	inflightMin int64      // earliest Done among inflight (MaxInt64 when empty)
@@ -64,6 +64,26 @@ type Controller struct {
 	missValid   bool
 	missNextTry int64
 	missEpoch   uint64
+
+	demandEpoch uint64 // bumped whenever a request is admitted or leaves a queue
+
+	// Snapshot of the policy's Rank/BankBlocked answers, rebuilt whenever
+	// its BlockedEpoch moves (the epoch contract guarantees every change
+	// bumps it). Demand scans probe blocked state twice per bank, so the
+	// snapshot turns two interface calls per probe into one slice read —
+	// and blockedAny short-circuits the scan entirely in the common
+	// nothing-blocked state.
+	blockedSeen uint64
+	blockedInit bool
+	blockedAny  bool
+	blockedMask []bool // rank*banks
+
+	// Memoized NextEvent answer. The event cycle is absolute and invariant
+	// under Skip (every policy deadline is an absolute-time crossing), so
+	// the memo is dropped only when state forks: a Tick ran, a request was
+	// admitted, or a policy command issued.
+	evCached int64
+	evValid  bool
 
 	reqFree []*Request // completed requests awaiting reuse (NewRequest), capped
 
@@ -90,7 +110,7 @@ func NewController(dev *dram.Device, cfg Config, policy RefreshPolicy) *Controll
 		policy:      policy,
 		readIx:      newQueueIndex(g.Ranks, g.Banks),
 		writeIx:     newQueueIndex(g.Ranks, g.Banks),
-		writeAddrs:  make(map[dram.Addr]struct{}, cfg.WriteQueueCap),
+		writeAddrs:  make(map[uint64]struct{}, cfg.WriteQueueCap),
 		pending:     newBankPending(g.Ranks, g.Banks),
 		inflightMin: math.MaxInt64,
 	}
@@ -108,6 +128,8 @@ func (c *Controller) SetPolicy(p RefreshPolicy) {
 	}
 	c.policy = p
 	c.missValid = false
+	c.blockedInit = false
+	c.evValid = false
 }
 
 // Stats returns accumulated controller statistics.
@@ -131,10 +153,14 @@ func (c *Controller) PendingReads(rank, bank int) int { return c.pending.Reads(r
 // WriteMode implements View.
 func (c *Controller) WriteMode() bool { return c.wmode }
 
+// DemandEpoch implements View.
+func (c *Controller) DemandEpoch() uint64 { return c.demandEpoch }
+
 // IssueCmd implements View: policies issue refresh/drain commands through it.
 func (c *Controller) IssueCmd(cmd dram.Cmd, now int64) {
 	c.dev.Issue(cmd, now)
 	c.missValid = false
+	c.evValid = false
 	if cmd.Kind.IsRefresh() {
 		c.stats.RefreshSlots++
 	}
@@ -172,13 +198,61 @@ func (c *Controller) ReadQueueLen() int { return c.readIx.n }
 // WriteQueueLen returns the current write queue occupancy.
 func (c *Controller) WriteQueueLen() int { return c.writeIx.n }
 
+// noteArrival tightens the cached demand-search miss for a newly admitted
+// request instead of discarding it. The cached miss promised no command is
+// issuable before missNextTry; the new request is the only candidate that
+// scan did not consider, and it cannot issue (or free its bank via a
+// conflict precharge) before its own device-timing bound, so the promise
+// survives with the bound folded in. Arrivals the current queue selection
+// does not even scan — writes while reads are being served, reads during a
+// writeback drain — leave the cache untouched: they cannot change the
+// scan's outcome until a mode flip or issue invalidates it anyway.
+func (c *Controller) noteArrival(req *Request, now int64) {
+	if !c.missValid {
+		return
+	}
+	if req.IsWrite {
+		if !c.wmode && c.readIx.n > 0 {
+			return
+		}
+	} else if c.wmode {
+		return
+	}
+	var e int64
+	open := c.dev.OpenRow(req.Addr.Rank, req.Addr.Bank)
+	switch {
+	case open == req.Addr.Row:
+		e = c.dev.EarliestColumn(req.Addr.Rank, req.Addr.Bank, req.IsWrite)
+	case open == dram.NoRow:
+		e = c.dev.EarliestACT(req.Addr.Rank, req.Addr.Bank)
+	default:
+		e = c.dev.EarliestPRE(req.Addr.Rank, req.Addr.Bank)
+	}
+	if e <= now {
+		c.missValid = false
+		return
+	}
+	if e < c.missNextTry {
+		c.missNextTry = e
+	}
+}
+
+// packAddr collapses a DRAM address into one word so the write-address set
+// hashes a uint64 instead of a four-int struct. Field widths cover any
+// realistic geometry: 256 ranks, 4096 banks, 256M rows, 64K columns.
+func packAddr(a dram.Addr) uint64 {
+	return uint64(a.Rank)<<56 | uint64(a.Bank)<<44 | uint64(a.Row)<<16 | uint64(a.Col)
+}
+
 // EnqueueRead admits a read request; it returns false when the read queue is
 // full (the caller must retry — this is MSHR backpressure). A read that hits
 // a queued write is forwarded from the write queue without touching DRAM.
 func (c *Controller) EnqueueRead(req *Request, now int64) bool {
-	if _, ok := c.writeAddrs[req.Addr]; ok {
+	if _, ok := c.writeAddrs[packAddr(req.Addr)]; ok {
+		req.Arrive = now
 		req.Done = now + 1
 		c.addInflight(req)
+		c.evValid = false
 		c.stats.ForwardedReads++
 		return true
 	}
@@ -192,14 +266,16 @@ func (c *Controller) EnqueueRead(req *Request, now int64) bool {
 	c.seq++
 	c.readIx.add(req)
 	c.pending.add(req, 1)
-	c.missValid = false
+	c.noteArrival(req, now)
+	c.demandEpoch++
+	c.evValid = false
 	return true
 }
 
 // EnqueueWrite admits a write request; it returns false when the write queue
 // is full. Writes to an already-queued address are merged.
 func (c *Controller) EnqueueWrite(req *Request, now int64) bool {
-	if _, ok := c.writeAddrs[req.Addr]; ok {
+	if _, ok := c.writeAddrs[packAddr(req.Addr)]; ok {
 		c.stats.MergedWrites++
 		c.recycle(req) // merged: the queued write stands in for it
 		return true
@@ -213,9 +289,11 @@ func (c *Controller) EnqueueWrite(req *Request, now int64) bool {
 	req.seq = c.seq
 	c.seq++
 	c.writeIx.add(req)
-	c.writeAddrs[req.Addr] = struct{}{}
+	c.writeAddrs[packAddr(req.Addr)] = struct{}{}
 	c.pending.add(req, 1)
-	c.missValid = false
+	c.noteArrival(req, now)
+	c.demandEpoch++
+	c.evValid = false
 	return true
 }
 
@@ -223,19 +301,77 @@ func (c *Controller) EnqueueWrite(req *Request, now int64) bool {
 // updates writeback mode, lets the refresh policy claim the command slot,
 // and otherwise issues the best demand command (FR-FCFS).
 func (c *Controller) Tick(now int64) {
+	c.evValid = false
 	c.completeReads(now)
 	c.updateWriteMode()
 	if c.wmode {
 		c.stats.WriteModeCycles++
 	}
 
-	cmd, req, autopre, ok := c.chooseDemandCached(now)
+	var cmd dram.Cmd
+	req, autopre, ok := c.chooseDemandCached(now, &cmd)
 	if c.policy.Tick(now, ok) {
 		return // policy consumed the command slot
 	}
 	if ok {
 		c.issueDemand(cmd, req, autopre, now)
 	}
+}
+
+// NextEvent returns the earliest cycle >= now at which Tick could do
+// anything beyond the linear accounting Skip replays: complete an in-flight
+// read, flip writeback mode, run a demand scan (fresh, or a cached miss
+// whose earliest-ready bound or blocked epoch has expired), or give the
+// refresh policy a non-idle slot. It is a lower bound in the NextEvent
+// contract of the clock-skipping engine (see sim): the caller may only skip
+// the window if every other component is also quiescent, which guarantees
+// no enqueue arrives and no policy state moves in between.
+func (c *Controller) NextEvent(now int64) int64 {
+	if c.evValid {
+		return c.evCached
+	}
+	c.evCached = c.nextEvent(now)
+	c.evValid = true
+	return c.evCached
+}
+
+func (c *Controller) nextEvent(now int64) int64 {
+	if c.inflightMin <= now {
+		return now
+	}
+	ev := c.inflightMin
+	if (!c.wmode && c.writeIx.n >= c.cfg.WriteHigh) || (c.wmode && c.writeIx.n <= c.cfg.WriteLow) {
+		return now // a writeback-mode flip is pending
+	}
+	if c.readIx.n != 0 || c.writeIx.n != 0 {
+		if !c.missValid || c.policy.BlockedEpoch() != c.missEpoch || c.missNextTry <= now {
+			return now // a demand scan must run this cycle
+		}
+		if c.missNextTry < ev {
+			ev = c.missNextTry
+		}
+	}
+	if d := c.policy.NextDeadline(now); d < ev {
+		ev = d
+	}
+	if ev < now {
+		ev = now
+	}
+	return ev
+}
+
+// Skip replays the per-cycle accounting of the Ticks elided for cycles
+// [from, to): the writeback-mode cycle counter, the opportunistic-drain
+// counter the cached demand miss replicates, and the policy's own skip
+// accounting. NextEvent(from) must have returned at least to.
+func (c *Controller) Skip(from, to int64) {
+	if c.wmode {
+		c.stats.WriteModeCycles += to - from
+	}
+	if !c.wmode && c.readIx.n == 0 && c.writeIx.n > 0 {
+		c.stats.OpportunisticDrain += to - from
+	}
+	c.policy.Skip(from, to)
 }
 
 func (c *Controller) addInflight(req *Request) {
@@ -282,17 +418,40 @@ func (c *Controller) updateWriteMode() {
 	}
 }
 
+// refreshBlocked rebuilds the blocked snapshot if the policy's epoch moved.
+// Called once per demand scan, so the per-bank probes stay interface-free.
+func (c *Controller) refreshBlocked() {
+	ep := c.policy.BlockedEpoch()
+	if c.blockedInit && ep == c.blockedSeen {
+		return
+	}
+	if c.blockedMask == nil {
+		c.blockedMask = make([]bool, c.geom.Ranks*c.geom.Banks)
+	}
+	c.blockedAny = false
+	for r := 0; r < c.geom.Ranks; r++ {
+		rb := c.policy.RankBlocked(r)
+		for b := 0; b < c.geom.Banks; b++ {
+			v := rb || c.policy.BankBlocked(r, b)
+			c.blockedMask[r*c.geom.Banks+b] = v
+			c.blockedAny = c.blockedAny || v
+		}
+	}
+	c.blockedSeen = ep
+	c.blockedInit = true
+}
+
 func (c *Controller) blocked(rank, bank int) bool {
-	return c.policy.RankBlocked(rank) || c.policy.BankBlocked(rank, bank)
+	return c.blockedAny && c.blockedMask[rank*c.geom.Banks+bank]
 }
 
 // chooseDemandCached reuses the previous cycle's failed demand search when
 // nothing that could change its outcome has happened: no queue or device
 // mutation (tracked via missValid), no write-mode flip, no policy block
 // change (BlockedEpoch), and the earliest-ready bound still in the future.
-func (c *Controller) chooseDemandCached(now int64) (dram.Cmd, *Request, bool, bool) {
+func (c *Controller) chooseDemandCached(now int64, cmd *dram.Cmd) (*Request, bool, bool) {
 	if c.readIx.n == 0 && c.writeIx.n == 0 {
-		return dram.Cmd{}, nil, false, false
+		return nil, false, false
 	}
 	if c.missValid && now < c.missNextTry && c.policy.BlockedEpoch() == c.missEpoch {
 		// Replicate the one observable side effect of a fruitless scan: the
@@ -301,9 +460,9 @@ func (c *Controller) chooseDemandCached(now int64) (dram.Cmd, *Request, bool, bo
 		if !c.wmode && c.readIx.n == 0 && c.writeIx.n > 0 {
 			c.stats.OpportunisticDrain++
 		}
-		return dram.Cmd{}, nil, false, false
+		return nil, false, false
 	}
-	cmd, req, autopre, ok, nextTry := c.chooseDemand(now)
+	req, autopre, ok, nextTry := c.chooseDemand(now, cmd)
 	if ok {
 		c.missValid = false
 	} else {
@@ -311,7 +470,7 @@ func (c *Controller) chooseDemandCached(now int64) (dram.Cmd, *Request, bool, bo
 		c.missNextTry = nextTry
 		c.missEpoch = c.policy.BlockedEpoch()
 	}
-	return cmd, req, autopre, ok
+	return req, autopre, ok
 }
 
 // chooseDemand picks the best demand command under FR-FCFS: first-ready
@@ -320,7 +479,7 @@ func (c *Controller) chooseDemandCached(now int64) (dram.Cmd, *Request, bool, bo
 // command is issuable it also returns the earliest cycle any rejected
 // candidate could become issuable on its own (device timing expiring), which
 // backs the cross-cycle miss cache.
-func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool, int64) {
+func (c *Controller) chooseDemand(now int64, cmd *dram.Cmd) (*Request, bool, bool, int64) {
 	ix := &c.readIx
 	isWrite := false
 	if c.wmode || c.readIx.n == 0 {
@@ -334,8 +493,9 @@ func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool, in
 	}
 	nextTry := int64(math.MaxInt64)
 	if ix.n == 0 {
-		return dram.Cmd{}, nil, false, false, nextTry
+		return nil, false, false, nextTry
 	}
+	c.refreshBlocked()
 	banks := c.geom.Banks
 
 	// Pass 1: row hits. Per bank the candidate is the oldest request to the
@@ -365,8 +525,8 @@ func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool, in
 		bkt := ix.bucketOf(best.Addr.Rank, best.Addr.Bank)
 		autopre := !c.cfg.OpenRow && bkt.rowCount(best.Addr.Row) < 2
 		kind := colKind(best.IsWrite, autopre)
-		cmd := dram.Cmd{Kind: kind, Rank: best.Addr.Rank, Bank: best.Addr.Bank, Row: best.Addr.Row, Col: best.Addr.Col}
-		return cmd, best, autopre, true, 0
+		*cmd = dram.Cmd{Kind: kind, Rank: best.Addr.Rank, Bank: best.Addr.Bank, Row: best.Addr.Row, Col: best.Addr.Col}
+		return best, autopre, true, 0
 	}
 
 	// Pass 2: activations for precharged banks. EarliestACT is a lower
@@ -393,8 +553,8 @@ func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool, in
 				found = true // an older candidate already won; bank stays live
 				break
 			}
-			cmd := dram.Cmd{Kind: dram.CmdACT, Rank: rank, Bank: bank, Row: r.Addr.Row}
-			if c.dev.CanIssue(cmd, now) {
+			actCmd := dram.Cmd{Kind: dram.CmdACT, Rank: rank, Bank: bank, Row: r.Addr.Row}
+			if c.dev.CanIssue(actCmd, now) {
 				best = r
 				found = true
 				break
@@ -408,8 +568,8 @@ func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool, in
 		}
 	}
 	if best != nil {
-		cmd := dram.Cmd{Kind: dram.CmdACT, Rank: best.Addr.Rank, Bank: best.Addr.Bank, Row: best.Addr.Row}
-		return cmd, best, false, true, 0
+		*cmd = dram.Cmd{Kind: dram.CmdACT, Rank: best.Addr.Rank, Bank: best.Addr.Bank, Row: best.Addr.Row}
+		return best, false, true, 0
 	}
 
 	// Pass 3: precharge a conflicting open row nobody queued wants. The
@@ -439,10 +599,10 @@ func (c *Controller) chooseDemand(now int64) (dram.Cmd, *Request, bool, bool, in
 		bestBank = bi
 	}
 	if bestBank >= 0 {
-		cmd := dram.Cmd{Kind: dram.CmdPRE, Rank: bestBank / banks, Bank: bestBank % banks}
-		return cmd, nil, false, true, 0
+		*cmd = dram.Cmd{Kind: dram.CmdPRE, Rank: bestBank / banks, Bank: bestBank % banks}
+		return nil, false, true, 0
 	}
-	return dram.Cmd{}, nil, false, false, nextTry
+	return nil, false, false, nextTry
 }
 
 func colKind(write, autopre bool) dram.CmdKind {
@@ -481,11 +641,12 @@ func (c *Controller) issueDemand(cmd dram.Cmd, req *Request, autopre bool, now i
 func (c *Controller) removeRequest(req *Request) {
 	if req.IsWrite {
 		c.writeIx.remove(req)
-		delete(c.writeAddrs, req.Addr)
+		delete(c.writeAddrs, packAddr(req.Addr))
 	} else {
 		c.readIx.remove(req)
 	}
 	c.missValid = false
+	c.demandEpoch++
 }
 
 // Drained reports whether all queues and in-flight reads are empty.

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math"
+
 	"dsarp/internal/dram"
 	"dsarp/internal/timing"
 )
@@ -36,6 +38,24 @@ type RefreshPolicy interface {
 	// state must be re-derived. A policy may bump spuriously (that only
 	// costs a re-scan) but must never miss a change.
 	BlockedEpoch() uint64
+
+	// NextDeadline returns the earliest cycle >= now at which the policy's
+	// Tick could stop being a no-op: issue or attempt a command, change a
+	// RankBlocked/BankBlocked answer, consume randomness, or mutate any
+	// internal state beyond the per-cycle accounting Skip replays. The
+	// clock-skipping engine only skips a cycle when every component's next
+	// event lies beyond it, so the bound may assume no enqueue, demand
+	// issue, or read completion happens before the returned cycle. It is a
+	// lower bound: answering earlier than the true next action only costs a
+	// fallback to cycle stepping, but answering later would desynchronize
+	// the two engines — never miss an event.
+	NextDeadline(now int64) int64
+
+	// Skip informs the policy that its Ticks for cycles [from, to) were
+	// elided — NextDeadline promised each would have been a no-op — so it
+	// can advance per-cycle accounting (e.g. Elastic's idle-run counter)
+	// exactly as the omitted Ticks would have.
+	Skip(from, to int64)
 }
 
 // View is the controller surface a RefreshPolicy operates through.
@@ -52,6 +72,11 @@ type View interface {
 	PendingRankDemand(rank int) int
 	// PendingReads is the number of queued reads for a bank.
 	PendingReads(rank, bank int) int
+	// DemandEpoch is a counter the controller bumps whenever any
+	// PendingDemand/PendingRankDemand/PendingReads answer may have changed
+	// (a request was admitted or left a queue). Policies use it to cache
+	// demand-dependent scans across the cycles in between.
+	DemandEpoch() uint64
 	// WriteMode reports whether the controller is draining a write batch.
 	WriteMode() bool
 	// IssueCmd issues a command on behalf of the policy, consuming the
@@ -76,3 +101,9 @@ func (NoRefresh) BankBlocked(int, int) bool { return false }
 
 // BlockedEpoch implements RefreshPolicy: nothing ever blocks.
 func (NoRefresh) BlockedEpoch() uint64 { return 0 }
+
+// NextDeadline implements RefreshPolicy: there is never anything to do.
+func (NoRefresh) NextDeadline(int64) int64 { return math.MaxInt64 }
+
+// Skip implements RefreshPolicy.
+func (NoRefresh) Skip(int64, int64) {}

@@ -50,3 +50,39 @@ func BenchmarkRunPerMechanism(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEngines compares the cycle stepper against the clock-skipping
+// event engine across workload intensities; the frac_simulated metric is
+// the fraction of cycles the engine actually simulated (1.0 = no skipping).
+func BenchmarkEngines(b *testing.B) {
+	lib := workload.NonIntensive()
+	cases := []struct {
+		name string
+		wl   workload.Workload
+	}{
+		{"alone", workload.Workload{Name: "alone", Benchmarks: lib[len(lib)-1:]}},
+		{"idleheavy", workload.Workload{Name: "idleheavy", Benchmarks: lib[len(lib)-4:]}},
+		{"intensive", workload.IntensiveMixes(1, 4, 1)[0]},
+	}
+	for _, tc := range cases {
+		for _, eng := range []Engine{EngineCycle, EngineEvent} {
+			b.Run(tc.name+"/"+eng.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := Run(Config{
+						Workload:  tc.wl,
+						Mechanism: core.KindREFab,
+						Density:   timing.Gb32,
+						Seed:      1,
+						Warmup:    10_000,
+						Measure:   100_000,
+						Engine:    eng,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.SkipRate(), "frac_simulated")
+				}
+			})
+		}
+	}
+}

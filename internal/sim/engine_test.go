@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dsarp/internal/core"
+	"dsarp/internal/timing"
+	"dsarp/internal/workload"
+)
+
+// runBothEngines executes cfg under the cycle stepper and the clock-skipping
+// event engine and asserts the Results are identical bit for bit (modulo the
+// engines' own SteppedCycles accounting, which is what distinguishes them).
+// It returns the event-engine result for callers that want the skip rate.
+func runBothEngines(t *testing.T, name string, cfg Config) Result {
+	t.Helper()
+	cfg.Engine = EngineCycle
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: cycle engine: %v", name, err)
+	}
+	cfg.Engine = EngineEvent
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: event engine: %v", name, err)
+	}
+	if want.SteppedCycles != want.MeasuredCycles {
+		t.Errorf("%s: cycle engine stepped %d of %d cycles; it must never skip",
+			name, want.SteppedCycles, want.MeasuredCycles)
+	}
+	ev := got
+	want.SteppedCycles, got.SteppedCycles = 0, 0
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: engines diverged:\n cycle: %+v\n event: %+v", name, want, got)
+	}
+	return ev
+}
+
+// TestEngineEquivalenceAllMechanisms runs the full matrix of the paper's 13
+// mechanism configurations under both engines and requires byte-equal
+// Results: same IPC, MPKI, per-core stats, DRAM command counts, controller
+// stats (latency sums included), and energy.
+func TestEngineEquivalenceAllMechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation equivalence matrix")
+	}
+	for _, k := range core.Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			runBothEngines(t, k.String(), Config{
+				Workload:  smallWorkload(),
+				Mechanism: k,
+				Density:   timing.Gb32,
+				Seed:      7,
+				Warmup:    8_000,
+				Measure:   30_000,
+			})
+		})
+	}
+}
+
+// TestEngineEquivalenceSweepPoints covers the evaluation's sensitivity-sweep
+// configurations: the Table 4 tFAW/tRRD points, the Table 5 subarray counts,
+// the Table 6 64 ms retention, the D4 open-row ablation, and a single-channel
+// system.
+func TestEngineEquivalenceSweepPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation equivalence sweep")
+	}
+	base := func() Config {
+		return Config{
+			Workload:  smallWorkload(),
+			Mechanism: core.KindDSARP,
+			Density:   timing.Gb32,
+			Seed:      5,
+			Warmup:    6_000,
+			Measure:   24_000,
+		}
+	}
+	cases := map[string]func(*Config){
+		"tfaw5": func(c *Config) {
+			c.AdjustTiming = func(p *timing.Params) { p.TFAW = 5; p.TRRD = 1 }
+		},
+		"tfaw30": func(c *Config) {
+			c.AdjustTiming = func(p *timing.Params) { p.TFAW = 30; p.TRRD = 6 }
+		},
+		"subs1":       func(c *Config) { c.SubarraysPerBank = 1 },
+		"subs64":      func(c *Config) { c.SubarraysPerBank = 64 },
+		"retention64": func(c *Config) { c.Retention = timing.Retention64ms },
+		"openrow":     func(c *Config) { c.OpenRow = true },
+		"1channel":    func(c *Config) { c.Channels = 1 },
+		"checker": func(c *Config) {
+			c.Check = true
+			c.Mechanism = core.KindDARP
+		},
+	}
+	for name, mod := range cases {
+		name, mod := name, mod
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := base()
+			mod(&cfg)
+			runBothEngines(t, name, cfg)
+		})
+	}
+}
+
+// TestEngineEquivalenceFuzz drives both engines over seeded random
+// configurations — mechanism x density x workload intensity x channel count —
+// and requires identical Results for every draw. Any divergence means a
+// NextEvent implementation overshot a real event.
+func TestEngineEquivalenceFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation fuzz")
+	}
+	const draws = 12
+	rng := rand.New(rand.NewSource(20260730))
+	kinds := core.Kinds()
+	densities := []timing.Density{timing.Gb8, timing.Gb16, timing.Gb32}
+	for i := 0; i < draws; i++ {
+		cfg := Config{
+			Mechanism: kinds[rng.Intn(len(kinds))],
+			Density:   densities[rng.Intn(len(densities))],
+			Channels:  1 + rng.Intn(2),
+			Seed:      rng.Int63n(1 << 30),
+			Warmup:    2_000 + rng.Int63n(4_000),
+			Measure:   10_000 + rng.Int63n(15_000),
+		}
+		cores := 2 + rng.Intn(3)
+		switch rng.Intn(3) {
+		case 0: // all-intensive
+			cfg.Workload = workload.IntensiveMixes(1, cores, rng.Int63())[0]
+		case 1: // idle-heavy: non-intensive benchmarks only
+			lib := workload.NonIntensive()
+			wl := workload.Workload{Name: fmt.Sprintf("fuzz-light%d", i)}
+			for c := 0; c < cores; c++ {
+				wl.Benchmarks = append(wl.Benchmarks, lib[rng.Intn(len(lib))])
+			}
+			cfg.Workload = wl
+		default: // mixed category
+			mixes := workload.Mixes(1, cores, rng.Int63())
+			cfg.Workload = mixes[rng.Intn(len(mixes))]
+		}
+		name := fmt.Sprintf("draw%02d_%v_%v_ch%d_%s",
+			i, cfg.Mechanism, cfg.Density, cfg.Channels, cfg.Workload.Name)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runBothEngines(t, name, cfg)
+		})
+	}
+}
+
+// TestEventEngineSkipsIdleHeavy pins the point of the event engine: on a
+// workload dominated by compute (non-intensive benchmarks), most cycles are
+// provably eventless and must be skipped, not stepped.
+func TestEventEngineSkipsIdleHeavy(t *testing.T) {
+	lib := workload.NonIntensive()
+	res := runBothEngines(t, "idle-heavy", Config{
+		Workload:  workload.Workload{Name: "idleheavy", Benchmarks: lib[len(lib)-4:]},
+		Mechanism: core.KindREFab,
+		Density:   timing.Gb32,
+		Seed:      11,
+		Warmup:    5_000,
+		Measure:   30_000,
+	})
+	if res.SkipRate() > 0.5 {
+		t.Errorf("idle-heavy skip rate %.2f: event engine stepped %d of %d cycles, want < 50%%",
+			res.SkipRate(), res.SteppedCycles, res.MeasuredCycles)
+	}
+}

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"dsarp/internal/cache"
 	"dsarp/internal/core"
@@ -17,6 +18,45 @@ import (
 	"dsarp/internal/trace"
 	"dsarp/internal/workload"
 )
+
+// Engine selects the simulation run loop.
+type Engine int
+
+const (
+	// EngineEvent is the event-driven clock-skipping engine (the default):
+	// the run loop advances time directly to the earliest cycle at which any
+	// component can do something, falling back to cycle stepping whenever a
+	// component answers "now". Bit-identical to EngineCycle by construction
+	// of the NextEvent contract (pinned by the engine-equivalence tests).
+	EngineEvent Engine = iota
+	// EngineCycle is the reference per-cycle stepper: every component ticks
+	// on every DRAM cycle.
+	EngineCycle
+)
+
+// String returns the engine's flag spelling.
+func (e Engine) String() string {
+	switch e {
+	case EngineEvent:
+		return "event"
+	case EngineCycle:
+		return "cycle"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine resolves an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "event":
+		return EngineEvent, nil
+	case "cycle":
+		return EngineCycle, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown engine %q (want cycle or event)", s)
+	}
+}
 
 // Config describes one simulation.
 type Config struct {
@@ -44,6 +84,11 @@ type Config struct {
 	// Mechanism (the Mechanism still selects SARP and the timing mode).
 	// Used by the DESIGN.md ablations to run DARP variants.
 	Policy func(v sched.View, seed int64) sched.RefreshPolicy
+
+	// Engine selects the run loop; the zero value is the clock-skipping
+	// event engine. Both engines produce identical Results (modulo the
+	// SteppedCycles accounting of the engine itself).
+	Engine Engine
 
 	Seed int64
 
@@ -103,11 +148,28 @@ type Result struct {
 	Energy power.Breakdown
 
 	MeasuredCycles int64 // DRAM cycles
-	CheckErr       error
+
+	// SteppedCycles is the number of measurement-window cycles the engine
+	// actually ticked; the rest were proven eventless and skipped. Under
+	// EngineCycle it equals MeasuredCycles. It describes the engine, not the
+	// simulated machine — the equivalence tests zero it before comparing.
+	SteppedCycles int64
+
+	CheckErr error
 }
 
 // EnergyPerAccess is nJ per serviced DRAM access in the window.
 func (r Result) EnergyPerAccess() float64 { return r.Energy.PerAccess(r.DRAM.Accesses()) }
+
+// SkipRate reports cycles simulated / cycles elapsed — NOT the fraction
+// skipped: 1.0 means every cycle was stepped (no skipping at all), 0.2
+// means four fifths of the window was skipped. Lower is faster.
+func (r Result) SkipRate() float64 {
+	if r.MeasuredCycles == 0 {
+		return 0
+	}
+	return float64(r.SteppedCycles) / float64(r.MeasuredCycles)
+}
 
 // System is a fully wired simulated machine.
 type System struct {
@@ -121,8 +183,16 @@ type System struct {
 	slices []*cache.Slice
 	cores  []*cpu.Core
 
-	now    int64
-	nextID int64
+	now     int64
+	stepped int64 // cycles actually ticked (the rest were skipped)
+	nextID  int64
+
+	// hot is the component that most recently forced a step (demanded its
+	// NextEvent cycle immediately). Active components tend to stay active
+	// for runs of cycles, so NextEvent probes it first and skips the full
+	// scan while it keeps answering "now". Purely an optimization: any
+	// component answering "now" forces a step regardless of the others.
+	hot interface{ NextEvent(now int64) int64 }
 }
 
 // coreBaseStride separates core footprints in physical memory (8 GB apart).
@@ -218,10 +288,173 @@ func (s *System) Step() {
 		ctrl.Tick(t)
 	}
 	s.now++
+	s.stepped++
+}
+
+// NextEvent returns the earliest cycle in [s.Now(), limit] at which any
+// component's Tick could do something beyond the linear accounting its Skip
+// replays. If the answer exceeds s.Now(), every cycle before it is provably
+// eventless: no core can retire, issue, or receive data, no cache slice has
+// a delivery or retry due, no controller can issue a demand command or
+// complete a read, and no refresh policy can act — so the whole window can
+// be skipped without changing a single observable bit.
+func (s *System) NextEvent(limit int64) int64 {
+	if s.hot != nil && s.hot.NextEvent(s.now) <= s.now {
+		return s.now
+	}
+	t := limit
+	for _, c := range s.cores {
+		if e := c.NextEvent(s.now); e < t {
+			if e <= s.now {
+				s.hot = c
+				return s.now
+			}
+			t = e
+		}
+	}
+	for _, sl := range s.slices {
+		if e := sl.NextEvent(s.now); e < t {
+			if e <= s.now {
+				s.hot = sl
+				return s.now
+			}
+			t = e
+		}
+	}
+	for _, ctrl := range s.ctrls {
+		if e := ctrl.NextEvent(s.now); e < t {
+			if e <= s.now {
+				s.hot = ctrl
+				return s.now
+			}
+			t = e
+		}
+	}
+	if t < s.now {
+		t = s.now
+	}
+	return t
+}
+
+// SkipTo advances the clock to cycle t (> s.Now()) without ticking,
+// replaying each component's per-cycle accounting for the elided window.
+// The caller must have established via NextEvent that the window [now, t)
+// is eventless.
+func (s *System) SkipTo(t int64) {
+	skip := t - s.now
+	if skip <= 0 {
+		return
+	}
+	for _, c := range s.cores {
+		c.Skip(skip)
+	}
+	for _, ctrl := range s.ctrls {
+		ctrl.Skip(s.now, t)
+	}
+	s.now = t
+}
+
+// stepSelective advances one DRAM cycle ticking only the components that
+// have an event at it; everything else gets its one elided Tick replayed by
+// Skip. Each phase evaluates NextEvent at its own position in the cycle, so
+// a component's decision sees exactly the state its Tick would have seen in
+// the plain stepper: a slice decides from top-of-cycle state, a core sees
+// hit callbacks the slice phase just delivered, a controller sees the
+// enqueues the core phase just made (and completion callbacks an earlier
+// controller's tick routed across channels). It returns the number of
+// Ticks it avoided — zero means the cycle was saturated and selectivity
+// bought nothing.
+func (s *System) stepSelective() int {
+	t := s.now
+	avoided := 0
+	for _, sl := range s.slices {
+		if sl.NextEvent(t) <= t {
+			sl.Tick(t)
+		}
+	}
+	for _, c := range s.cores {
+		if e := c.NextEvent(t); e <= t {
+			c.Tick(t)
+		} else {
+			c.Skip(1)
+			if e != math.MaxInt64 {
+				// A compute-bursting core's Tick (CPUPerDRAM full retire/
+				// dispatch rounds) was avoided. A stalled core (MaxInt64)
+				// is not counted: its Tick is already a two-compare fast
+				// path, so avoiding it pays for nothing.
+				avoided++
+			}
+		}
+	}
+	for _, ctrl := range s.ctrls {
+		if ctrl.NextEvent(t) <= t {
+			ctrl.Tick(t)
+		} else {
+			ctrl.Skip(t, t+1)
+			avoided++
+		}
+	}
+	s.now++
+	s.stepped++
+	return avoided
+}
+
+// Saturation fallback parameters. A skip of at least worthwhileSkip cycles
+// is what actually pays for the engine's scanning; when none has appeared
+// for saturatedAfter consecutive stepped cycles — and the selective steps
+// in between are not avoiding any expensive Ticks either — the engine runs
+// blindWindow plain Steps with no scanning at all, then probes again.
+// Plain stepping is the reference behavior, so the fallback is exact by
+// construction; it only defers the detection of the next skippable window
+// by at most blindWindow cycles.
+const (
+	worthwhileSkip = 4
+	saturatedAfter = 48
+	blindWindow    = 32
+)
+
+// RunTo advances the system to cycle end under the configured engine.
+func (s *System) RunTo(end int64) {
+	if s.cfg.Engine == EngineCycle {
+		for s.now < end {
+			s.Step()
+		}
+		return
+	}
+	saturated := 0
+	for s.now < end {
+		if t := s.NextEvent(end); t > s.now {
+			if t-s.now >= worthwhileSkip {
+				saturated = 0
+			}
+			s.SkipTo(t)
+			if s.now < end {
+				// The skip landed on the window's bounding event; step it
+				// without paying for a scan that would just confirm it.
+				s.stepSelective()
+			}
+			continue
+		}
+		if s.stepSelective() == 0 {
+			saturated += 4 // nothing avoided at all: saturate faster
+		} else {
+			saturated++
+		}
+		if saturated >= saturatedAfter {
+			for i := 0; i < blindWindow && s.now < end; i++ {
+				s.Step()
+			}
+			saturated = saturatedAfter / 2 // stay wary until a real skip lands
+		}
+	}
 }
 
 // Now returns the current DRAM cycle.
 func (s *System) Now() int64 { return s.now }
+
+// SteppedCycles returns how many cycles the engine actually ticked; the
+// difference to Now() is the cycles the event engine skipped.
+func (s *System) SteppedCycles() int64 { return s.stepped }
 
 // Controllers exposes the per-channel controllers (tests, diagnostics).
 func (s *System) Controllers() []*sched.Controller { return s.ctrls }
@@ -260,13 +493,10 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	for s.now < cfg.Warmup {
-		s.Step()
-	}
+	s.RunTo(cfg.Warmup)
 	start := s.snap()
-	for s.now < cfg.Warmup+cfg.Measure {
-		s.Step()
-	}
+	startStepped := s.stepped
+	s.RunTo(cfg.Warmup + cfg.Measure)
 	end := s.snap()
 
 	res := Result{
@@ -275,6 +505,7 @@ func Run(cfg Config) (Result, error) {
 		DRAM:           end.dram.Sub(start.dram),
 		Sched:          end.sched.Sub(start.sched),
 		MeasuredCycles: cfg.Measure,
+		SteppedCycles:  s.stepped - startStepped,
 	}
 	for i := range s.cores {
 		cs := cpu.Stats{
