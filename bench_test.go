@@ -228,10 +228,37 @@ func BenchmarkFig16_FGR(b *testing.B) {
 func BenchmarkIdleHeavy(b *testing.B) {
 	lib := workload.NonIntensive()
 	wl := workload.Workload{Name: "idleheavy", Benchmarks: lib[len(lib)-4:]}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(sim.Config{
 			Workload:  wl,
 			Mechanism: core.KindREFab,
+			Density:   timing.Gb32,
+			Seed:      42,
+			Warmup:    20_000,
+			Measure:   200_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SkipRate(), "frac_simulated")
+		b.ReportMetric(res.IPC[0], "ipc0")
+	}
+}
+
+// BenchmarkSaturated pins the opposite regime from BenchmarkIdleHeavy: an
+// all-intensive DSARP workload in which nearly every cycle carries an event,
+// so the clock-skipping engine degenerates to plain stepping and performance
+// is set entirely by the cost of one stepped cycle (demand scans, DRAM
+// legality probes, per-access bookkeeping). frac_simulated close to 1.0
+// confirms the run really exercises the stepped path.
+func BenchmarkSaturated(b *testing.B) {
+	wl := workload.IntensiveMixes(1, 4, 42)[0]
+	b.ReportAllocs() // the stepped cycle is supposed to be allocation-free
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Workload:  wl,
+			Mechanism: core.KindDSARP,
 			Density:   timing.Gb32,
 			Seed:      42,
 			Warmup:    20_000,

@@ -7,6 +7,8 @@ package cache
 import (
 	"fmt"
 	"math"
+
+	"dsarp/internal/fifo"
 )
 
 // Config sets the slice organization.
@@ -45,6 +47,7 @@ type mshrEntry struct {
 	waiters  []func(now int64)
 	dirty    bool   // a store merged into the pending fill
 	lineAddr uint64 // line being filled
+	next     *mshrEntry
 	// onFill hands the returned line to Slice.fill; built once per entry
 	// and reused through the slice's free list so steady-state misses
 	// allocate nothing.
@@ -57,12 +60,24 @@ type Slice struct {
 	sets    [][]line
 	mru     []uint16 // per-set way of the last hit: probed before the scan
 	setMask uint64
-	mshr    map[uint64]*mshrEntry
-	free    []*mshrEntry // filled entries awaiting reuse
+	// mshr chains the outstanding fills of each set (a few entries at most,
+	// almost always zero or one), replacing a lineAddr-keyed map: the probe
+	// on every miss becomes a short pointer walk instead of a hash.
+	mshr []*mshrEntry // per-set list heads
+	free []*mshrEntry // filled entries awaiting reuse
 
-	pendingWB []uint64 // writebacks the backend rejected; retried in Tick
+	// pendingWB[wbHead:] are writebacks the backend rejected, retried in
+	// Tick. The head index avoids pop-front reslicing, which would make
+	// every append reallocate once the slice start has advanced.
+	pendingWB []uint64
+	wbHead    int
 
+	// hits[hitHead:] are pending hit deliveries. Delivery times are
+	// now+HitLatency with nondecreasing now, so the list is a FIFO sorted
+	// by due time: Tick pops due heads instead of rescanning and
+	// compacting the whole list every delivering cycle.
 	hits      []hitDelivery
+	hitHead   int
 	nextHitAt int64 // earliest pending hit delivery (MaxInt64 when none)
 	backend   Backend
 	tick      int64
@@ -107,7 +122,7 @@ func NewSlice(cfg Config, backend Backend) *Slice {
 		sets:      sets,
 		mru:       make([]uint16, nSets),
 		setMask:   uint64(nSets - 1),
-		mshr:      map[uint64]*mshrEntry{},
+		mshr:      make([]*mshrEntry, nSets),
 		nextHitAt: math.MaxInt64,
 		backend:   backend,
 	}
@@ -160,7 +175,10 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 	}
 
 	// Miss. Merge into an outstanding fill if one exists.
-	if e, ok := s.mshr[lineAddr]; ok {
+	for e := s.mshr[si]; e != nil; e = e.next {
+		if e.lineAddr != lineAddr {
+			continue
+		}
 		s.stats.Accesses++
 		s.stats.Misses++
 		s.stats.MSHRMerges++
@@ -196,7 +214,8 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 	}
 	s.stats.Accesses++
 	s.stats.Misses++
-	s.mshr[lineAddr] = e
+	e.next = s.mshr[si]
+	s.mshr[si] = e
 	return true
 }
 
@@ -206,9 +225,19 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 // callback cannot fire again.
 func (s *Slice) fill(now int64, e *mshrEntry) {
 	lineAddr := e.lineAddr
-	delete(s.mshr, lineAddr)
+	si := lineAddr & s.setMask
+	if s.mshr[si] == e {
+		s.mshr[si] = e.next
+	} else {
+		prev := s.mshr[si]
+		for prev.next != e {
+			prev = prev.next
+		}
+		prev.next = e.next
+	}
+	e.next = nil
 
-	set := s.sets[lineAddr&s.setMask]
+	set := s.sets[si]
 	victim := 0
 	for i := range set {
 		if !set[i].valid {
@@ -242,26 +271,22 @@ func (s *Slice) writeback(addr uint64) {
 // once per DRAM cycle before the cores advance.
 func (s *Slice) Tick(now int64) {
 	if now >= s.nextHitAt {
-		kept := s.hits[:0]
-		next := int64(math.MaxInt64)
-		for _, h := range s.hits {
-			if h.at <= now {
-				h.onDone(now)
-			} else {
-				kept = append(kept, h)
-				if h.at < next {
-					next = h.at
-				}
-			}
+		for s.hitHead < len(s.hits) && s.hits[s.hitHead].at <= now {
+			h := s.hits[s.hitHead]
+			s.hits, s.hitHead = fifo.PopFront(s.hits, s.hitHead)
+			h.onDone(now)
 		}
-		s.hits = kept
-		s.nextHitAt = next
+		if s.hitHead < len(s.hits) {
+			s.nextHitAt = s.hits[s.hitHead].at
+		} else {
+			s.nextHitAt = math.MaxInt64
+		}
 	}
-	for len(s.pendingWB) > 0 {
-		if !s.backend.WriteLine(s.pendingWB[0]) {
+	for s.wbHead < len(s.pendingWB) {
+		if !s.backend.WriteLine(s.pendingWB[s.wbHead]) {
 			break
 		}
-		s.pendingWB = s.pendingWB[1:]
+		s.pendingWB, s.wbHead = fifo.PopFront(s.pendingWB, s.wbHead)
 	}
 }
 
@@ -272,11 +297,11 @@ func (s *Slice) Tick(now int64) {
 // clock-skipping engine's NextEvent contract (see sim); the slice has no
 // per-cycle accounting, so it needs no Skip.
 func (s *Slice) NextEvent(now int64) int64 {
-	if len(s.pendingWB) > 0 || s.nextHitAt <= now {
+	if s.wbHead < len(s.pendingWB) || s.nextHitAt <= now {
 		return now
 	}
 	return s.nextHitAt
 }
 
 // PendingWritebacks reports writebacks awaiting controller admission.
-func (s *Slice) PendingWritebacks() int { return len(s.pendingWB) }
+func (s *Slice) PendingWritebacks() int { return len(s.pendingWB) - s.wbHead }

@@ -30,7 +30,6 @@ type Adaptive struct {
 	// refresh being paid down at 4x granularity.
 	quarters []int
 	forced   []bool
-	epoch    uint64
 
 	dur4x  int // 4x command latency: tRFCab / 1.63
 	rows4x int
@@ -70,15 +69,12 @@ func (p *Adaptive) RankBlocked(rank int) bool { return p.forced[rank] }
 // BankBlocked implements sched.RefreshPolicy.
 func (p *Adaptive) BankBlocked(int, int) bool { return false }
 
-// BlockedEpoch implements sched.RefreshPolicy.
-func (p *Adaptive) BlockedEpoch() uint64 { return p.epoch }
-
 // setForced updates a rank's forced flag, bumping the blocked epoch on
 // change.
 func (p *Adaptive) setForced(r int, v bool) {
 	if p.forced[r] != v {
 		p.forced[r] = v
-		p.epoch++
+		p.v.NoteBlockedChanged()
 	}
 }
 

@@ -24,14 +24,21 @@ import (
 //
 // Paired with a SARP-enabled device this is the paper's DSARP.
 type DARP struct {
-	v      sched.View
+	v    sched.View
+	dev  *dram.Device // v.Dev(), cached: immutable for the policy's lifetime
+	slab []int        // v.PendingDemandSlab(), cached: stable per the View contract
+	// ctl is v's concrete type when it is the stock controller (the only
+	// implementation outside tests): the per-cycle queries — zero epoch,
+	// rank demand, write mode — dispatch directly and inline instead of
+	// through the interface.
+	ctl    *sched.Controller
 	opts   DARPOptions
 	rng    *rand.Rand
 	scheds []*bankSchedule
 	forced [][]bool // rank x bank: refresh overdue, demand held
 	slotAt []int64  // per rank: start of the next unobserved tREFIpb slot
+	ranks  int
 	banks  int
-	epoch  uint64
 	elig   []int // scratch buffer for write-mode bank selection
 
 	// Cached pull-in eligibility: the per-rank lists of banks that are
@@ -44,6 +51,18 @@ type DARP struct {
 	eligEpoch uint64
 	eligJoin  int64
 	eligList  [][]int
+
+	// Cached write-mode pick failure: while wmValid and the zero epoch is
+	// unchanged, pickWriteModeBank(r) is known to find no candidate before
+	// wmNextAt[r], so the per-cycle writeback sweep skips the bank scan.
+	// Only the no-candidate outcome is cached — it depends solely on credit
+	// thresholds (time crossings), refresh records, and queue emptiness;
+	// the min-pending selection itself depends on exact queue depths and is
+	// never cached. Invalidated by any recorded refresh (tryRefresh) and by
+	// demand zero crossings.
+	wmValid     bool
+	wmZeroEpoch uint64
+	wmNextAt    []int64
 }
 
 // DARPOptions toggle DARP components for the paper's §6.1.2 breakdown and
@@ -69,13 +88,18 @@ type DARPOptions struct {
 // random idle-bank selection of Fig. 8 (step 3) deterministically.
 func NewDARP(v sched.View, opts DARPOptions, seed int64) *DARP {
 	g := v.Dev().Geometry()
+	ctl, _ := v.(*sched.Controller)
 	p := &DARP{
 		v:      v,
+		dev:    v.Dev(),
+		slab:   v.PendingDemandSlab(),
+		ctl:    ctl,
 		opts:   opts,
 		rng:    rand.New(rand.NewSource(seed)),
 		scheds: make([]*bankSchedule, g.Ranks),
 		forced: make([][]bool, g.Ranks),
 		slotAt: make([]int64, g.Ranks),
+		ranks:  g.Ranks,
 		banks:  g.Banks,
 	}
 	base := phaseOffset(seed, int64(v.Timing().TREFIpb))
@@ -86,10 +110,34 @@ func NewDARP(v sched.View, opts DARPOptions, seed int64) *DARP {
 	return p
 }
 
+// zeroEpoch, rankDemand, and writeMode are the per-cycle View queries,
+// routed through the concrete controller when available (nil-check plus an
+// inlinable direct call instead of interface dispatch).
+func (p *DARP) zeroEpoch() uint64 {
+	if p.ctl != nil {
+		return p.ctl.DemandZeroEpoch()
+	}
+	return p.v.DemandZeroEpoch()
+}
+
+func (p *DARP) rankDemand(r int) int {
+	if p.ctl != nil {
+		return p.ctl.PendingRankDemand(r)
+	}
+	return p.v.PendingRankDemand(r)
+}
+
+func (p *DARP) writeMode() bool {
+	if p.ctl != nil {
+		return p.ctl.WriteMode()
+	}
+	return p.v.WriteMode()
+}
+
 // Name implements sched.RefreshPolicy.
 func (p *DARP) Name() string {
 	switch {
-	case p.v.Dev().SARP():
+	case p.dev.SARP():
 		return "DSARP"
 	case !p.opts.WriteRefresh:
 		return "DARP-ooo"
@@ -105,30 +153,26 @@ func (p *DARP) RankBlocked(int) bool { return false }
 // has exhausted its postponement credit and must refresh now.
 func (p *DARP) BankBlocked(rank, bank int) bool { return p.forced[rank][bank] }
 
-// BlockedEpoch implements sched.RefreshPolicy.
-func (p *DARP) BlockedEpoch() uint64 { return p.epoch }
-
-// setForced updates a bank's forced flag, bumping the blocked epoch on
-// change.
+// setForced updates a bank's forced flag, bumping the controller's blocked
+// epoch on change.
 func (p *DARP) setForced(r, b int, v bool) {
 	if p.forced[r][b] != v {
 		p.forced[r][b] = v
-		p.epoch++
+		p.v.NoteBlockedChanged()
 	}
 }
 
 // Tick implements sched.RefreshPolicy, following the decision flow of the
 // paper's Fig. 8 with Algorithm 1 layered on top during writeback mode.
 func (p *DARP) Tick(now int64, demandReady bool) bool {
-	dev := p.v.Dev()
-	g := dev.Geometry()
+	dev := p.dev
 
 	// 1. Mandatory refreshes: banks out of postponement credit. The bank is
 	// blocked from demand, drained, and refreshed as soon as possible. While
 	// every bank still has credit (now < minForcedAt) the whole sweep is a
 	// no-op: any stale forced flag would imply a bank whose credit is still
 	// exhausted, which would put minForcedAt in the past.
-	for r := 0; r < g.Ranks; r++ {
+	for r := 0; r < p.ranks; r++ {
 		sch := p.scheds[r]
 		if now < sch.minForcedAt {
 			continue
@@ -152,12 +196,29 @@ func (p *DARP) Tick(now int64, demandReady bool) bool {
 	// 2. Write-refresh parallelization (Algorithm 1): during writeback mode
 	// keep one refresh in flight, on the bank with the fewest pending
 	// demand requests (its delay least extends the drain).
-	if p.opts.WriteRefresh && p.v.WriteMode() {
-		for r := 0; r < g.Ranks; r++ {
+	if p.opts.WriteRefresh && p.writeMode() {
+		if ze := p.zeroEpoch(); !p.wmValid || p.wmZeroEpoch != ze {
+			if p.wmNextAt == nil {
+				p.wmNextAt = make([]int64, p.ranks)
+			}
+			for r := range p.wmNextAt {
+				p.wmNextAt[r] = math.MinInt64
+			}
+			p.wmValid, p.wmZeroEpoch = true, ze
+		}
+		for r := 0; r < p.ranks; r++ {
+			if now < p.wmNextAt[r] {
+				continue // a failed pick proved no candidate exists yet
+			}
 			if now < dev.PBRefBusyUntil(r) || dev.RankRefreshing(r, now) {
 				continue
 			}
-			if b, ok := p.pickWriteModeBank(r, now); ok && p.tryRefresh(r, b, now) {
+			b, ok := p.pickWriteModeBank(r, now)
+			if !ok {
+				p.wmNextAt[r] = p.wmEligBound(r, now)
+				continue
+			}
+			if p.tryRefresh(r, b, now) {
 				return true
 			}
 		}
@@ -166,24 +227,29 @@ func (p *DARP) Tick(now int64, demandReady bool) bool {
 	// 3. Out-of-order per-bank refresh (Fig. 8). At a tREFIpb slot boundary
 	// the nominal bank R is refreshed immediately if idle; a busy R is
 	// postponed (debt accrues passively in the schedule).
-	for r := 0; r < g.Ranks; r++ {
+	for r := 0; r < p.ranks; r++ {
 		sch := p.scheds[r]
 		if now >= p.slotAt[r] {
 			p.slotAt[r] = (now/sch.tREFIpb + 1) * sch.tREFIpb
 			b := sch.slotBank(now)
-			if sch.owed(b, now) > 0 && p.v.PendingDemand(r, b) == 0 && p.tryRefresh(r, b, now) {
+			if sch.owed(b, now) > 0 && p.slab[r*p.banks+b] == 0 && p.tryRefresh(r, b, now) {
 				return true
 			}
 		}
 	}
 
 	// Otherwise, refresh an idle bank only in command slots demand cannot
-	// use ("Can issue a demand request?" -> No).
+	// use ("Can issue a demand request?" -> No). The pick must run before
+	// the busy check — its rng draw is part of the replayed sequence — but
+	// any REFpb is guaranteed illegal while a refresh occupies the rank, so
+	// the cheaper RefreshBusyUntil read replaces a doomed CanIssue.
 	if demandReady {
 		return false
 	}
-	for r := 0; r < g.Ranks; r++ {
-		if b, ok := p.pickIdleBank(r, now); ok && p.tryRefresh(r, b, now) {
+	p.eligCache(now) // once for all ranks; the picks below read the lists
+	for r := 0; r < p.ranks; r++ {
+		if b, ok := p.pickIdleBank(r, now); ok && now >= dev.RefreshBusyUntil(r) &&
+			p.tryRefresh(r, b, now) {
 			return true
 		}
 	}
@@ -223,8 +289,8 @@ func (p *DARP) NextDeadline(now int64) int64 {
 	// previous refresh has completed — while every rank is still busy the
 	// sweep touches nothing (the min-pending pick runs only after the
 	// rank clears), so the next action is the earliest completion.
-	dev := p.v.Dev()
-	if p.opts.WriteRefresh && p.v.WriteMode() {
+	dev := p.dev
+	if p.opts.WriteRefresh && p.writeMode() {
 		for r := range p.scheds {
 			busy := dev.RefreshBusyUntil(r)
 			if now >= busy {
@@ -256,12 +322,13 @@ func (p *DARP) NextDeadline(now int64) int64 {
 }
 
 // eligCache (re)derives the per-rank pull-in-eligible bank counts. The
-// cache is exact, not heuristic: the counts can only change when a request
-// enters or leaves a queue (demand epoch), a refresh is recorded (pull-in
-// thresholds move), or the clock reaches the next pull-in crossing — all of
-// which invalidate it.
+// cache is exact, not heuristic: the counts can only change when a bank's
+// or rank's queued demand crosses empty <-> nonempty (the zero epoch — the
+// counts themselves don't matter, only which are zero), a refresh is
+// recorded (pull-in thresholds move), or the clock reaches the next pull-in
+// crossing — all of which invalidate it.
 func (p *DARP) eligCache(now int64) {
-	ep := p.v.DemandEpoch()
+	ep := p.zeroEpoch()
 	if p.eligValid && p.eligEpoch == ep && now < p.eligJoin {
 		return
 	}
@@ -272,12 +339,14 @@ func (p *DARP) eligCache(now int64) {
 		}
 	}
 	join := int64(math.MaxInt64)
+	slab := p.slab
 	for r := range p.scheds {
 		sch := p.scheds[r]
-		rankIdle := p.v.PendingRankDemand(r) == 0
+		rankIdle := p.rankDemand(r) == 0
 		elig := p.eligList[r][:0]
+		base := r * p.banks
 		for b := 0; b < p.banks; b++ {
-			if !rankIdle && p.v.PendingDemand(r, b) != 0 {
+			if !rankIdle && slab[base+b] != 0 {
 				continue
 			}
 			if now >= sch.pullOkAt[b] {
@@ -326,18 +395,43 @@ func (p *DARP) Skip(from, to int64) {
 // tryRefresh issues REFpb to (rank, bank) if the device accepts it.
 func (p *DARP) tryRefresh(rank, bank int, now int64) bool {
 	cmd := dram.Cmd{Kind: dram.CmdREFpb, Rank: rank, Bank: bank}
-	if !p.v.Dev().CanIssue(cmd, now) {
+	if !p.dev.CanIssue(cmd, now) {
 		return false
 	}
 	p.v.IssueCmd(cmd, now)
 	p.scheds[rank].record(bank)
 	p.eligValid = false // pull-in thresholds moved
+	p.wmValid = false
 	return true
+}
+
+// wmEligBound returns a cycle before which pickWriteModeBank(rank) cannot
+// find a candidate, given it just failed at now and no refresh is recorded
+// and no queue crosses empty in between (both invalidate the cache). Each
+// failing bank's earliest possible eligibility is bounded below by a pure
+// time threshold: its pull-in crossing if its credit disallows a pull-in,
+// else — the bank had queued demand and no refresh debt — the next nominal
+// slot where its debt turns positive.
+func (p *DARP) wmEligBound(rank int, now int64) int64 {
+	sch := p.scheds[rank]
+	bound := int64(math.MaxInt64)
+	for b := 0; b < p.banks; b++ {
+		var lb int64
+		if !sch.canPullIn(b, now) {
+			lb = sch.pullOkAt[b]
+		} else {
+			lb = sch.phase[b] + sch.issued[b]*sch.period
+		}
+		if lb < bound {
+			bound = lb
+		}
+	}
+	return bound
 }
 
 // drain precharges a bank that must refresh but has an open row in the way.
 func (p *DARP) drain(rank, bank int, now int64) bool {
-	dev := p.v.Dev()
+	dev := p.dev
 	open := dev.OpenRow(rank, bank)
 	if open == dram.NoRow {
 		return false
@@ -371,11 +465,12 @@ func (p *DARP) pickWriteModeBank(rank int, now int64) (int, bool) {
 		return elig[p.rng.Intn(len(elig))], true
 	}
 	best, bestPending, found := 0, 0, false
+	slab := p.slab
 	for b := 0; b < p.banks; b++ {
 		if !sch.canPullIn(b, now) {
 			continue
 		}
-		pend := p.v.PendingDemand(rank, b)
+		pend := slab[rank*p.banks+b]
 		// A bank with queued demand only qualifies when it actually owes a
 		// refresh: pulling future refreshes onto draining banks delays the
 		// writes and stretches the writeback period, the exact effect
@@ -394,9 +489,8 @@ func (p *DARP) pickWriteModeBank(rank int, now int64) (int, bool) {
 // refresh (postponed catch-up first by construction of owed, or a pull-in).
 // The candidate set comes from the eligibility cache, which tracks exactly
 // this condition and rebuilds in ascending bank order, so the rng draw is
-// identical to an inline scan.
+// identical to an inline scan. The caller must have run eligCache(now).
 func (p *DARP) pickIdleBank(rank int, now int64) (int, bool) {
-	p.eligCache(now)
 	elig := p.eligList[rank]
 	if len(elig) == 0 {
 		return 0, false

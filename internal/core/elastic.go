@@ -28,7 +28,6 @@ type Elastic struct {
 	idleRun []int64 // consecutive idle cycles per rank
 	avgIdle []float64
 	forced  []bool
-	epoch   uint64
 }
 
 // NewElastic builds the elastic refresh policy over a controller view.
@@ -63,15 +62,12 @@ func (p *Elastic) RankBlocked(rank int) bool { return p.forced[rank] }
 // BankBlocked implements sched.RefreshPolicy.
 func (p *Elastic) BankBlocked(int, int) bool { return false }
 
-// BlockedEpoch implements sched.RefreshPolicy.
-func (p *Elastic) BlockedEpoch() uint64 { return p.epoch }
-
 // setForced updates a rank's forced flag, bumping the blocked epoch on
 // change.
 func (p *Elastic) setForced(r int, v bool) {
 	if p.forced[r] != v {
 		p.forced[r] = v
-		p.epoch++
+		p.v.NoteBlockedChanged()
 	}
 }
 

@@ -29,7 +29,6 @@ type Pausing struct {
 	owedN []int64 // per-rank refreshes due (in whole-REFab units)
 	segs  []int   // per-rank remaining segments of the in-progress refresh
 	force []bool
-	epoch uint64
 
 	segments int
 	segDur   int
@@ -78,14 +77,11 @@ func (p *Pausing) RankBlocked(rank int) bool { return p.force[rank] }
 // BankBlocked implements sched.RefreshPolicy.
 func (p *Pausing) BankBlocked(int, int) bool { return false }
 
-// BlockedEpoch implements sched.RefreshPolicy.
-func (p *Pausing) BlockedEpoch() uint64 { return p.epoch }
-
 // setForce updates a rank's force flag, bumping the blocked epoch on change.
 func (p *Pausing) setForce(r int, v bool) {
 	if p.force[r] != v {
 		p.force[r] = v
-		p.epoch++
+		p.v.NoteBlockedChanged()
 	}
 }
 

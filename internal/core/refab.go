@@ -23,7 +23,6 @@ type AllBank struct {
 	banks   int
 	next    []int64 // next nominal refresh time per rank
 	due     []bool
-	epoch   uint64
 	refRows int // rows per refresh op (scaled down under FGR)
 }
 
@@ -75,9 +74,6 @@ func (p *AllBank) RankBlocked(rank int) bool { return !p.v.Dev().SARP() && p.due
 
 // BankBlocked implements sched.RefreshPolicy.
 func (p *AllBank) BankBlocked(int, int) bool { return false }
-
-// BlockedEpoch implements sched.RefreshPolicy.
-func (p *AllBank) BlockedEpoch() uint64 { return p.epoch }
 
 // NextDeadline implements sched.RefreshPolicy. A rank with a due refresh is
 // active only while it drains open banks or could actually issue; once the
@@ -138,7 +134,7 @@ func (p *AllBank) Skip(int64, int64) {}
 func (p *AllBank) setDue(r int, v bool) {
 	if p.due[r] != v {
 		p.due[r] = v
-		p.epoch++
+		p.v.NoteBlockedChanged()
 	}
 }
 

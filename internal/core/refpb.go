@@ -22,7 +22,6 @@ type PerBank struct {
 	banks int
 	next  []int64 // per-rank next nominal refresh time
 	owedN []int64 // per-rank refreshes due but not yet issued
-	epoch uint64
 }
 
 // NewPerBank builds the round-robin REFpb policy over a controller view.
@@ -66,12 +65,6 @@ func (p *PerBank) BankBlocked(rank, bank int) bool {
 	}
 	return p.owedN[rank] > 0 && p.v.Dev().RefreshUnit(rank).PeekBank() == bank
 }
-
-// BlockedEpoch implements sched.RefreshPolicy. BankBlocked depends on the
-// owed count and the refresh unit's round-robin position; the latter only
-// moves when this policy issues a refresh, which is covered by the same
-// epoch bump.
-func (p *PerBank) BlockedEpoch() uint64 { return p.epoch }
 
 // NextDeadline implements sched.RefreshPolicy. A rank with owed refreshes
 // is only genuinely active when its round-robin bank needs draining or the
@@ -128,7 +121,7 @@ func (p *PerBank) Tick(now int64, _ bool) bool {
 	for r := 0; r < p.ranks; r++ {
 		for now >= p.next[r] {
 			if p.owedN[r] == 0 {
-				p.epoch++ // bank block engages
+				p.v.NoteBlockedChanged() // bank block engages
 			}
 			p.owedN[r]++
 			p.next[r] += tREFIpb
@@ -141,7 +134,7 @@ func (p *PerBank) Tick(now int64, _ bool) bool {
 		if dev.CanIssue(cmd, now) {
 			p.v.IssueCmd(cmd, now)
 			p.owedN[r]--
-			p.epoch++ // owed count or round-robin bank changed
+			p.v.NoteBlockedChanged() // owed count or round-robin bank changed
 			return true
 		}
 		if p.drainBank(r, bank, now) {

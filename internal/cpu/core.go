@@ -10,6 +10,7 @@ package cpu
 import (
 	"math"
 
+	"dsarp/internal/fifo"
 	"dsarp/internal/trace"
 )
 
@@ -62,8 +63,15 @@ type Core struct {
 	retired     int64
 	cpuCycles   int64
 	outstanding int
-	loads       []*loadEntry // in program order
-	freeLoads   []*loadEntry // retired entries awaiting reuse
+	// loads[loadHead:] are the in-flight load entries in program order. The
+	// head index replaces pop-front reslicing: advancing a slice start while
+	// appending at the end makes every append see an exhausted capacity and
+	// reallocate, which was the stepped cycle's only steady-state heap
+	// traffic. The head compacts the slice in place instead (amortized O(1),
+	// zero allocations).
+	loads     []*loadEntry
+	loadHead  int
+	freeLoads []*loadEntry // retired entries awaiting reuse
 
 	next     trace.Access
 	nextPos  int64
@@ -130,28 +138,38 @@ func (c *Core) Stats() Stats {
 // Tick advances the core by the configured number of CPU cycles per DRAM
 // cycle. now is the current DRAM cycle (used for memory callbacks).
 //
-// Two stall states are fully determined by core-local fields and can only
-// be broken by a load-completion callback, which never fires between the
-// sub-cycles of one Tick — so they fast-forward the whole DRAM cycle while
-// accumulating exactly the counters the cycle-by-cycle loop would:
-//
-//  1. Retirement blocked on an incomplete load at the window head with the
-//     instruction window full: every CPU cycle is pure wait.
-//  2. Retirement blocked the same way, window not full, but the next
-//     instruction is a load and the MSHRs are full: every CPU cycle waits
-//     and records one memory-stall beat (the dispatch loop's first action
-//     would be the failed MSHR check).
+// Tick first consults its own NextEvent: when the next slice access (or
+// generator draw) provably lies beyond this DRAM cycle, the whole cycle is
+// the linear trajectory Skip replays — the same substitution the selective
+// stepper makes from outside, now made inside Tick so the blind-stepping
+// saturation fallback gets it too. This subsumes the dedicated stall fast
+// paths: a stalled core classifies as stallWindow/stallMSHR and replays its
+// wait counters in O(1), with the NextEvent memo carrying across cycles
+// until a load-completion callback forks the state. When the access attempt
+// falls inside this cycle at sub-tick k, the k-1 pure sub-ticks before it
+// advance by the same closed form and only the remainder runs the
+// cycle-accurate loop.
 func (c *Core) Tick(now int64) {
-	c.evValid = false
-	switch c.stallState() {
-	case stallWindow:
-		c.cpuCycles += int64(c.cfg.CPUPerDRAM)
-		return
-	case stallMSHR:
-		c.cpuCycles += int64(c.cfg.CPUPerDRAM)
-		c.stats.MemStallBeat += int64(c.cfg.CPUPerDRAM)
+	if c.NextEvent(now) > now {
+		c.Skip(1)
 		return
 	}
+	// trajMode and trajB are fresh from the NextEvent classification above.
+	if c.trajMode == stallNone && c.haveNext && c.burstQuantum != 0 &&
+		(c.trajB < 0 || c.nextPos < c.trajB+int64(c.cfg.Window)) {
+		if k := c.attemptTick() - 1; k > 0 {
+			if k > int64(c.cfg.CPUPerDRAM) {
+				k = int64(c.cfg.CPUPerDRAM)
+			}
+			c.advanceCPUTicks(k)
+			c.evValid = false
+			for i := int64(0); i < int64(c.cfg.CPUPerDRAM)-k; i++ {
+				c.cpuTick(now)
+			}
+			return
+		}
+	}
+	c.evValid = false
 	for i := 0; i < c.cfg.CPUPerDRAM; i++ {
 		c.cpuTick(now)
 	}
@@ -164,12 +182,18 @@ const (
 	stallMSHR   // retirement blocked, next instruction a load, MSHRs full
 )
 
+// popLoad removes the oldest in-flight load entry (the caller has already
+// moved it to the free list).
+func (c *Core) popLoad() {
+	c.loads, c.loadHead = fifo.PopFront(c.loads, c.loadHead)
+}
+
 // stallState classifies the core per the exact conditions of Tick's two
 // fast paths. Both states are functions of core-local fields that only a
 // load-completion callback can change, so they persist across any window in
 // which no memory callback fires.
 func (c *Core) stallState() int {
-	if len(c.loads) > 0 && c.loads[0].pos == c.retired && !c.loads[0].done {
+	if c.loadHead < len(c.loads) && c.loads[c.loadHead].pos == c.retired && !c.loads[c.loadHead].done {
 		if c.issued-c.retired >= int64(c.cfg.Window) {
 			return stallWindow
 		}
@@ -199,7 +223,7 @@ func (c *Core) stallState() int {
 // Load entries are kept in program order, and in the common case the oldest
 // entry is the incomplete one, so the scan terminates immediately.
 func (c *Core) firstIncomplete() int64 {
-	for _, ld := range c.loads {
+	for _, ld := range c.loads[c.loadHead:] {
 		if !ld.done {
 			return ld.pos
 		}
@@ -299,7 +323,14 @@ func (c *Core) Skip(cycles int64) {
 	if !c.evValid {
 		c.nextEvent(0) // classify the trajectory (result cycle unused)
 	}
-	n := cycles * int64(c.cfg.CPUPerDRAM)
+	c.advanceCPUTicks(cycles * int64(c.cfg.CPUPerDRAM))
+}
+
+// advanceCPUTicks replays n elided CPU ticks along the classified
+// trajectory (the caller must have run nextEvent since the last state
+// fork). Tick uses it for the pure sub-ticks before an in-cycle access
+// attempt; Skip for whole elided DRAM cycles.
+func (c *Core) advanceCPUTicks(n int64) {
 	before := c.cpuCycles
 	c.cpuCycles += n
 	switch c.trajMode {
@@ -340,9 +371,9 @@ func (c *Core) Skip(cycles int64) {
 		}
 		c.issued = i
 	}
-	for len(c.loads) > 0 && c.loads[0].pos < c.retired {
-		c.freeLoads = append(c.freeLoads, c.loads[0])
-		c.loads = c.loads[1:]
+	for c.loadHead < len(c.loads) && c.loads[c.loadHead].pos < c.retired {
+		c.freeLoads = append(c.freeLoads, c.loads[c.loadHead])
+		c.popLoad()
 	}
 }
 
@@ -351,7 +382,7 @@ func (c *Core) cpuTick(now int64) {
 
 	// Retire: up to Width instructions, stopping at an incomplete load.
 	// With no loads awaiting retirement the loop is a bounded increment.
-	if len(c.loads) == 0 {
+	if c.loadHead == len(c.loads) {
 		if adv := c.issued - c.retired; adv > 0 {
 			if adv > int64(c.cfg.Width) {
 				adv = int64(c.cfg.Width)
@@ -360,12 +391,12 @@ func (c *Core) cpuTick(now int64) {
 		}
 	} else {
 		for n := 0; n < c.cfg.Width && c.retired < c.issued; {
-			if len(c.loads) > 0 && c.loads[0].pos == c.retired {
-				if !c.loads[0].done {
+			if c.loadHead < len(c.loads) && c.loads[c.loadHead].pos == c.retired {
+				if !c.loads[c.loadHead].done {
 					break
 				}
-				c.freeLoads = append(c.freeLoads, c.loads[0])
-				c.loads = c.loads[1:]
+				c.freeLoads = append(c.freeLoads, c.loads[c.loadHead])
+				c.popLoad()
 			}
 			c.retired++
 			n++

@@ -5,38 +5,3 @@ const NoRow = -1
 
 // NoSubarray marks the absence of an in-progress subarray-granular refresh.
 const NoSubarray = -1
-
-// bank holds the timing state of one DRAM bank. All times are absolute DRAM
-// cycles; a command is legal at cycle t if t >= the relevant next* field.
-type bank struct {
-	openRow int // NoRow when precharged
-
-	actTime   int64 // cycle of the most recent ACT (for tRAS accounting)
-	nextAct   int64 // earliest ACT (covers tRC, tRP after PRE, refresh lockout)
-	nextRead  int64 // earliest RD/RDA (tRCD after ACT)
-	nextWrite int64 // earliest WR/WRA (tRCD after ACT)
-	nextPre   int64 // earliest PRE (tRAS after ACT, tRTP after RD, tWR after WR)
-
-	// Refresh occupancy. refUntil > now means a refresh is restoring rows in
-	// refSubarray of this bank. Without SARP the whole bank is locked
-	// (enforced via nextAct); with SARP only refSubarray is off-limits.
-	refUntil    int64
-	refSubarray int
-}
-
-func newBank() bank {
-	return bank{openRow: NoRow, refSubarray: NoSubarray}
-}
-
-// refreshing reports whether a refresh is in progress in this bank at t.
-func (b *bank) refreshing(t int64) bool { return t < b.refUntil }
-
-// precharged reports whether the bank has no open row.
-func (b *bank) precharged() bool { return b.openRow == NoRow }
-
-// prechargeDone records a precharge completing; the bank may activate again
-// tRP cycles after t.
-func (b *bank) prechargeDone(t int64, trp int) {
-	b.openRow = NoRow
-	b.nextAct = max(b.nextAct, t+int64(trp))
-}

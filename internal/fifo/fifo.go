@@ -1,0 +1,26 @@
+// Package fifo provides the head-index pop-front shared by the simulator's
+// hot-path queues (core load entries, in-flight reads, cache hit deliveries
+// and writeback retries). Advancing a start index instead of reslicing the
+// front off keeps append from seeing an exhausted capacity — pop-front
+// reslicing makes every append reallocate, which was the stepped cycle's
+// only steady-state heap traffic.
+package fifo
+
+// PopFront drops q[head], zeroing the slot so no reference is retained, and
+// returns the updated backing slice and head index. The dead prefix is
+// compacted in place once it outweighs the live entries, so a long-lived
+// queue reuses its backing array: amortized O(1) per pop, zero allocations.
+func PopFront[T any](q []T, head int) ([]T, int) {
+	var zero T
+	q[head] = zero
+	head++
+	if head == len(q) {
+		return q[:0], 0
+	}
+	if head > 32 && head*2 > len(q) {
+		n := copy(q, q[head:])
+		clear(q[n:])
+		return q[:n], 0
+	}
+	return q, head
+}

@@ -44,17 +44,39 @@ func (m Mapper) permuteRow(raw uint64) uint64 {
 // LineBytes is the cache line (and DRAM column) size in bytes.
 const LineBytes = 64
 
-// Map converts a byte address to its channel index and DRAM address.
+// Map converts a byte address to its channel index and DRAM address. When
+// every level of the hierarchy is a power of two (all shipped geometries),
+// the div/mod chain collapses to shifts and masks — Map runs on every DRAM
+// request, and five 64-bit divisions by runtime divisors dominate it
+// otherwise. Both paths compute the identical mapping.
 func (m Mapper) Map(byteAddr uint64) (channel int, a dram.Addr) {
 	line := byteAddr / LineBytes
-	channel = int(line % uint64(m.Channels))
-	line /= uint64(m.Channels)
-	a.Col = int(line % uint64(m.Geom.ColumnsPerRow))
-	line /= uint64(m.Geom.ColumnsPerRow)
-	a.Bank = int(line % uint64(m.Geom.Banks))
-	line /= uint64(m.Geom.Banks)
-	a.Rank = int(line % uint64(m.Geom.Ranks))
-	line /= uint64(m.Geom.Ranks)
+	ch := uint64(m.Channels)
+	cols := uint64(m.Geom.ColumnsPerRow)
+	banks := uint64(m.Geom.Banks)
+	ranks := uint64(m.Geom.Ranks)
+	rows := uint64(m.Geom.RowsPerBank)
+	if ch&(ch-1) == 0 && cols&(cols-1) == 0 && banks&(banks-1) == 0 &&
+		ranks&(ranks-1) == 0 && rows&(rows-1) == 0 {
+		channel = int(line & (ch - 1))
+		line >>= uint(bits.TrailingZeros64(ch))
+		a.Col = int(line & (cols - 1))
+		line >>= uint(bits.TrailingZeros64(cols))
+		a.Bank = int(line & (banks - 1))
+		line >>= uint(bits.TrailingZeros64(banks))
+		a.Rank = int(line & (ranks - 1))
+		line >>= uint(bits.TrailingZeros64(ranks))
+		a.Row = int(m.permuteRow(line & (rows - 1)))
+		return channel, a
+	}
+	channel = int(line % ch)
+	line /= ch
+	a.Col = int(line % cols)
+	line /= cols
+	a.Bank = int(line % banks)
+	line /= banks
+	a.Rank = int(line % ranks)
+	line /= ranks
 	a.Row = int(m.permuteRow(line % uint64(m.Geom.RowsPerBank)))
 	return channel, a
 }

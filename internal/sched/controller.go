@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dsarp/internal/dram"
+	"dsarp/internal/fifo"
 	"dsarp/internal/timing"
 )
 
@@ -31,17 +32,23 @@ func DefaultConfig() Config {
 
 // Controller schedules one DRAM channel.
 //
-// Requests are indexed per (rank, bank) rather than kept in flat queues:
-// FR-FCFS selection walks the banks (checking the open row's bucket for
-// hits, else the oldest activation candidate per bank) instead of scanning
-// every queued request three times per DRAM cycle. Between cycles the
-// controller caches a failed demand-command search together with the
-// earliest cycle the device could accept any rejected candidate, and skips
-// re-scanning until that cycle — or until an enqueue, dequeue, issued
-// command, write-mode flip, or refresh-policy block change invalidates the
-// cached miss. Both layers are exact: the controller issues the same
-// command stream, cycle for cycle, as the seed's flat-scan implementation
-// (pinned by TestGoldenFixedTraceStats).
+// Requests are indexed per (rank, bank) rather than kept in flat queues,
+// and FR-FCFS selection reads incrementally maintained candidate registers
+// instead of rescanning buckets: each bucket tracks the oldest request for
+// the bank's open row and the open-row hit count, repaired in O(1) on
+// enqueue, dequeue, row-open, and row-close (the controller forwards every
+// ACT/PRE/auto-precharge it or its refresh policy issues via noteIssue).
+// Device legality probes are split into a hoisted device-global gate plus
+// one per-bank slab read (dram.EarliestColumnSplit/EarliestACTSplit), so a
+// demand scan touches only the banks that could legally issue now, with a
+// couple of loads per bank. Between cycles the controller caches a failed
+// demand-command search together with the earliest cycle the device could
+// accept any rejected candidate, and skips re-scanning until that cycle —
+// or until an enqueue, dequeue, issued command, write-mode flip, or
+// refresh-policy block change invalidates the cached miss. All layers are
+// exact: the controller issues the same command stream, cycle for cycle, as
+// the seed's flat-scan implementation (pinned by TestGoldenFixedTraceStats
+// and the register-vs-rescan differential fuzz in controller_fuzz_test.go).
 type Controller struct {
 	dev    *dram.Device
 	tp     timing.Params
@@ -49,14 +56,26 @@ type Controller struct {
 	cfg    Config
 	policy RefreshPolicy
 
-	readIx      queueIndex
-	writeIx     queueIndex
-	writeAddrs  map[uint64]struct{} // queued write addresses, packed (forwarding/merge probes)
-	pending     *bankPending
-	inflight    []*Request // reads awaiting data return
-	inflightMin int64      // earliest Done among inflight (MaxInt64 when empty)
-	wmode       bool
-	seq         int64 // next admission sequence number
+	readIx     queueIndex
+	writeIx    queueIndex
+	writeAddrs map[uint64]struct{} // queued write addresses, packed (forwarding/merge probes)
+	pending    *bankPending
+
+	// Reads awaiting data return, split into two FIFOs that are each
+	// monotone in Done by construction: issued reads return a fixed CL+BL
+	// after their nondecreasing issue cycles, forwarded reads complete
+	// now+1. Completion pops due heads in stamp (insertion) order, so the
+	// callback sequence is identical to scanning one flat list — at O(1)
+	// per completed read instead of O(in-flight) per completing cycle.
+	inflightRd    []*Request
+	rdHead        int
+	inflightFwd   []*Request
+	fwdHead       int
+	inflightStamp int64
+	inflightMin   int64 // earliest Done among in-flight reads (MaxInt64 when none)
+
+	wmode bool
+	seq   int64 // next admission sequence number
 
 	// Cached demand-search miss: while missValid, chooseDemand would find no
 	// issuable command before missNextTry, provided the policy's blocked
@@ -65,11 +84,17 @@ type Controller struct {
 	missNextTry int64
 	missEpoch   uint64
 
+	// blockedEpoch is bumped by the attached policy via NoteBlockedChanged
+	// whenever a RankBlocked/BankBlocked answer may have changed (see the
+	// View contract). Controller-owned so the per-cycle staleness checks
+	// read a field instead of dispatching through the policy interface.
+	blockedEpoch uint64
+
 	demandEpoch uint64 // bumped whenever a request is admitted or leaves a queue
 
 	// Snapshot of the policy's Rank/BankBlocked answers, rebuilt whenever
-	// its BlockedEpoch moves (the epoch contract guarantees every change
-	// bumps it). Demand scans probe blocked state twice per bank, so the
+	// blockedEpoch moves (the NoteBlockedChanged contract guarantees every
+	// change bumps it). Demand scans probe blocked state twice per bank, so the
 	// snapshot turns two interface calls per probe into one slice read —
 	// and blockedAny short-circuits the scan entirely in the common
 	// nothing-blocked state.
@@ -84,6 +109,14 @@ type Controller struct {
 	// admitted, or a policy command issued.
 	evCached int64
 	evValid  bool
+
+	// Per-rank scratch for the demand scan: the rank-global ACT gate is
+	// computed lazily, at most once per scan (actTok marks which scan a
+	// cached value belongs to), since most scans resolve in the column
+	// class without ever needing it.
+	actGlobal []int64
+	actTok    []uint64
+	scanTok   uint64
 
 	reqFree []*Request // completed requests awaiting reuse (NewRequest), capped
 
@@ -113,6 +146,8 @@ func NewController(dev *dram.Device, cfg Config, policy RefreshPolicy) *Controll
 		writeAddrs:  make(map[uint64]struct{}, cfg.WriteQueueCap),
 		pending:     newBankPending(g.Ranks, g.Banks),
 		inflightMin: math.MaxInt64,
+		actGlobal:   make([]int64, g.Ranks),
+		actTok:      make([]uint64, g.Ranks),
 	}
 }
 
@@ -144,6 +179,9 @@ func (c *Controller) Timing() timing.Params { return c.tp }
 // PendingDemand implements View.
 func (c *Controller) PendingDemand(rank, bank int) int { return c.pending.Demand(rank, bank) }
 
+// PendingDemandSlab implements View.
+func (c *Controller) PendingDemandSlab() []int { return c.pending.demand }
+
 // PendingRankDemand implements View.
 func (c *Controller) PendingRankDemand(rank int) int { return c.pending.Rank(rank) }
 
@@ -156,13 +194,37 @@ func (c *Controller) WriteMode() bool { return c.wmode }
 // DemandEpoch implements View.
 func (c *Controller) DemandEpoch() uint64 { return c.demandEpoch }
 
+// DemandZeroEpoch implements View.
+func (c *Controller) DemandZeroEpoch() uint64 { return c.pending.zeroEpoch }
+
+// NoteBlockedChanged implements View.
+func (c *Controller) NoteBlockedChanged() { c.blockedEpoch++ }
+
 // IssueCmd implements View: policies issue refresh/drain commands through it.
 func (c *Controller) IssueCmd(cmd dram.Cmd, now int64) {
 	c.dev.Issue(cmd, now)
+	c.noteIssue(cmd)
 	c.missValid = false
 	c.evValid = false
 	if cmd.Kind.IsRefresh() {
 		c.stats.RefreshSlots++
+	}
+}
+
+// noteIssue keeps the queue indexes' open-row candidate registers in sync
+// with the device: every command that opens or closes a row — whether issued
+// by the demand scheduler or by the refresh policy (drain precharges) —
+// flows through here. Refresh commands never move a row, so they need no
+// hook.
+func (c *Controller) noteIssue(cmd dram.Cmd) {
+	bi := cmd.Rank*c.geom.Banks + cmd.Bank
+	switch cmd.Kind {
+	case dram.CmdACT:
+		c.readIx.onRowOpen(bi, cmd.Row)
+		c.writeIx.onRowOpen(bi, cmd.Row)
+	case dram.CmdPRE, dram.CmdRDA, dram.CmdWRA:
+		c.readIx.onRowClose(bi)
+		c.writeIx.onRowClose(bi)
 	}
 }
 
@@ -251,7 +313,7 @@ func (c *Controller) EnqueueRead(req *Request, now int64) bool {
 	if _, ok := c.writeAddrs[packAddr(req.Addr)]; ok {
 		req.Arrive = now
 		req.Done = now + 1
-		c.addInflight(req)
+		c.addInflightFwd(req)
 		c.evValid = false
 		c.stats.ForwardedReads++
 		return true
@@ -300,7 +362,18 @@ func (c *Controller) EnqueueWrite(req *Request, now int64) bool {
 // Tick advances the controller one DRAM cycle: it completes returned reads,
 // updates writeback mode, lets the refresh policy claim the command slot,
 // and otherwise issues the best demand command (FR-FCFS).
+//
+// Like cpu.Core.Tick, it first consults its own NextEvent: when this cycle
+// provably holds no completion, no mode flip, no demand scan, and no
+// refresh-policy action, the whole Tick is the linear accounting Skip
+// replays — the same substitution the selective stepper makes from
+// outside, made here so the blind-stepping saturation fallback gets it
+// too.
 func (c *Controller) Tick(now int64) {
+	if c.NextEvent(now) > now {
+		c.Skip(now, now+1)
+		return
+	}
 	c.evValid = false
 	c.completeReads(now)
 	c.updateWriteMode()
@@ -344,7 +417,7 @@ func (c *Controller) nextEvent(now int64) int64 {
 		return now // a writeback-mode flip is pending
 	}
 	if c.readIx.n != 0 || c.writeIx.n != 0 {
-		if !c.missValid || c.policy.BlockedEpoch() != c.missEpoch || c.missNextTry <= now {
+		if !c.missValid || c.blockedEpoch != c.missEpoch || c.missNextTry <= now {
 			return now // a demand scan must run this cycle
 		}
 		if c.missNextTry < ev {
@@ -375,7 +448,18 @@ func (c *Controller) Skip(from, to int64) {
 }
 
 func (c *Controller) addInflight(req *Request) {
-	c.inflight = append(c.inflight, req)
+	req.stamp = c.inflightStamp
+	c.inflightStamp++
+	c.inflightRd = append(c.inflightRd, req)
+	if req.Done < c.inflightMin {
+		c.inflightMin = req.Done
+	}
+}
+
+func (c *Controller) addInflightFwd(req *Request) {
+	req.stamp = c.inflightStamp
+	c.inflightStamp++
+	c.inflightFwd = append(c.inflightFwd, req)
 	if req.Done < c.inflightMin {
 		c.inflightMin = req.Done
 	}
@@ -385,25 +469,34 @@ func (c *Controller) completeReads(now int64) {
 	if now < c.inflightMin {
 		return // nothing can have returned yet (MaxInt64 when empty)
 	}
-	kept := c.inflight[:0]
-	minDone := int64(math.MaxInt64)
-	for _, r := range c.inflight {
-		if r.Done <= now {
-			c.stats.ReadsServed++
-			c.stats.ReadLatencySum += r.Done - r.Arrive
-			if r.OnComplete != nil {
-				r.OnComplete(now)
+	for {
+		var r *Request
+		rdDue := c.rdHead < len(c.inflightRd) && c.inflightRd[c.rdHead].Done <= now
+		fwdDue := c.fwdHead < len(c.inflightFwd) && c.inflightFwd[c.fwdHead].Done <= now
+		switch {
+		case rdDue && (!fwdDue || c.inflightRd[c.rdHead].stamp < c.inflightFwd[c.fwdHead].stamp):
+			r = c.inflightRd[c.rdHead]
+			c.inflightRd, c.rdHead = fifo.PopFront(c.inflightRd, c.rdHead)
+		case fwdDue:
+			r = c.inflightFwd[c.fwdHead]
+			c.inflightFwd, c.fwdHead = fifo.PopFront(c.inflightFwd, c.fwdHead)
+		default:
+			c.inflightMin = math.MaxInt64
+			if c.rdHead < len(c.inflightRd) {
+				c.inflightMin = c.inflightRd[c.rdHead].Done
 			}
-			c.recycle(r)
-		} else {
-			kept = append(kept, r)
-			if r.Done < minDone {
-				minDone = r.Done
+			if c.fwdHead < len(c.inflightFwd) && c.inflightFwd[c.fwdHead].Done < c.inflightMin {
+				c.inflightMin = c.inflightFwd[c.fwdHead].Done
 			}
+			return
 		}
+		c.stats.ReadsServed++
+		c.stats.ReadLatencySum += r.Done - r.Arrive
+		if r.OnComplete != nil {
+			r.OnComplete(now)
+		}
+		c.recycle(r)
 	}
-	c.inflight = kept
-	c.inflightMin = minDone
 }
 
 func (c *Controller) updateWriteMode() {
@@ -421,7 +514,7 @@ func (c *Controller) updateWriteMode() {
 // refreshBlocked rebuilds the blocked snapshot if the policy's epoch moved.
 // Called once per demand scan, so the per-bank probes stay interface-free.
 func (c *Controller) refreshBlocked() {
-	ep := c.policy.BlockedEpoch()
+	ep := c.blockedEpoch
 	if c.blockedInit && ep == c.blockedSeen {
 		return
 	}
@@ -448,12 +541,12 @@ func (c *Controller) blocked(rank, bank int) bool {
 // chooseDemandCached reuses the previous cycle's failed demand search when
 // nothing that could change its outcome has happened: no queue or device
 // mutation (tracked via missValid), no write-mode flip, no policy block
-// change (BlockedEpoch), and the earliest-ready bound still in the future.
+// change (blockedEpoch), and the earliest-ready bound still in the future.
 func (c *Controller) chooseDemandCached(now int64, cmd *dram.Cmd) (*Request, bool, bool) {
 	if c.readIx.n == 0 && c.writeIx.n == 0 {
 		return nil, false, false
 	}
-	if c.missValid && now < c.missNextTry && c.policy.BlockedEpoch() == c.missEpoch {
+	if c.missValid && now < c.missNextTry && c.blockedEpoch == c.missEpoch {
 		// Replicate the one observable side effect of a fruitless scan: the
 		// opportunistic-drain counter ticks whenever write drain is
 		// considered outside writeback mode.
@@ -468,7 +561,7 @@ func (c *Controller) chooseDemandCached(now int64, cmd *dram.Cmd) (*Request, boo
 	} else {
 		c.missValid = true
 		c.missNextTry = nextTry
-		c.missEpoch = c.policy.BlockedEpoch()
+		c.missEpoch = c.blockedEpoch
 	}
 	return req, autopre, ok
 }
@@ -496,111 +589,142 @@ func (c *Controller) chooseDemand(now int64, cmd *dram.Cmd) (*Request, bool, boo
 		return nil, false, false, nextTry
 	}
 	c.refreshBlocked()
-	banks := c.geom.Banks
 
-	// Pass 1: row hits. Per bank the candidate is the oldest request to the
-	// open row; EarliestColumn is exact, so no separate CanIssue is needed.
-	var best *Request
-	for _, bi := range ix.active {
-		bkt := &ix.buckets[bi]
-		if best != nil && bkt.reqs[0].seq > best.seq {
-			continue // even this bank's oldest request is younger
-		}
-		rank, bank := bi/banks, bi%banks
-		open := c.dev.OpenRow(rank, bank)
-		if open == dram.NoRow || bkt.rowCount(open) == 0 || c.blocked(rank, bank) {
-			continue
-		}
-		if e := c.dev.EarliestColumn(rank, bank, isWrite); e > now {
-			if e < nextTry {
-				nextTry = e
-			}
-			continue
-		}
-		if r := bkt.oldestForRow(open); best == nil || r.seq < best.seq {
-			best = r
-		}
-	}
-	if best != nil {
-		bkt := ix.bucketOf(best.Addr.Rank, best.Addr.Bank)
-		autopre := !c.cfg.OpenRow && bkt.rowCount(best.Addr.Row) < 2
-		kind := colKind(best.IsWrite, autopre)
-		*cmd = dram.Cmd{Kind: kind, Rank: best.Addr.Rank, Bank: best.Addr.Bank, Row: best.Addr.Row, Col: best.Addr.Col}
-		return best, autopre, true, 0
-	}
-
-	// Pass 2: activations for precharged banks. EarliestACT is a lower
-	// bound only — with SARP, ACT legality depends on the target row's
-	// subarray — so surviving banks still go through CanIssue per row.
-	for _, bi := range ix.active {
-		bkt := &ix.buckets[bi]
-		if best != nil && bkt.reqs[0].seq > best.seq {
-			continue
-		}
-		rank, bank := bi/banks, bi%banks
-		if c.dev.OpenRow(rank, bank) != dram.NoRow || c.blocked(rank, bank) {
-			continue
-		}
-		if e := c.dev.EarliestACT(rank, bank); e > now {
-			if e < nextTry {
-				nextTry = e
-			}
-			continue
-		}
-		found := false
-		for _, r := range bkt.reqs {
-			if best != nil && r.seq > best.seq {
-				found = true // an older candidate already won; bank stays live
-				break
-			}
-			actCmd := dram.Cmd{Kind: dram.CmdACT, Rank: rank, Bank: bank, Row: r.Addr.Row}
-			if c.dev.CanIssue(actCmd, now) {
-				best = r
-				found = true
-				break
-			}
-		}
-		if !found && now+1 < nextTry {
-			// Thresholds passed but every queued row is held off by an
-			// in-progress refresh (SARP subarray collision or throttled
-			// tFAW); re-evaluate next cycle.
-			nextTry = now + 1
-		}
-	}
-	if best != nil {
-		*cmd = dram.Cmd{Kind: dram.CmdACT, Rank: best.Addr.Rank, Bank: best.Addr.Bank, Row: best.Addr.Row}
-		return best, false, true, 0
-	}
-
-	// Pass 3: precharge a conflicting open row nobody queued wants. The
-	// bank's oldest request stands in for FR-FCFS age ordering; EarliestPRE
-	// is exact.
+	// One walk over the active buckets. The candidate registers classify
+	// each bank into exactly one FR-FCFS class — open-row hit (column
+	// candidate, bucket.hit), precharged (activation candidate, oldest
+	// queued), or open with no hits (conflict precharge) — and the walk
+	// tracks the oldest candidate per class. Column beats activation beats
+	// precharge, so once a higher class has a candidate the lower classes'
+	// bookkeeping is skipped outright: it could never change the outcome,
+	// and the selection stays identical to the seed's three sequential
+	// scans. Device-global gates (bus occupancy and turnaround for columns,
+	// rank tRRD/tFAW for activations) are hoisted out of the loop, leaving
+	// one or two slab reads per bank. EarliestColumn/EarliestPRE are exact
+	// bounds; EarliestACT is a lower bound only — with SARP, ACT legality
+	// depends on the target row's subarray — so activation banks passing
+	// the gate still go through CanIssue per row.
+	colGlobal, colBank := c.dev.EarliestColumnSplit(isWrite)
+	colOpen := colGlobal <= now
+	actBank := c.dev.EarliestACTBank()
+	c.scanTok++
+	var bestCol, bestAct, bestPre *Request
+	colBankMin := int64(math.MaxInt64) // tightest bank-local column bound while the global gate holds
 	bestBank := -1
 	for _, bi := range ix.active {
+		if c.blockedAny && c.blockedMask[bi] {
+			continue
+		}
+		if r := ix.hit[bi]; r != nil { // column class
+			if !colOpen {
+				// No bank can receive a column command this cycle; the
+				// earliest any hit could is the global gate clamped by the
+				// tightest bank-local bound (max distributes over the min).
+				if e := colBank[bi]; e < colBankMin {
+					colBankMin = e
+				}
+				continue
+			}
+			if bestCol != nil && r.seq > bestCol.seq {
+				continue
+			}
+			if e := colBank[bi]; e > now {
+				if e < nextTry {
+					nextTry = e
+				}
+				continue
+			}
+			bestCol = r
+			continue
+		}
+		if bestCol != nil {
+			continue // a column candidate always wins; skip lower classes
+		}
+		if ix.openRow[bi] == noOpenRow { // activation class
+			if bestAct != nil && ix.oldSeq[bi] > bestAct.seq {
+				continue
+			}
+			bkt := &ix.buckets[bi]
+			rank := bkt.rank
+			if c.actTok[rank] != c.scanTok {
+				c.actGlobal[rank] = c.dev.EarliestACTRank(rank)
+				c.actTok[rank] = c.scanTok
+			}
+			if e := max(actBank[bi], c.actGlobal[rank]); e > now {
+				if e < nextTry {
+					nextTry = e
+				}
+				continue
+			}
+			if now >= c.dev.RefreshBusyUntil(rank) {
+				// No refresh anywhere in the rank: everything CanIssue would
+				// re-check is already covered — the bank is precharged (open
+				// -row mirror), its tRC/tRP and the rank's tRRD plus the base
+				// tFAW window passed (the hoisted gates), and the throttled
+				// timings and subarray blocking require an in-progress
+				// refresh — so the bank's oldest request activates without a
+				// per-row legality probe.
+				bestAct = bkt.reqs[0]
+				continue
+			}
+			found := false
+			for _, r := range bkt.reqs {
+				if bestAct != nil && r.seq > bestAct.seq {
+					found = true // an older candidate already won; bank stays live
+					break
+				}
+				actCmd := dram.Cmd{Kind: dram.CmdACT, Rank: rank, Bank: bkt.bank, Row: r.Addr.Row}
+				if c.dev.CanIssue(actCmd, now) {
+					bestAct = r
+					found = true
+					break
+				}
+			}
+			if !found && now+1 < nextTry {
+				// Thresholds passed but every queued row is held off by an
+				// in-progress refresh (SARP subarray collision or throttled
+				// tFAW); re-evaluate next cycle.
+				nextTry = now + 1
+			}
+			continue
+		}
+		// Conflict-precharge class: an open row nobody queued wants; the
+		// bank's oldest request stands in for FR-FCFS age ordering.
+		if bestAct != nil {
+			continue // an activation candidate always beats a precharge
+		}
+		if bestPre != nil && ix.oldSeq[bi] > bestPre.seq {
+			continue
+		}
 		bkt := &ix.buckets[bi]
-		if best != nil && bkt.reqs[0].seq > best.seq {
-			continue
-		}
-		rank, bank := bi/banks, bi%banks
-		open := c.dev.OpenRow(rank, bank)
-		if open == dram.NoRow || c.blocked(rank, bank) {
-			continue
-		}
-		if bkt.rowCount(open) > 0 {
-			continue // FR-FCFS: let the row hits drain first
-		}
-		if e := c.dev.EarliestPRE(rank, bank); e > now {
+		if e := c.dev.EarliestPRE(bkt.rank, bkt.bank); e > now {
 			if e < nextTry {
 				nextTry = e
 			}
 			continue
 		}
-		best = bkt.reqs[0]
+		bestPre = bkt.reqs[0]
 		bestBank = bi
 	}
-	if bestBank >= 0 {
-		*cmd = dram.Cmd{Kind: dram.CmdPRE, Rank: bestBank / banks, Bank: bestBank % banks}
+
+	switch {
+	case bestCol != nil:
+		autopre := !c.cfg.OpenRow && ix.hitN[bestCol.Addr.Rank*c.geom.Banks+bestCol.Addr.Bank] < 2
+		kind := colKind(bestCol.IsWrite, autopre)
+		*cmd = dram.Cmd{Kind: kind, Rank: bestCol.Addr.Rank, Bank: bestCol.Addr.Bank, Row: bestCol.Addr.Row, Col: bestCol.Addr.Col}
+		return bestCol, autopre, true, 0
+	case bestAct != nil:
+		*cmd = dram.Cmd{Kind: dram.CmdACT, Rank: bestAct.Addr.Rank, Bank: bestAct.Addr.Bank, Row: bestAct.Addr.Row}
+		return bestAct, false, true, 0
+	case bestBank >= 0:
+		bkt := &ix.buckets[bestBank]
+		*cmd = dram.Cmd{Kind: dram.CmdPRE, Rank: bkt.rank, Bank: bkt.bank}
 		return nil, false, true, 0
+	}
+	if colBankMin != math.MaxInt64 {
+		if e := max(colGlobal, colBankMin); e < nextTry {
+			nextTry = e
+		}
 	}
 	return nil, false, false, nextTry
 }
@@ -620,6 +744,7 @@ func colKind(write, autopre bool) dram.CmdKind {
 
 func (c *Controller) issueDemand(cmd dram.Cmd, req *Request, autopre bool, now int64) {
 	c.dev.Issue(cmd, now)
+	c.noteIssue(cmd)
 	c.missValid = false
 	c.stats.DemandSlots++
 	if !cmd.Kind.IsColumn() {
@@ -651,5 +776,6 @@ func (c *Controller) removeRequest(req *Request) {
 
 // Drained reports whether all queues and in-flight reads are empty.
 func (c *Controller) Drained() bool {
-	return c.readIx.n == 0 && c.writeIx.n == 0 && len(c.inflight) == 0
+	return c.readIx.n == 0 && c.writeIx.n == 0 &&
+		c.rdHead == len(c.inflightRd) && c.fwdHead == len(c.inflightFwd)
 }

@@ -1,18 +1,31 @@
 package sched
 
+import "math"
+
 // queueIndex holds one request queue (read or write) bucketed per
 // (rank, bank), replacing the seed controller's flat slice. Each bucket
-// keeps its requests in arrival order and a row→count table, so FR-FCFS can
-// answer "oldest row hit for the open row", "any other hit to this row"
-// (auto-precharge) and "anyone queued for the open row" (conflict PRE)
-// without scanning the whole queue. The active list enumerates nonempty
-// buckets so scheduling scans skip idle banks entirely; its order is
-// arbitrary — FR-FCFS age ordering is recovered via Request.seq.
+// keeps its requests in arrival order and a row→FIFO table chaining the
+// requests of each row in age order. The FR-FCFS candidate registers live
+// in parallel slabs indexed by flat bank id — the oldest request targeting
+// the bank's open row (hit), the count of queued requests for that row
+// (hitN), the bank's open-row mirror, and the seq of the bank's oldest
+// request (oldSeq) — so the demand scan reads a few contiguous arrays
+// instead of pulling a cache line per bucket. The registers are maintained
+// incrementally on enqueue, dequeue, row-open, and row-close. The active
+// list enumerates nonempty buckets so scheduling scans skip idle banks
+// entirely; its order is arbitrary — FR-FCFS age ordering is recovered via
+// Request.seq.
 type queueIndex struct {
 	banks   int
 	buckets []bucket
 	active  []int // indices of nonempty buckets, unordered
 	n       int   // total queued requests across all buckets
+
+	// Candidate-register slabs, indexed by flat bank id (rank*banks+bank).
+	hit     []*Request // oldest queued request for the bank's open row
+	hitN    []int32    // queued requests for the bank's open row
+	openRow []int      // mirror of the device's open row; noOpenRow when precharged
+	oldSeq  []int64    // seq of the bank's oldest request; MaxInt64 when empty
 }
 
 // bucket is the per-(rank,bank) request list. rows is a small association
@@ -20,19 +33,39 @@ type queueIndex struct {
 // queue spreads over 16 banks), so linear probes beat map overhead.
 type bucket struct {
 	reqs []*Request // arrival (seq) order
-	rows []rowCount // row -> number of queued requests for it
+	rows []rowList  // row -> FIFO of queued requests for it
 	apos int        // position in queueIndex.active, -1 when empty
+
+	rank, bank int // this bucket's coordinates (flat id / banks decomposed)
 }
 
-type rowCount struct {
-	row int
-	n   int
+// noOpenRow mirrors dram.NoRow without importing the constant here.
+const noOpenRow = -1
+
+// rowList is one row's FIFO: head is the oldest queued request for the row,
+// chained through Request.rowNext in age order.
+type rowList struct {
+	row        int
+	n          int
+	head, tail *Request
 }
 
 func newQueueIndex(ranks, banks int) queueIndex {
-	ix := queueIndex{banks: banks, buckets: make([]bucket, ranks*banks)}
+	nb := ranks * banks
+	ix := queueIndex{
+		banks:   banks,
+		buckets: make([]bucket, nb),
+		hit:     make([]*Request, nb),
+		hitN:    make([]int32, nb),
+		openRow: make([]int, nb),
+		oldSeq:  make([]int64, nb),
+	}
 	for i := range ix.buckets {
 		ix.buckets[i].apos = -1
+		ix.buckets[i].rank = i / banks
+		ix.buckets[i].bank = i % banks
+		ix.openRow[i] = noOpenRow
+		ix.oldSeq[i] = math.MaxInt64
 	}
 	return ix
 }
@@ -47,29 +80,47 @@ func (ix *queueIndex) add(req *Request) {
 	if len(b.reqs) == 0 {
 		b.apos = len(ix.active)
 		ix.active = append(ix.active, bi)
+		ix.oldSeq[bi] = req.seq
 	}
 	b.reqs = append(b.reqs, req)
-	b.addRow(req.Addr.Row)
+	b.addRow(req)
+	if req.Addr.Row == ix.openRow[bi] {
+		if ix.hit[bi] == nil {
+			ix.hit[bi] = req // the FIFO was empty: the newcomer is the oldest hit
+		}
+		ix.hitN[bi]++
+	}
 	ix.n++
 }
 
-// remove deletes req from its bucket, preserving arrival order. It panics
-// if the request is not queued — the controller only removes requests it
-// just scheduled, so absence is a bookkeeping bug.
+// remove deletes req from its bucket, preserving arrival order and repairing
+// the candidate registers. It panics if the request is not queued — the
+// controller only removes requests it just scheduled, so absence is a
+// bookkeeping bug.
 func (ix *queueIndex) remove(req *Request) {
 	bi := req.Addr.Rank*ix.banks + req.Addr.Bank
 	b := &ix.buckets[bi]
 	for i, r := range b.reqs {
 		if r == req {
 			b.reqs = append(b.reqs[:i], b.reqs[i+1:]...)
-			b.removeRow(req.Addr.Row)
+			b.removeRow(req)
+			if req.Addr.Row == ix.openRow[bi] {
+				ix.hitN[bi]--
+				if ix.hit[bi] == req {
+					ix.hit[bi] = req.rowNext // next-oldest hit (nil when drained)
+				}
+			}
+			req.rowNext = nil
 			ix.n--
 			if len(b.reqs) == 0 {
+				ix.oldSeq[bi] = math.MaxInt64
 				last := ix.active[len(ix.active)-1]
 				ix.active[b.apos] = last
 				ix.buckets[last].apos = b.apos
 				ix.active = ix.active[:len(ix.active)-1]
 				b.apos = -1
+			} else if i == 0 {
+				ix.oldSeq[bi] = b.reqs[0].seq
 			}
 			return
 		}
@@ -77,46 +128,66 @@ func (ix *queueIndex) remove(req *Request) {
 	panic("sched: request not queued")
 }
 
-func (b *bucket) addRow(row int) {
+// onRowOpen records an ACT opening row in the bank: the candidate registers
+// load from the row's FIFO.
+func (ix *queueIndex) onRowOpen(bi, row int) {
+	ix.openRow[bi] = row
+	ix.hit[bi], ix.hitN[bi] = nil, 0
+	b := &ix.buckets[bi]
 	for i := range b.rows {
 		if b.rows[i].row == row {
+			ix.hit[bi], ix.hitN[bi] = b.rows[i].head, int32(b.rows[i].n)
+			return
+		}
+	}
+}
+
+// onRowClose records the bank precharging (PRE or auto-precharge).
+func (ix *queueIndex) onRowClose(bi int) {
+	ix.openRow[bi] = noOpenRow
+	ix.hit[bi], ix.hitN[bi] = nil, 0
+}
+
+func (b *bucket) addRow(req *Request) {
+	row := req.Addr.Row
+	for i := range b.rows {
+		if b.rows[i].row == row {
+			b.rows[i].tail.rowNext = req
+			b.rows[i].tail = req
 			b.rows[i].n++
 			return
 		}
 	}
-	b.rows = append(b.rows, rowCount{row: row, n: 1})
+	b.rows = append(b.rows, rowList{row: row, n: 1, head: req, tail: req})
 }
 
-func (b *bucket) removeRow(row int) {
+func (b *bucket) removeRow(req *Request) {
+	row := req.Addr.Row
 	for i := range b.rows {
-		if b.rows[i].row == row {
-			b.rows[i].n--
-			if b.rows[i].n == 0 {
-				b.rows[i] = b.rows[len(b.rows)-1]
-				b.rows = b.rows[:len(b.rows)-1]
-			}
-			return
+		if b.rows[i].row != row {
+			continue
 		}
+		l := &b.rows[i]
+		if l.head == req {
+			l.head = req.rowNext
+		} else {
+			// The scheduler always removes the row's oldest request, so this
+			// walk is defensive (and O(row length) at worst).
+			prev := l.head
+			for prev.rowNext != req {
+				prev = prev.rowNext
+			}
+			prev.rowNext = req.rowNext
+			if l.tail == req {
+				l.tail = prev
+			}
+		}
+		l.n--
+		if l.n == 0 {
+			b.rows[i] = b.rows[len(b.rows)-1]
+			b.rows = b.rows[:len(b.rows)-1]
+		}
+		return
 	}
 	panic("sched: row count underflow")
-}
-
-// rowCount returns how many queued requests in the bucket target row.
-func (b *bucket) rowCount(row int) int {
-	for i := range b.rows {
-		if b.rows[i].row == row {
-			return b.rows[i].n
-		}
-	}
-	return 0
-}
-
-// oldestForRow returns the oldest queued request targeting row, or nil.
-func (b *bucket) oldestForRow(row int) *Request {
-	for _, r := range b.reqs {
-		if r.Addr.Row == row {
-			return r
-		}
-	}
-	return nil
 }

@@ -31,14 +31,6 @@ type RefreshPolicy interface {
 	// per-bank refresh is pending on it.
 	BankBlocked(rank, bank int) bool
 
-	// BlockedEpoch is a counter the policy bumps whenever any RankBlocked or
-	// BankBlocked answer may have changed. Policies unblock on their own
-	// schedule without issuing a command, so the controller uses the epoch
-	// to know when a cached scheduling decision that honored the old block
-	// state must be re-derived. A policy may bump spuriously (that only
-	// costs a re-scan) but must never miss a change.
-	BlockedEpoch() uint64
-
 	// NextDeadline returns the earliest cycle >= now at which the policy's
 	// Tick could stop being a no-op: issue or attempt a command, change a
 	// RankBlocked/BankBlocked answer, consume randomness, or mutate any
@@ -66,6 +58,13 @@ type View interface {
 	Timing() timing.Params
 	// PendingDemand is the number of queued reads+writes for a bank.
 	PendingDemand(rank, bank int) int
+	// PendingDemandSlab is the live per-bank reads+writes table, indexed by
+	// flat bank id rank*Banks+bank. Policies that sweep every bank each
+	// decision (DARP's eligibility rebuild) read it directly instead of
+	// paying an interface call per bank. The returned slice is stable for
+	// the controller's lifetime — policies may cache it at construction —
+	// but must never mutate it.
+	PendingDemandSlab() []int
 	// PendingRankDemand is the number of queued reads+writes for a whole
 	// rank — the O(1) form of the per-bank sum that idle-rank checks
 	// (Elastic, AR, Pausing) would otherwise rebuild every cycle.
@@ -77,8 +76,24 @@ type View interface {
 	// (a request was admitted or left a queue). Policies use it to cache
 	// demand-dependent scans across the cycles in between.
 	DemandEpoch() uint64
+	// DemandZeroEpoch is a counter that bumps exactly when some bank's or
+	// rank's pending-demand count crosses 0 <-> nonzero. Policies whose
+	// cached decisions depend only on which banks/ranks are idle key on it
+	// instead of DemandEpoch: under saturated traffic the counts move every
+	// cycle but rarely touch zero, so the cache survives.
+	DemandZeroEpoch() uint64
 	// WriteMode reports whether the controller is draining a write batch.
 	WriteMode() bool
+	// NoteBlockedChanged must be called by the attached refresh policy
+	// whenever any RankBlocked or BankBlocked answer may have changed.
+	// Policies unblock on their own schedule without issuing a command, so
+	// the controller keeps a blocked epoch to know when a cached scheduling
+	// decision that honored the old block state must be re-derived; owning
+	// the counter (instead of polling the policy through the interface
+	// every cycle) keeps the per-cycle checks to one field read. A policy
+	// may call spuriously (that only costs a re-scan) but must never miss a
+	// change.
+	NoteBlockedChanged()
 	// IssueCmd issues a command on behalf of the policy, consuming the
 	// cycle's command slot. The command must satisfy Dev().CanIssue.
 	IssueCmd(cmd dram.Cmd, now int64)
@@ -98,9 +113,6 @@ func (NoRefresh) RankBlocked(int) bool { return false }
 
 // BankBlocked implements RefreshPolicy.
 func (NoRefresh) BankBlocked(int, int) bool { return false }
-
-// BlockedEpoch implements RefreshPolicy: nothing ever blocks.
-func (NoRefresh) BlockedEpoch() uint64 { return 0 }
 
 // NextDeadline implements RefreshPolicy: there is never anything to do.
 func (NoRefresh) NextDeadline(int64) int64 { return math.MaxInt64 }

@@ -30,6 +30,17 @@ type Request struct {
 	// across per-bank buckets use it to recover the flat queue order the seed
 	// controller scanned in.
 	seq int64
+
+	// rowNext chains the queued requests of one (bank, row) in age order —
+	// the per-row FIFO behind the queueIndex candidate registers. Owned by
+	// the bucket the request is queued in; nil while unqueued.
+	rowNext *Request
+
+	// stamp is the in-flight admission order. The controller keeps issued
+	// and forwarded reads in separate FIFOs (each monotone in Done) and
+	// merges completions by stamp, reproducing the insertion-order callback
+	// sequence of a flat in-flight list without rescanning it.
+	stamp int64
 }
 
 // Latency is the request's queueing+service latency in DRAM cycles.
@@ -42,13 +53,22 @@ type bankPending struct {
 	banks  int
 	reads  []int
 	writes []int
+	demand []int // per-bank reads+writes totals (the slab policies scan)
 	rank   []int // per-rank reads+writes totals
+
+	// zeroEpoch counts emptiness transitions: it bumps exactly when some
+	// bank's or rank's demand count crosses 0 <-> nonzero. Policies whose
+	// decisions depend only on which banks are idle (DARP's pull-in
+	// eligibility) key their caches on it, so steady saturated traffic —
+	// where counts move but never touch zero — does not force rebuilds the
+	// way the full demand epoch would.
+	zeroEpoch uint64
 }
 
 func newBankPending(ranks, banks int) *bankPending {
 	n := ranks * banks
 	return &bankPending{banks: banks, reads: make([]int, n), writes: make([]int, n),
-		rank: make([]int, ranks)}
+		demand: make([]int, n), rank: make([]int, ranks)}
 }
 
 func (p *bankPending) idx(rank, bank int) int { return rank*p.banks + bank }
@@ -60,13 +80,16 @@ func (p *bankPending) add(r *Request, delta int) {
 	} else {
 		p.reads[i] += delta
 	}
+	p.demand[i] += delta
 	p.rank[r.Addr.Rank] += delta
+	if p.demand[i] == 0 || p.demand[i] == delta || p.rank[r.Addr.Rank] == 0 || p.rank[r.Addr.Rank] == delta {
+		p.zeroEpoch++
+	}
 }
 
 // Demand is the total queued demand (reads+writes) for a bank.
 func (p *bankPending) Demand(rank, bank int) int {
-	i := p.idx(rank, bank)
-	return p.reads[i] + p.writes[i]
+	return p.demand[p.idx(rank, bank)]
 }
 
 // Rank is the total queued demand (reads+writes) for a whole rank.

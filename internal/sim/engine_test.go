@@ -154,6 +154,80 @@ func TestEngineEquivalenceFuzz(t *testing.T) {
 	}
 }
 
+// TestEngineEquivalenceSaturated pins the stepper-fallback regime: all-
+// intensive workloads keep nearly every cycle event-bearing, so the event
+// engine spends most of its time in selective stepping and the blind-window
+// fallback — exactly the paths the saturation-hot-path optimizations
+// (incremental FR-FCFS candidate registers, SoA DRAM timing state, in-Tick
+// core fast-forward) rewrite. Both engines must stay byte-equal across the
+// refresh mechanisms with the most per-cycle machinery, at 8-Gb and 32-Gb
+// densities, one- and two-channel, and under the open-row ablation.
+func TestEngineEquivalenceSaturated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation saturated equivalence matrix")
+	}
+	base := func(cores int, seed int64) Config {
+		return Config{
+			Workload:  workload.IntensiveMixes(1, cores, seed)[0],
+			Mechanism: core.KindDSARP,
+			Density:   timing.Gb32,
+			Seed:      seed,
+			Warmup:    6_000,
+			Measure:   30_000,
+		}
+	}
+	cases := map[string]func() Config{
+		"dsarp_4core": func() Config { return base(4, 21) },
+		"dsarp_8core": func() Config { return base(8, 22) },
+		"darp_4core": func() Config {
+			c := base(4, 23)
+			c.Mechanism = core.KindDARP
+			return c
+		},
+		"refpb_4core": func() Config {
+			c := base(4, 24)
+			c.Mechanism = core.KindREFpb
+			return c
+		},
+		"sarppb_4core": func() Config {
+			c := base(4, 25)
+			c.Mechanism = core.KindSARPpb
+			return c
+		},
+		"dsarp_8gb": func() Config {
+			c := base(4, 26)
+			c.Density = timing.Gb8
+			return c
+		},
+		"dsarp_1channel": func() Config {
+			c := base(4, 27)
+			c.Channels = 1
+			return c
+		},
+		"dsarp_openrow": func() Config {
+			c := base(4, 28)
+			c.OpenRow = true
+			return c
+		},
+		"dsarp_checker": func() Config {
+			c := base(4, 29)
+			c.Check = true
+			return c
+		},
+	}
+	for name, mk := range cases {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := runBothEngines(t, name, mk())
+			if res.SkipRate() < 0.5 {
+				t.Errorf("%s: skip rate %.2f — this config is not saturated enough to pin the stepper fallback",
+					name, res.SkipRate())
+			}
+		})
+	}
+}
+
 // TestEventEngineSkipsIdleHeavy pins the point of the event engine: on a
 // workload dominated by compute (non-intensive benchmarks), most cycles are
 // provably eventless and must be skipped, not stepped.

@@ -187,13 +187,24 @@ type System struct {
 	stepped int64 // cycles actually ticked (the rest were skipped)
 	nextID  int64
 
-	// hot is the component that most recently forced a step (demanded its
-	// NextEvent cycle immediately). Active components tend to stay active
-	// for runs of cycles, so NextEvent probes it first and skips the full
-	// scan while it keeps answering "now". Purely an optimization: any
-	// component answering "now" forces a step regardless of the others.
-	hot interface{ NextEvent(now int64) int64 }
+	// hot identifies the component that most recently forced a step
+	// (demanded its NextEvent cycle immediately). Active components tend to
+	// stay active for runs of cycles, so NextEvent probes it first and
+	// skips the full scan while it keeps answering "now". Purely an
+	// optimization: any component answering "now" forces a step regardless
+	// of the others. Stored as a concrete kind+index pair rather than an
+	// interface so the per-cycle probe is a direct call.
+	hotKind int8 // hotNone, or the component list hotIdx indexes
+	hotIdx  int
 }
+
+// hot-component kinds (System.hotKind).
+const (
+	hotNone = int8(iota)
+	hotCore
+	hotSlice
+	hotCtrl
+)
 
 // coreBaseStride separates core footprints in physical memory (8 GB apart).
 const coreBaseStride = 1 << 33
@@ -299,32 +310,43 @@ func (s *System) Step() {
 // complete a read, and no refresh policy can act — so the whole window can
 // be skipped without changing a single observable bit.
 func (s *System) NextEvent(limit int64) int64 {
-	if s.hot != nil && s.hot.NextEvent(s.now) <= s.now {
-		return s.now
+	switch s.hotKind {
+	case hotCore:
+		if s.cores[s.hotIdx].NextEvent(s.now) <= s.now {
+			return s.now
+		}
+	case hotSlice:
+		if s.slices[s.hotIdx].NextEvent(s.now) <= s.now {
+			return s.now
+		}
+	case hotCtrl:
+		if s.ctrls[s.hotIdx].NextEvent(s.now) <= s.now {
+			return s.now
+		}
 	}
 	t := limit
-	for _, c := range s.cores {
+	for i, c := range s.cores {
 		if e := c.NextEvent(s.now); e < t {
 			if e <= s.now {
-				s.hot = c
+				s.hotKind, s.hotIdx = hotCore, i
 				return s.now
 			}
 			t = e
 		}
 	}
-	for _, sl := range s.slices {
+	for i, sl := range s.slices {
 		if e := sl.NextEvent(s.now); e < t {
 			if e <= s.now {
-				s.hot = sl
+				s.hotKind, s.hotIdx = hotSlice, i
 				return s.now
 			}
 			t = e
 		}
 	}
-	for _, ctrl := range s.ctrls {
+	for i, ctrl := range s.ctrls {
 		if e := ctrl.NextEvent(s.now); e < t {
 			if e <= s.now {
-				s.hot = ctrl
+				s.hotKind, s.hotIdx = hotCtrl, i
 				return s.now
 			}
 			t = e
@@ -406,7 +428,10 @@ func (s *System) stepSelective() int {
 // blindWindow plain Steps with no scanning at all, then probes again.
 // Plain stepping is the reference behavior, so the fallback is exact by
 // construction; it only defers the detection of the next skippable window
-// by at most blindWindow cycles.
+// by at most blindWindow cycles. (A stickier fallback — growing the window
+// while probes come up dry — was measured and rejected: even all-intensive
+// DSARP runs keep ~10% of cycles skippable in short bursts, and losing
+// them costs more than the per-cycle scans save.)
 const (
 	worthwhileSkip = 4
 	saturatedAfter = 48
