@@ -1,0 +1,113 @@
+// Command dsarpd serves the DSARP simulator over HTTP: single simulations
+// (POST /v1/sim), batched sweeps with job tracking and SSE progress
+// (POST /v1/sweep, GET /v1/jobs/{id}...), all deduplicated in flight and
+// persisted in a content-addressed result store, so any config is ever
+// simulated once per store — across requests, restarts, and clients.
+//
+// Usage:
+//
+//	dsarpd [-addr :8080] [-store .dsarp-store] [-store-max-mb N]
+//	       [-parallel N] [-max-queue N] [-engine event|cycle]
+//	       [-warmup N] [-measure N] [-seed N]
+//
+// -warmup/-measure/-engine only fill fields a submitted spec leaves unset;
+// fully-specified specs are served as sent. SIGINT/SIGTERM drain
+// gracefully: new submissions get 503, queued work finishes and reaches
+// the store, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/serve"
+	"dsarp/internal/sim"
+	"dsarp/internal/store"
+)
+
+func main() {
+	os.Exit(mainImpl())
+}
+
+func mainImpl() int {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		storeDir   = flag.String("store", ".dsarp-store", "result store directory ('' disables persistence)")
+		storeMaxMB = flag.Int64("store-max-mb", 0, "store size cap in MiB (0 = unlimited)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = one per CPU)")
+		maxQueue   = flag.Int("max-queue", 256, "max queued+running tasks before 429")
+		engine     = flag.String("engine", "event", "default simulation engine for specs that omit one")
+		warmup     = flag.Int64("warmup", 0, "default warmup (DRAM cycles) for specs that omit one")
+		measure    = flag.Int64("measure", 0, "default measurement window for specs that omit one")
+		seed       = flag.Int64("seed", 42, "workload seed for the runner's built-in mixes")
+		drainSecs  = flag.Int("drain-timeout", 60, "seconds to wait for in-flight work on shutdown")
+	)
+	flag.Parse()
+
+	opts := exp.Defaults()
+	opts.Seed = *seed
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *measure > 0 {
+		opts.Measure = *measure
+	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	opts.Engine = eng
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMaxMB << 20})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		opts.Store = st
+		log.Printf("store: %s (%d entries)", st.Dir(), st.Len())
+	} else {
+		log.Printf("store: disabled (results die with the process)")
+	}
+
+	srv := serve.New(serve.Config{
+		Runner:   exp.NewRunner(opts),
+		Workers:  *parallel,
+		MaxQueue: *maxQueue,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("dsarpd listening on %s (schema %s)", *addr, exp.SchemaVersion)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	case sig := <-sigc:
+		log.Printf("%v: draining (in-flight work finishes and reaches the store)", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v (some queued work abandoned)", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("dsarpd stopped")
+	return 0
+}

@@ -6,20 +6,30 @@
 //	experiments [-run all|fig5|fig6|fig7|fig12|fig13|fig14|fig15|fig16|
 //	             table2|table3|table4|table5|table6|breakdown|ablations]
 //	            [-scale default|paper] [-percat N] [-measure N] [-seed N]
-//	            [-parallel N] [-cpuprofile F] [-memprofile F] [-v]
+//	            [-parallel N] [-store DIR] [-cpuprofile F] [-memprofile F] [-v]
+//
+// With -store, every completed simulation is persisted to a
+// content-addressed result store as it finishes, and consulted before
+// simulating: re-running the same experiments against a warm store costs
+// no simulation time, and an interrupted sweep resumes where it stopped.
+// SIGINT stops gracefully — in-flight simulations finish and reach the
+// store before the process exits with status 130.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"dsarp/internal/exp"
 	"dsarp/internal/sim"
+	"dsarp/internal/store"
 	"dsarp/internal/timing"
 )
 
@@ -39,6 +49,8 @@ func mainImpl() int {
 		warmup   = flag.Int64("warmup", 0, "override warmup (DRAM cycles)")
 		seed     = flag.Int64("seed", 0, "override workload seed")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+		storeDir = flag.String("store", "", "persist per-simulation results in this content-addressed store directory")
+		storeMax = flag.Int64("store-max-mb", 0, "store size cap in MiB (0 = unlimited)")
 		engine   = flag.String("engine", "event", "simulation engine: event (clock-skipping) or cycle (reference stepper); tables are bit-identical")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -73,6 +85,14 @@ func mainImpl() int {
 		return 2
 	}
 	opts.Engine = eng
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax << 20})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		opts.Store = st
+	}
 	if *verbose {
 		opts.Progress = func(done, _ int, label string) {
 			fmt.Fprintf(os.Stderr, "[%4d] %s\n", done, label)
@@ -110,6 +130,21 @@ func mainImpl() int {
 	}
 
 	r := exp.NewRunner(opts)
+
+	// First SIGINT: stop scheduling new simulations; the ones in flight
+	// finish and reach the store, so a rerun with the same -store resumes
+	// instead of restarting. Second SIGINT: exit immediately (completed
+	// store writes are atomic and survive).
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "interrupt: finishing in-flight simulations (^C again to abort)")
+		r.Interrupt()
+		<-sigc
+		os.Exit(130)
+	}()
+
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(strings.ToLower(name))] = true
@@ -146,6 +181,17 @@ func mainImpl() int {
 		}
 		start := time.Now()
 		res := e.fn()
+		if r.Interrupted() {
+			// The experiment came back with holes where skipped simulations
+			// would be; its table is meaningless. Report what was saved
+			// instead of printing it.
+			fmt.Fprintf(os.Stderr, "interrupted during %s: %d simulations completed", e.name, r.SimsRun())
+			if opts.Store != nil {
+				fmt.Fprintf(os.Stderr, ", flushed to %s — rerun with the same -store to resume", opts.Store.Dir())
+			}
+			fmt.Fprintln(os.Stderr)
+			return 130
+		}
 		fmt.Println(res.String())
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, e.name, res); err != nil {

@@ -18,6 +18,7 @@ import (
 	"dsarp/internal/metrics"
 	"dsarp/internal/sched"
 	"dsarp/internal/sim"
+	"dsarp/internal/store"
 	"dsarp/internal/timing"
 	"dsarp/internal/trace"
 	"dsarp/internal/workload"
@@ -42,6 +43,13 @@ type Options struct {
 	// Engine selects the simulation run loop (default: the clock-skipping
 	// event engine). Both engines produce bit-identical tables.
 	Engine sim.Engine
+	// Store, if non-nil, is a content-addressed result cache the runner
+	// consults before simulating and writes each completed result to.
+	// Results served from the store are byte-identical to fresh computes
+	// (the key covers everything that determines them, plus
+	// SchemaVersion), so a warm store only removes work: an interrupted
+	// sweep resumes from its per-task results instead of restarting.
+	Store *store.Store
 	// Progress, if non-nil, is called after each completed simulation. It
 	// is never called concurrently, but under parallelism the callback
 	// order is completion order, not submission order.
@@ -84,12 +92,18 @@ type Runner struct {
 	sensitive []workload.Workload
 
 	mu         sync.Mutex
-	cache      map[runKey]sim.Result
-	running    map[runKey]*inflight[sim.Result] // deduplicates concurrent runs
-	alone      map[string]float64               // benchmark name -> alone IPC
-	aloneRun   map[string]*inflight[float64]
+	cache      map[store.Key]sim.Result
+	running    map[store.Key]*inflight[sim.Result] // deduplicates concurrent runs
 	done       int
 	totalGuess int
+
+	simsRun   atomic.Int64 // simulations actually executed
+	storeHits atomic.Int64 // results served from the on-disk store
+	storeErrs atomic.Int64 // store writes that failed (results still returned)
+
+	// interrupted stops the worker pool from starting new simulations;
+	// in-flight ones finish (and reach the store). See Interrupt.
+	interrupted atomic.Bool
 
 	progressMu sync.Mutex // serializes the Progress callback
 }
@@ -163,14 +177,6 @@ func singleflight[K comparable, T any](r *Runner, cache map[K]T, running map[K]*
 	return v, true
 }
 
-type runKey struct {
-	workload  string
-	mech      core.Kind
-	density   timing.Density
-	retention timing.Retention
-	variant   string // distinguishes AdjustTiming / geometry / policy variants
-}
-
 // NewRunner builds a Runner; workload mixes are derived deterministically
 // from the options' seed.
 func NewRunner(opts Options) *Runner {
@@ -178,10 +184,8 @@ func NewRunner(opts Options) *Runner {
 		opts:      opts,
 		mixes:     workload.Mixes(opts.PerCategory, opts.Cores, opts.Seed),
 		sensitive: workload.IntensiveMixes(opts.Sensitivity, opts.Cores, opts.Seed+1),
-		cache:     map[runKey]sim.Result{},
-		running:   map[runKey]*inflight[sim.Result]{},
-		alone:     map[string]float64{},
-		aloneRun:  map[string]*inflight[float64]{},
+		cache:     map[store.Key]sim.Result{},
+		running:   map[store.Key]*inflight[sim.Result]{},
 	}
 }
 
@@ -196,14 +200,16 @@ func (r *Runner) parallelism() int {
 // forEach runs fn(0..n-1), fanning out over the runner's worker budget.
 // Each call brings up its own workers, so nested use cannot deadlock; with
 // Parallelism 1 (or a single task) it degenerates to a plain loop on the
-// calling goroutine. A panic in fn is re-raised on the caller.
+// calling goroutine. A panic in fn is re-raised on the caller. After
+// Interrupt, remaining tasks are skipped (their slots keep whatever zero
+// values the caller preallocated).
 func (r *Runner) forEach(n int, fn func(int)) {
 	p := r.parallelism()
 	if p > n {
 		p = n
 	}
 	if p <= 1 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && !r.interrupted.Load(); i++ {
 			fn(i)
 		}
 		return
@@ -229,7 +235,7 @@ func (r *Runner) forEach(n int, fn func(int)) {
 			}()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || r.interrupted.Load() {
 					return
 				}
 				fn(i)
@@ -251,44 +257,151 @@ func (r *Runner) Mixes() []workload.Workload { return r.mixes }
 // SensitivityMixes returns the all-intensive workloads of §6.2-6.4.
 func (r *Runner) SensitivityMixes() []workload.Workload { return r.sensitive }
 
-// baseConfig assembles the default simulation config for a workload.
-func (r *Runner) baseConfig(wl workload.Workload, k core.Kind, d timing.Density) sim.Config {
-	return sim.Config{
-		Workload:  wl,
-		Mechanism: k,
-		Density:   d,
-		Engine:    r.opts.Engine,
-		Seed:      r.opts.Seed,
-		Warmup:    r.opts.Warmup,
-		Measure:   r.opts.Measure,
-	}
-}
-
 // run executes (or recalls) one simulation. variant tags non-default
 // configurations; mod applies them. Concurrent calls with the same key
 // share a single execution: the first caller computes, the rest wait.
 func (r *Runner) run(wl workload.Workload, k core.Kind, d timing.Density, variant string, mod func(*sim.Config)) sim.Result {
-	key := runKey{workload: wl.Name, mech: k, density: d, variant: variant}
+	res, _ := r.runSpec(r.specFor(wl, k, d, variant), mod)
+	return res
+}
+
+// RunSource says where a result came from.
+type RunSource int
+
+const (
+	// SourceComputed: this call executed the simulation.
+	SourceComputed RunSource = iota
+	// SourceStore: loaded from the content-addressed store.
+	SourceStore
+	// SourceMemory: served from the runner's in-memory cache, or by
+	// waiting on an identical in-flight run.
+	SourceMemory
+)
+
+// String returns the wire spelling used by the serving layer.
+func (s RunSource) String() string {
+	switch s {
+	case SourceComputed:
+		return "computed"
+	case SourceStore:
+		return "store"
+	case SourceMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("RunSource(%d)", int(s))
+	}
+}
+
+// Cached reports whether the result was served without simulating.
+func (s RunSource) Cached() bool { return s != SourceComputed }
+
+// RunSpec executes (or recalls) the simulation an external spec describes:
+// the serving layer's entry point. The spec is normalized and validated
+// first; config modifiers come from the variant registry only. Unlike the
+// internal run path, failures surface as errors, not panics.
+func (r *Runner) RunSpec(spec SimSpec) (res sim.Result, src RunSource, err error) {
+	spec, err = r.PrepareSpec(spec)
+	if err != nil {
+		return sim.Result{}, SourceComputed, err
+	}
+	mod, err := VariantMod(spec.Variant)
+	if err != nil {
+		return sim.Result{}, SourceComputed, err
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("exp: run %s: %v", spec.label(), v)
+		}
+	}()
+	res, src = r.runSpec(spec, mod)
+	return res, src, nil
+}
+
+// runSpec is the shared cached-execution path: in-memory cache and
+// in-flight dedup first, then the on-disk store, then a real simulation
+// whose result is published to both. Panics on simulation errors (the
+// historical contract of run; RunSpec converts them back to errors).
+func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSource) {
+	key := spec.Key()
+	src := SourceMemory
 	var done int
 	res, computed := singleflight(r, r.cache, r.running, key, func() sim.Result {
-		cfg := r.baseConfig(wl, k, d)
+		if data, ok := r.storeGet(key); ok {
+			if res, err := DecodeResult(data); err == nil {
+				src = SourceStore
+				r.storeHits.Add(1)
+				return res
+			}
+			// Undecodable content under a valid envelope: schema drift or
+			// logical corruption. Fall through and recompute; the Put below
+			// heals the entry.
+		}
+		cfg := spec.simConfig()
 		if mod != nil {
 			mod(&cfg)
 		}
 		res, err := sim.Run(cfg)
 		if err != nil {
-			panic(fmt.Sprintf("exp: %s/%v/%v/%s: %v", wl.Name, k, d, variant, err))
+			panic(fmt.Sprintf("exp: %s: %v", spec.label(), err))
 		}
+		src = SourceComputed
+		r.simsRun.Add(1)
+		r.storePut(key, res)
 		return res
 	}, func() {
 		r.done++
 		done = r.done
 	})
 	if computed {
-		r.progress(done, fmt.Sprintf("%s %v %v %s", wl.Name, k, d, variant))
+		r.progress(done, spec.label())
 	}
-	return res
+	return res, src
 }
+
+// storeGet consults the on-disk store, if configured.
+func (r *Runner) storeGet(key store.Key) ([]byte, bool) {
+	if r.opts.Store == nil {
+		return nil, false
+	}
+	return r.opts.Store.Get(key)
+}
+
+// storePut publishes a computed result to the store, if configured. A
+// failed write is counted but not fatal: the result is still correct, the
+// cache is just colder than it could be.
+func (r *Runner) storePut(key store.Key, res sim.Result) {
+	if r.opts.Store == nil {
+		return
+	}
+	data, err := EncodeResult(res)
+	if err == nil {
+		err = r.opts.Store.Put(key, data)
+	}
+	if err != nil {
+		r.storeErrs.Add(1)
+	}
+}
+
+// SimsRun returns how many simulations this runner actually executed
+// (cache and store hits excluded).
+func (r *Runner) SimsRun() int64 { return r.simsRun.Load() }
+
+// StoreHits returns how many results were served from the on-disk store.
+func (r *Runner) StoreHits() int64 { return r.storeHits.Load() }
+
+// StoreErrs returns how many store writes failed.
+func (r *Runner) StoreErrs() int64 { return r.storeErrs.Load() }
+
+// Interrupt makes the runner stop starting new simulations: worker pools
+// drain after their current task, so every completed result has already
+// reached the store and a later run with the same store resumes where this
+// one stopped. Experiment methods still return, but their tables are
+// meaningless after an interrupt — callers should discard them (see
+// Interrupted).
+func (r *Runner) Interrupt() { r.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt was called.
+func (r *Runner) Interrupted() bool { return r.interrupted.Load() }
 
 func (r *Runner) progress(done int, label string) {
 	if r.opts.Progress == nil {
@@ -302,18 +415,12 @@ func (r *Runner) progress(done int, label string) {
 // aloneIPC returns a benchmark's alone-run IPC: a single-core run on the
 // full memory system with refresh disabled. Refresh-free alone IPCs make
 // weighted-speedup ratios across mechanisms exact (the normalization
-// constant cancels). Like run, concurrent callers share one execution.
+// constant cancels). Alone runs flow through the same cached path as every
+// other simulation, so they are deduplicated, persisted to the store, and
+// warmable over the serving layer like any other run.
 func (r *Runner) aloneIPC(prof trace.Profile) float64 {
-	ipc, _ := singleflight(r, r.alone, r.aloneRun, prof.Name, func() float64 {
-		wl := workload.Workload{Name: "alone." + prof.Name, Benchmarks: []trace.Profile{prof}}
-		cfg := r.baseConfig(wl, core.KindNoRef, timing.Gb8)
-		res, err := sim.Run(cfg)
-		if err != nil {
-			panic(fmt.Sprintf("exp: alone run %s: %v", prof.Name, err))
-		}
-		return res.IPC[0]
-	}, nil)
-	return ipc
+	res, _ := r.runSpec(r.AloneSpec(prof), nil)
+	return res.IPC[0]
 }
 
 // aloneIPCs collects alone IPCs for every slot of a workload.

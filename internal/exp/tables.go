@@ -6,7 +6,6 @@ import (
 
 	"dsarp/internal/core"
 	"dsarp/internal/metrics"
-	"dsarp/internal/sim"
 	"dsarp/internal/stats"
 	"dsarp/internal/timing"
 	"dsarp/internal/workload"
@@ -184,13 +183,13 @@ func (r *Runner) Table4() Table4Result {
 	out := Table4Result{TFAW: []int{5, 10, 15, 20, 25, 30}}
 	d := timing.Gb32
 	for _, tfaw := range out.TFAW {
-		tfaw := tfaw
+		// The modifier comes from the variant registry: the variant string
+		// is the store key's only window into the modification, so there
+		// must be exactly one definition of what it does.
 		variant := fmt.Sprintf("tfaw%d", tfaw)
-		mod := func(c *sim.Config) {
-			c.AdjustTiming = func(p *timing.Params) {
-				p.TFAW = tfaw
-				p.TRRD = max(1, tfaw/5)
-			}
+		mod, err := VariantMod(variant)
+		if err != nil {
+			panic(err)
 		}
 		ratios := make([]float64, len(r.sensitive))
 		r.forEach(len(r.sensitive), func(i int) {
@@ -233,9 +232,11 @@ func (r *Runner) Table5() Table5Result {
 	out := Table5Result{Subarrays: []int{1, 2, 4, 8, 16, 32, 64}}
 	d := timing.Gb32
 	for _, subs := range out.Subarrays {
-		subs := subs
 		variant := fmt.Sprintf("subs%d", subs)
-		mod := func(c *sim.Config) { c.SubarraysPerBank = subs }
+		mod, err := VariantMod(variant)
+		if err != nil {
+			panic(err)
+		}
 		ratios := make([]float64, len(r.sensitive))
 		r.forEach(len(r.sensitive), func(i int) {
 			wl := r.sensitive[i]
@@ -279,7 +280,10 @@ type Table6Result struct{ Rows []Table6Row }
 // Table6 evaluates DSARP with tREFIab = 7.8 us (64 ms retention).
 func (r *Runner) Table6() Table6Result {
 	var out Table6Result
-	mod := func(c *sim.Config) { c.Retention = timing.Retention64ms }
+	mod, err := VariantMod("ret64")
+	if err != nil {
+		panic(err)
+	}
 	for _, d := range r.opts.Densities {
 		ab := r.wsSeries(r.mixes, core.KindREFab, d, "ret64", mod)
 		pb := r.wsSeries(r.mixes, core.KindREFpb, d, "ret64", mod)

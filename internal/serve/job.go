@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/sim"
+)
+
+// jobEvent is one SSE frame: a completed task, or the job's completion.
+type jobEvent struct {
+	Type   string `json:"type"` // "task" | "done"
+	Index  int    `json:"index,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Source string `json:"source,omitempty"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+}
+
+const (
+	eventTask = "task"
+	eventDone = "done"
+)
+
+// taskOutcome is one slot of a job's results.
+type taskOutcome struct {
+	Index  int             `json:"index"`
+	Key    string          `json:"key"`
+	Source string          `json:"source"`
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// jobStatus is the GET /v1/jobs/{id} body.
+type jobStatus struct {
+	ID        string `json:"id"`
+	Name      string `json:"name,omitempty"`
+	State     string `json:"state"` // "running" | "done"
+	Done      int    `json:"done"`
+	Total     int    `json:"total"`
+	Computed  int    `json:"computed"`
+	CacheHits int    `json:"cache_hits"`
+	Errors    int    `json:"errors"`
+}
+
+// job tracks one sweep: per-task outcomes, counters, and SSE subscribers.
+type job struct {
+	id    string
+	name  string
+	total int
+
+	mu       sync.Mutex
+	done     int
+	computed int
+	cached   int
+	errs     int
+	outcomes []taskOutcome
+	events   []jobEvent      // completion-ordered history, replayed to late subscribers
+	subs     []chan jobEvent // live subscribers; buffered so publish never blocks
+}
+
+// complete records a finished task and publishes its event. Called by
+// workers; at most once per index.
+func (j *job) complete(index int, spec exp.SimSpec, res sim.Result, src exp.RunSource, err error) {
+	out := taskOutcome{Index: index, Key: spec.Key().String()}
+	if err != nil {
+		out.Error = err.Error()
+	} else {
+		out.Source = src.String()
+		out.Cached = src.Cached()
+		if data, encErr := exp.EncodeResult(res); encErr == nil {
+			out.Result = data
+		} else {
+			out.Error = encErr.Error()
+		}
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.outcomes[index] = out
+	j.done++
+	switch {
+	case out.Error != "":
+		j.errs++
+	case out.Cached:
+		j.cached++
+	default:
+		j.computed++
+	}
+	ev := jobEvent{
+		Type: eventTask, Index: index, Label: spec.Name + " " + spec.Mechanism,
+		Key: out.Key, Source: out.Source, Cached: out.Cached, Error: out.Error,
+		Done: j.done, Total: j.total,
+	}
+	j.publishLocked(ev)
+	if j.done == j.total {
+		j.publishLocked(jobEvent{Type: eventDone, Done: j.done, Total: j.total})
+	}
+}
+
+// publishLocked appends to the event history and fans out to subscribers.
+// Subscriber channels are sized for the job's full event count, so sends
+// never block a worker.
+func (j *job) publishLocked(ev jobEvent) {
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		ch <- ev
+	}
+}
+
+// subscribe returns the event history so far and a channel carrying every
+// subsequent event, with no gap or overlap between the two.
+func (j *job) subscribe() ([]jobEvent, chan jobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay := make([]jobEvent, len(j.events))
+	copy(replay, j.events)
+	ch := make(chan jobEvent, j.total+1)
+	j.subs = append(j.subs, ch)
+	return replay, ch
+}
+
+func (j *job) unsubscribe(ch chan jobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, c := range j.subs {
+		if c == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID: j.id, Name: j.name, State: "running",
+		Done: j.done, Total: j.total,
+		Computed: j.computed, CacheHits: j.cached, Errors: j.errs,
+	}
+	if j.done == j.total {
+		st.State = "done"
+	}
+	return st
+}
+
+func (j *job) results() (jobStatus, []taskOutcome) {
+	st := j.status()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]taskOutcome, len(j.outcomes))
+	copy(out, j.outcomes)
+	return st, out
+}
+
+// jobRegistry maps job ids to jobs, keeping at most cap of them: a
+// long-running daemon would otherwise retain every sweep's results and
+// event history forever (they are already durable in the store). When
+// full, the oldest finished job is evicted — or the oldest outright if
+// every job is somehow still running; its workers keep completing into
+// the evicted struct harmlessly, only status/SSE lookups start to 404.
+type jobRegistry struct {
+	mu    *sync.Mutex
+	jobs  map[string]*job
+	order []*job // creation order
+	cap   int
+}
+
+// defaultJobCap bounds retained jobs; generous next to MaxQueue since a
+// finished job holds only outcomes, not queue slots.
+const defaultJobCap = 512
+
+func newJobRegistry() jobRegistry {
+	return jobRegistry{mu: &sync.Mutex{}, jobs: map[string]*job{}, cap: defaultJobCap}
+}
+
+func (r *jobRegistry) create(name string, specs []exp.SimSpec) *job {
+	var b [8]byte
+	rand.Read(b[:])
+	j := &job{
+		id:       hex.EncodeToString(b[:]),
+		name:     name,
+		total:    len(specs),
+		outcomes: make([]taskOutcome, len(specs)),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jobs[j.id] = j
+	r.order = append(r.order, j)
+	if len(r.order) > r.cap {
+		victim := 0
+		for i, old := range r.order[:len(r.order)-1] {
+			if old.status().State == "done" {
+				victim = i
+				break
+			}
+		}
+		delete(r.jobs, r.order[victim].id)
+		r.order = append(r.order[:victim], r.order[victim+1:]...)
+	}
+	return j
+}
+
+func (r jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+func (r jobRegistry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}

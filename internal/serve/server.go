@@ -1,0 +1,420 @@
+// Package serve exposes the simulator as an HTTP service: single
+// simulations, batched sweeps with job tracking and SSE progress, all
+// deduplicated through the runner's singleflight layer and persisted in
+// the content-addressed result store.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST /v1/sim            one exp.SimSpec -> {key, source, cached, result}
+//	POST /v1/sweep          {specs: [...]}  -> 202 {id, total, ...urls}
+//	GET  /v1/jobs/{id}          job status
+//	GET  /v1/jobs/{id}/events   SSE progress stream (replays, then live)
+//	GET  /v1/jobs/{id}/results  per-task outcomes once the job is done
+//	GET  /v1/stats          runner + store + queue counters
+//	GET  /healthz           liveness
+//
+// Capacity is bounded: MaxQueue covers every queued-or-running task across
+// the service; a submission that does not fit is rejected with 429 and a
+// Retry-After header rather than buffered without limit. A response is
+// byte-identical whether the result was computed, read from the store, or
+// deduplicated against a concurrent identical request.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/sim"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Runner executes specs; its Store (if any) is the persistence layer
+	// and its singleflight is the cross-request dedup layer.
+	Runner *exp.Runner
+	// Workers bounds concurrently-running simulations (default: GOMAXPROCS).
+	Workers int
+	// MaxQueue bounds queued-plus-running tasks (default 256). Submissions
+	// beyond it get 429.
+	MaxQueue int
+}
+
+// task is one unit of queued work: a prepared spec, plus either a job slot
+// (sweep) or a reply channel (synchronous /v1/sim).
+type task struct {
+	spec  exp.SimSpec
+	job   *job
+	index int
+	reply chan taskReply
+}
+
+type taskReply struct {
+	res sim.Result
+	src exp.RunSource
+	err error
+}
+
+// Server owns the worker pool, the queue, and the job registry.
+type Server struct {
+	runner *exp.Runner
+	mux    *http.ServeMux
+	queue  chan task
+
+	mu       sync.Mutex
+	free     int // remaining queue+run slots
+	maxQueue int
+	draining bool
+
+	tasks   sync.WaitGroup // queued or running tasks
+	workers sync.WaitGroup
+
+	jobs jobRegistry
+}
+
+// New builds a Server and starts its workers. Call Drain to stop it.
+func New(cfg Config) *Server {
+	if cfg.Runner == nil {
+		panic("serve: Config.Runner is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 256
+	}
+	s := &Server{
+		runner:   cfg.Runner,
+		queue:    make(chan task, cfg.MaxQueue),
+		free:     cfg.MaxQueue,
+		maxQueue: cfg.MaxQueue,
+		jobs:     newJobRegistry(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for t := range s.queue {
+		res, src, err := s.runner.RunSpec(t.spec)
+		s.release(1)
+		if t.job != nil {
+			t.job.complete(t.index, t.spec, res, src, err)
+		}
+		if t.reply != nil {
+			t.reply <- taskReply{res: res, src: src, err: err}
+		}
+		s.tasks.Done()
+	}
+}
+
+// reserve atomically claims n queue slots, refusing while draining. Each
+// successful reserve is matched by a release when the task finishes.
+func (s *Server) reserve(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	if n > s.free {
+		return errQueueFull
+	}
+	s.free -= n
+	s.tasks.Add(n)
+	return nil
+}
+
+func (s *Server) release(n int) {
+	s.mu.Lock()
+	s.free += n
+	s.mu.Unlock()
+}
+
+var (
+	errDraining  = errors.New("serve: shutting down")
+	errQueueFull = errors.New("serve: queue full")
+)
+
+// Drain stops the service gracefully: new submissions are refused with
+// 503, every queued or running task finishes (its result reaching the
+// store and any SSE subscribers), then the workers exit. Status and
+// results endpoints keep answering throughout. Returns ctx.Err() if the
+// deadline expires first; the workers then finish in the background.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.tasks.Wait()
+		if !already {
+			close(s.queue)
+		}
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- handlers ---
+
+// simResponse is the POST /v1/sim reply.
+type simResponse struct {
+	Key    string          `json:"key"`
+	Source string          `json:"source"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var spec exp.SimSpec
+	if err := decodeJSON(r, &spec); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := s.runner.PrepareSpec(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.reserve(1); err != nil {
+		refuse(w, err)
+		return
+	}
+	reply := make(chan taskReply, 1)
+	s.queue <- task{spec: spec, reply: reply}
+	rep := <-reply
+	if rep.err != nil {
+		httpError(w, http.StatusInternalServerError, rep.err)
+		return
+	}
+	data, err := exp.EncodeResult(rep.res)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simResponse{
+		Key:    spec.Key().String(),
+		Source: rep.src.String(),
+		Cached: rep.src.Cached(),
+		Result: data,
+	})
+}
+
+// sweepRequest is the POST /v1/sweep body.
+type sweepRequest struct {
+	Name  string        `json:"name,omitempty"`
+	Specs []exp.SimSpec `json:"specs"`
+}
+
+type sweepResponse struct {
+	ID         string `json:"id"`
+	Total      int    `json:"total"`
+	StatusURL  string `json:"status_url"`
+	EventsURL  string `json:"events_url"`
+	ResultsURL string `json:"results_url"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("serve: sweep has no specs"))
+		return
+	}
+	prepared := make([]exp.SimSpec, len(req.Specs))
+	for i, spec := range req.Specs {
+		p, err := s.runner.PrepareSpec(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("spec %d: %w", i, err))
+			return
+		}
+		prepared[i] = p
+	}
+	// A sweep that could never fit is a permanent client error, not a
+	// transient 429 — retrying would loop forever.
+	if len(prepared) > s.maxQueue {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: sweep of %d specs exceeds queue capacity %d; split it", len(prepared), s.maxQueue))
+		return
+	}
+	// All-or-nothing admission: either the whole sweep fits the queue
+	// budget or none of it is admitted.
+	if err := s.reserve(len(prepared)); err != nil {
+		refuse(w, err)
+		return
+	}
+	j := s.jobs.create(req.Name, prepared)
+	for i, spec := range prepared {
+		s.queue <- task{spec: spec, job: j, index: i}
+	}
+	writeJSON(w, http.StatusAccepted, sweepResponse{
+		ID:         j.id,
+		Total:      len(prepared),
+		StatusURL:  "/v1/jobs/" + j.id,
+		EventsURL:  "/v1/jobs/" + j.id + "/events",
+		ResultsURL: "/v1/jobs/" + j.id + "/results",
+	})
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", r.PathValue("id")))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	st, results := j.results()
+	if st.State != "done" {
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"state": st.State, "results": results})
+}
+
+// handleJobEvents streams job progress as server-sent events: one "task"
+// event per completed simulation (already-completed ones are replayed
+// first, so a late subscriber sees the full history in order), then one
+// "done" event, then the stream closes.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live := j.subscribe()
+	defer j.unsubscribe(live)
+	emit := func(ev jobEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		fl.Flush()
+		return ev.Type != eventDone
+	}
+	for _, ev := range replay {
+		if !emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-live:
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	free, draining := s.free, s.draining
+	s.mu.Unlock()
+	stats := map[string]any{
+		"sims_run":   s.runner.SimsRun(),
+		"store_hits": s.runner.StoreHits(),
+		"store_errs": s.runner.StoreErrs(),
+		"queue_free": free,
+		"queue_cap":  s.maxQueue,
+		"draining":   draining,
+		"jobs":       s.jobs.count(),
+		"schema":     exp.SchemaVersion,
+	}
+	if st := s.runner.Options().Store; st != nil {
+		stats["store"] = st.Stats()
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// --- plumbing ---
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// refuse maps submission-time capacity errors to their status codes.
+func refuse(w http.ResponseWriter, err error) {
+	switch err {
+	case errQueueFull:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+	case errDraining:
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}

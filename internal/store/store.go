@@ -1,0 +1,365 @@
+// Package store is a content-addressed on-disk result cache. Entries are
+// keyed by a SHA-256 digest of a canonical description of the computation
+// (the caller decides what to hash; internal/exp hashes a fully-resolved
+// simulation spec plus a schema version) and hold an opaque payload.
+//
+// The store is crash-safe and corruption-tolerant by construction:
+//
+//   - writes go to a temp file in the store directory and are renamed into
+//     place, so readers never observe a partial entry;
+//   - every entry carries a header with the payload's length and SHA-256,
+//     verified on read — a truncated or bit-flipped entry is deleted and
+//     reported as a miss, turning corruption into a recompute;
+//   - an optional byte cap evicts the least-recently-used entries after
+//     each write.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key addresses one entry: the SHA-256 of the caller's canonical
+// description of the computation.
+type Key [sha256.Size]byte
+
+// KeyOf hashes a canonical description into a Key.
+func KeyOf(canonical []byte) Key { return sha256.Sum256(canonical) }
+
+// String returns the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses a 64-hex-digit key.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("store: malformed key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// header is the first line of every entry file: magic, payload SHA-256,
+// payload length. The key is the file name, so the header binds the
+// content; together a read can detect truncation, bit flips, and renamed
+// foreign files.
+const magic = "dsarpstore1"
+
+// Options configure a store.
+type Options struct {
+	// MaxBytes caps the store's total payload+header size; 0 means
+	// unlimited. When a write pushes the store over the cap, the
+	// least-recently-used entries are evicted until it fits (the entry just
+	// written is never evicted by its own write).
+	MaxBytes int64
+}
+
+// Stats describe the store's state and activity since Open. The JSON tags
+// are part of the serving layer's /v1/stats wire format.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Corrupt   int64 `json:"corrupt"` // entries deleted because verification failed
+	Evicted   int64 `json:"evicted"` // entries removed by the byte cap
+	WriteErrs int64 `json:"write_errs"`
+}
+
+type entry struct {
+	size  int64
+	stamp int64 // logical LRU clock; higher = more recently used
+}
+
+// Store is a content-addressed cache rooted at one directory. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	bytes   int64
+	clock   int64
+	stats   Stats
+}
+
+// Open creates (if necessary) and indexes the store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, entries: map[Key]*entry{}}
+	type found struct {
+		key   Key
+		size  int64
+		mtime int64
+	}
+	var idx []found
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// Leftover temp file from a crashed writer: never published.
+			// Age-gated so opening a store another process is actively
+			// writing to does not reap its in-flight temp files.
+			if info, err := d.Info(); err == nil && time.Since(info.ModTime()) > time.Hour {
+				os.Remove(path)
+			}
+			return nil
+		}
+		key, err := ParseKey(filepath.Base(filepath.Dir(path)) + name)
+		if err != nil {
+			return nil // foreign file; leave it alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		idx = append(idx, found{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// Seed the LRU clock from on-disk mtimes so pruning survives restarts.
+	sort.Slice(idx, func(i, j int) bool { return idx[i].mtime < idx[j].mtime })
+	for _, f := range idx {
+		s.clock++
+		s.entries[f.key] = &entry{size: f.size, stamp: s.clock}
+		s.bytes += f.size
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+const tmpPrefix = ".tmp-"
+
+// path returns the entry file for a key: two-level fan-out on the first
+// hex byte (dir/ab/cdef...).
+func (s *Store) path(k Key) string {
+	hexk := k.String()
+	return filepath.Join(s.dir, hexk[:2], hexk[2:])
+}
+
+// EntryPath reports where an entry for key is (or would be) stored.
+// Diagnostic only; the file format is private to this package.
+func (s *Store) EntryPath(k Key) string { return s.path(k) }
+
+// Get returns the payload stored under key. A missing, truncated, or
+// corrupted entry is a miss; corrupt files are deleted so the next Put can
+// heal the slot. The disk is probed even for keys absent from the
+// Open-time index, so entries written by another process sharing the
+// directory are found; file I/O and hashing happen outside the store
+// lock, so concurrent reads do not serialize on each other.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	path := s.path(k)
+	s.mu.Lock()
+	e, indexed := s.entries[k]
+	s.mu.Unlock()
+
+	payload, err := readEntry(path)
+	if err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		cur, ok := s.entries[k]
+		switch {
+		case ok && indexed && cur == e:
+			// The entry we indexed is corrupt: drop index and file.
+			s.dropLocked(k, cur)
+			s.stats.Corrupt++
+		case ok:
+			// A concurrent in-process Put healed the slot since we looked;
+			// leave it alone.
+		case os.IsNotExist(err):
+			// Plain miss: nothing on disk.
+		default:
+			// A corrupt file we never indexed (written by another process
+			// sharing the directory): delete it too, so its slot heals.
+			os.Remove(path)
+			s.stats.Corrupt++
+		}
+		s.stats.Misses++
+		return nil, false
+	}
+
+	var size int64
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	s.mu.Lock()
+	s.clock++
+	if cur, ok := s.entries[k]; ok {
+		cur.stamp = s.clock
+	} else {
+		// Found on disk but not in the index: another process wrote it.
+		s.entries[k] = &entry{size: size, stamp: s.clock}
+		s.bytes += size
+	}
+	s.stats.Hits++
+	s.mu.Unlock()
+	// Bump the mtime (best effort) so LRU eviction order survives a
+	// restart, not just write order.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return payload, true
+}
+
+// readEntry reads and verifies one entry file.
+func readEntry(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	head, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("store: short header: %w", err)
+	}
+	var gotMagic, sum string
+	var n int64
+	if _, err := fmt.Sscanf(head, "%s %s %d", &gotMagic, &sum, &n); err != nil || gotMagic != magic || n < 0 {
+		return nil, fmt.Errorf("store: malformed header %q", head)
+	}
+	// The declared length is untrusted until the hash checks out: bound it
+	// by the file's actual size so a corrupt header cannot demand an
+	// absurd allocation.
+	if n > fi.Size() {
+		return nil, fmt.Errorf("store: header claims %d payload bytes in a %d-byte file", n, fi.Size())
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("store: truncated payload: %w", err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("store: trailing data after payload")
+	}
+	h := sha256.Sum256(payload)
+	if hex.EncodeToString(h[:]) != sum {
+		return nil, fmt.Errorf("store: payload hash mismatch")
+	}
+	return payload, nil
+}
+
+// Put stores payload under key, atomically replacing any existing entry,
+// then applies the byte cap. Like Get, the file I/O happens outside the
+// store lock; only the index update takes it.
+func (s *Store) Put(k Key, payload []byte) error {
+	var buf bytes.Buffer
+	h := sha256.Sum256(payload)
+	fmt.Fprintf(&buf, "%s %s %d\n", magic, hex.EncodeToString(h[:]), len(payload))
+	buf.Write(payload)
+
+	path := s.path(k)
+	err := func() error {
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(buf.Bytes()); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		return nil
+	}()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.stats.WriteErrs++
+		return fmt.Errorf("store: %w", err)
+	}
+	size := int64(buf.Len())
+	if old, ok := s.entries[k]; ok {
+		s.bytes -= old.size
+	}
+	s.clock++
+	s.entries[k] = &entry{size: size, stamp: s.clock}
+	s.bytes += size
+	s.stats.Puts++
+	s.pruneLocked(k)
+	return nil
+}
+
+// pruneLocked evicts least-recently-used entries until the store fits
+// MaxBytes, sparing keep (the entry the caller just wrote).
+func (s *Store) pruneLocked(keep Key) {
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.opts.MaxBytes && len(s.entries) > 1 {
+		var victim Key
+		var victimE *entry
+		for k, e := range s.entries {
+			if k == keep {
+				continue
+			}
+			if victimE == nil || e.stamp < victimE.stamp {
+				victim, victimE = k, e
+			}
+		}
+		if victimE == nil {
+			return
+		}
+		s.dropLocked(victim, victimE)
+		s.stats.Evicted++
+	}
+}
+
+// dropLocked removes an entry from the index and disk.
+func (s *Store) dropLocked(k Key, e *entry) {
+	os.Remove(s.path(k))
+	delete(s.entries, k)
+	s.bytes -= e.size
+}
+
+// Len returns the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}

@@ -1,0 +1,263 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	key := KeyOf([]byte("spec-a"))
+	payload := []byte(`{"ipc":[0.5,1.25]}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want stored payload", got, ok)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf([]byte("spec-b"))
+	payload := []byte("persist me")
+	s := open(t, dir, Options{})
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	got, ok := s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened store lost the entry: %q, %v", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Errorf("reopened Len = %d", s2.Len())
+	}
+}
+
+// TestCorruptionIsAMiss pins the recovery contract: a truncated or
+// bit-flipped entry must read as a miss (so callers recompute) and the bad
+// file must be deleted (so the recompute's Put heals the slot).
+func TestCorruptionIsAMiss(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(path string) error
+	}{
+		{"truncated", func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, b[:len(b)-3], 0o666)
+		}},
+		{"bitflip", func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			b[len(b)-1] ^= 0x40
+			return os.WriteFile(path, b, 0o666)
+		}},
+		{"emptied", func(path string) error {
+			return os.WriteFile(path, nil, 0o666)
+		}},
+		{"trailing-garbage", func(path string) error {
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = f.WriteString("extra")
+			return err
+		}},
+		{"huge-length-header", func(path string) error {
+			// A corrupt length field must be rejected before the payload
+			// buffer is allocated, not crash the process trying.
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			i := bytes.IndexByte(b, '\n')
+			head := bytes.Fields(b[:i])
+			head[2] = []byte("99999999999999")
+			return os.WriteFile(path, append(append(bytes.Join(head, []byte(" ")), '\n'), b[i+1:]...), 0o666)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, Options{})
+			key := KeyOf([]byte("spec-" + tc.name))
+			payload := []byte("some result payload for " + tc.name)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.corrupt(s.EntryPath(key)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			if _, err := os.Stat(s.EntryPath(key)); !os.IsNotExist(err) {
+				t.Error("corrupt entry not deleted")
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Errorf("Corrupt = %d, want 1", st.Corrupt)
+			}
+			// The slot heals: a fresh Put+Get works again.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Error("healed entry unreadable")
+			}
+		})
+	}
+}
+
+func TestByteCapEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 256)
+	// Entry size = header + 256; cap the store at roughly 3 entries.
+	s := open(t, dir, Options{MaxBytes: 3 * 360})
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i] = KeyOf([]byte(fmt.Sprintf("entry-%d", i)))
+		if err := s.Put(keys[i], payload); err != nil {
+			t.Fatal(err)
+		}
+		// Keep entry 0 hot so eviction order reflects use, not insertion.
+		if _, ok := s.Get(keys[0]); i < 3 && !ok {
+			t.Fatalf("hot entry evicted at i=%d", i)
+		}
+	}
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Error("most-recently-used entry was evicted")
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Error("least-recently-used entry survived over cap")
+	}
+	st := s.Stats()
+	if st.Evicted == 0 {
+		t.Error("no evictions recorded")
+	}
+	if st.Bytes > 3*360 {
+		t.Errorf("store over cap: %d bytes", st.Bytes)
+	}
+}
+
+func TestTempFilesCleanedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, tmpPrefix+"crashed")
+	fresh := filepath.Join(dir, tmpPrefix+"inflight")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, Options{})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file reaped: it may belong to a live writer in another process")
+	}
+	if s.Len() != 0 {
+		t.Errorf("temp file indexed as entry: Len = %d", s.Len())
+	}
+}
+
+// TestUnindexedCorruptFileDeleted: a corrupt entry this process never
+// indexed (written by another process sharing the directory) is still
+// deleted on the failed read, so the slot heals for everyone.
+func TestUnindexedCorruptFileDeleted(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	key := KeyOf([]byte("foreign"))
+	path := s.EntryPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not a valid entry"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt foreign entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt foreign entry not deleted")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestCrossProcessVisibility: a second Store over the same directory (a
+// concurrent CLI run or daemon) sees entries written after its Open.
+func TestCrossProcessVisibility(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, dir, Options{})
+	b := open(t, dir, Options{}) // opened before a writes anything
+	key := KeyOf([]byte("shared"))
+	payload := []byte("written by a, read by b")
+	if err := a.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("sibling store missed a post-Open entry: %q, %v", got, ok)
+	}
+	if b.Len() != 1 {
+		t.Errorf("probed entry not indexed: Len = %d", b.Len())
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, Options{})
+	if s.Len() != 0 {
+		t.Errorf("foreign file indexed: Len = %d", s.Len())
+	}
+}
+
+func TestKeyParseRoundTrip(t *testing.T) {
+	k := KeyOf([]byte("abc"))
+	got, err := ParseKey(k.String())
+	if err != nil || got != k {
+		t.Fatalf("ParseKey(%q) = %v, %v", k.String(), got, err)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Error("short key parsed")
+	}
+	if _, err := ParseKey(strings.Repeat("zz", 32)); err == nil {
+		t.Error("non-hex key parsed")
+	}
+}
