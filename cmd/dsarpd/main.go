@@ -1,19 +1,31 @@
 // Command dsarpd serves the DSARP simulator over HTTP: single simulations
 // (POST /v1/sim), batched sweeps with job tracking and SSE progress
-// (POST /v1/sweep, GET /v1/jobs/{id}...), all deduplicated in flight and
-// persisted in a content-addressed result store, so any config is ever
-// simulated once per store — across requests, restarts, and clients.
+// (POST /v1/sweep, GET /v1/jobs/{id}...), and whole registry experiments
+// (GET /v1/experiments, POST /v1/experiments/{name} -> assembled table),
+// all deduplicated in flight and persisted in a content-addressed result
+// store, so any config is ever simulated once per store — across
+// requests, restarts, and clients.
 //
 // Usage:
 //
 //	dsarpd [-addr :8080] [-store .dsarp-store] [-store-max-mb N]
 //	       [-parallel N] [-max-queue N] [-engine event|cycle]
 //	       [-warmup N] [-measure N] [-seed N]
+//	       [-scale default|paper] [-percat N] [-sensitivity N]
 //
 // -warmup/-measure/-engine only fill fields a submitted spec leaves unset;
-// fully-specified specs are served as sent. SIGINT/SIGTERM drain
-// gracefully: new submissions get 503, queued work finishes and reaches
-// the store, then the process exits.
+// fully-specified specs are served as sent. -scale/-percat/-sensitivity
+// set the workload scale behind experiment enumeration: a fleet of dsarpd
+// started with the same scale flags enumerates identical specs, so
+// workers sharing a -store directory compose into one reproduction.
+//
+// The store records the exp.SchemaVersion generation: reopening a store
+// written under an older schema sweeps its (unreachable) entries at
+// startup. Completed results are not retained in RAM — the store is the
+// cache — so memory stays flat however many unique specs are served.
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, queued work
+// finishes and reaches the store, then the process exits.
 package main
 
 import (
@@ -48,12 +60,24 @@ func mainImpl() int {
 		warmup     = flag.Int64("warmup", 0, "default warmup (DRAM cycles) for specs that omit one")
 		measure    = flag.Int64("measure", 0, "default measurement window for specs that omit one")
 		seed       = flag.Int64("seed", 42, "workload seed for the runner's built-in mixes")
+		scale      = flag.String("scale", "default", "experiment-enumeration scale: default | paper")
+		percat     = flag.Int("percat", 0, "override workloads per intensity category (experiment enumeration)")
+		sens       = flag.Int("sensitivity", 0, "override sensitivity workload count (experiment enumeration)")
 		drainSecs  = flag.Int("drain-timeout", 60, "seconds to wait for in-flight work on shutdown")
 	)
 	flag.Parse()
 
 	opts := exp.Defaults()
+	if *scale == "paper" {
+		opts = exp.Paper()
+	}
 	opts.Seed = *seed
+	if *percat > 0 {
+		opts.PerCategory = *percat
+	}
+	if *sens > 0 {
+		opts.Sensitivity = *sens
+	}
 	if *warmup > 0 {
 		opts.Warmup = *warmup
 	}
@@ -68,12 +92,21 @@ func mainImpl() int {
 	opts.Engine = eng
 
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMaxMB << 20})
+		st, err := store.Open(*storeDir, store.Options{
+			MaxBytes:   *storeMaxMB << 20,
+			Generation: exp.SchemaVersion,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			return 1
 		}
 		opts.Store = st
+		// The disk is the cache: don't also retain every result in RAM
+		// for the life of the daemon.
+		opts.EphemeralResults = true
+		if s := st.Stats(); s.Expired > 0 {
+			log.Printf("store: swept %d old-schema entries (%d bytes reclaimed)", s.Expired, s.ExpiredBytes)
+		}
 		log.Printf("store: %s (%d entries)", st.Dir(), st.Len())
 	} else {
 		log.Printf("store: disabled (results die with the process)")

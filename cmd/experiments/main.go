@@ -1,19 +1,24 @@
 // Command experiments regenerates the tables and figures of Chang et al.,
-// HPCA 2014 (see DESIGN.md §3 for the experiment index).
+// HPCA 2014 (see DESIGN.md §3 for the experiment index). The experiment
+// set is the exp package's declarative registry; -list prints it.
 //
 // Usage:
 //
-//	experiments [-run all|fig5|fig6|fig7|fig12|fig13|fig14|fig15|fig16|
-//	             table2|table3|table4|table5|table6|breakdown|ablations]
+//	experiments [-list] [-only name[,name...]] [-run all|<names>]
 //	            [-scale default|paper] [-percat N] [-measure N] [-seed N]
 //	            [-parallel N] [-store DIR] [-cpuprofile F] [-memprofile F] [-v]
+//
+// -only and -run both select experiments by registry name (-only wins if
+// both are given); the default runs everything in registry order.
 //
 // With -store, every completed simulation is persisted to a
 // content-addressed result store as it finishes, and consulted before
 // simulating: re-running the same experiments against a warm store costs
 // no simulation time, and an interrupted sweep resumes where it stopped.
-// SIGINT stops gracefully — in-flight simulations finish and reach the
-// store before the process exits with status 130.
+// -list reports, per experiment, how many of its simulations are already
+// warm in the store — a cheap resume/progress probe. SIGINT stops
+// gracefully — in-flight simulations finish and reach the store before the
+// process exits with status 130.
 package main
 
 import (
@@ -30,7 +35,6 @@ import (
 	"dsarp/internal/exp"
 	"dsarp/internal/sim"
 	"dsarp/internal/store"
-	"dsarp/internal/timing"
 )
 
 func main() {
@@ -41,7 +45,9 @@ func main() {
 
 func mainImpl() int {
 	var (
-		run      = flag.String("run", "all", "experiment to run (comma-separated), or 'all'")
+		run      = flag.String("run", "all", "experiments to run (comma-separated registry names), or 'all'")
+		only     = flag.String("only", "", "run only these registry names (overrides -run)")
+		list     = flag.Bool("list", false, "list registry experiments with spec counts (and store warm status with -store), then exit")
 		scale    = flag.String("scale", "default", "experiment scale: default | paper")
 		percat   = flag.Int("percat", 0, "override workloads per intensity category")
 		sens     = flag.Int("sensitivity", 0, "override sensitivity workload count")
@@ -86,10 +92,17 @@ func mainImpl() int {
 	}
 	opts.Engine = eng
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax << 20})
+		st, err := store.Open(*storeDir, store.Options{
+			MaxBytes:   *storeMax << 20,
+			Generation: exp.SchemaVersion,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			return 1
+		}
+		if s := st.Stats(); s.Expired > 0 {
+			fmt.Fprintf(os.Stderr, "store: swept %d old-schema entries (%d bytes reclaimed)\n",
+				s.Expired, s.ExpiredBytes)
 		}
 		opts.Store = st
 	}
@@ -97,6 +110,13 @@ func mainImpl() int {
 		opts.Progress = func(done, _ int, label string) {
 			fmt.Fprintf(os.Stderr, "[%4d] %s\n", done, label)
 		}
+	}
+
+	r := exp.NewRunner(opts)
+
+	if *list {
+		listExperiments(r)
+		return 0
 	}
 
 	if *cpuProf != "" {
@@ -129,8 +149,6 @@ func mainImpl() int {
 		}()
 	}
 
-	r := exp.NewRunner(opts)
-
 	// First SIGINT: stop scheduling new simulations; the ones in flight
 	// finish and reach the store, so a rerun with the same -store resumes
 	// instead of restarting. Second SIGINT: exit immediately (completed
@@ -145,47 +163,31 @@ func mainImpl() int {
 		os.Exit(130)
 	}()
 
+	sel := *run
+	if *only != "" {
+		sel = *only
+	}
 	selected := map[string]bool{}
-	for _, name := range strings.Split(*run, ",") {
+	for _, name := range strings.Split(sel, ",") {
 		selected[strings.TrimSpace(strings.ToLower(name))] = true
 	}
 	all := selected["all"]
 
-	type experiment struct {
-		name string
-		fn   func() fmt.Stringer
-	}
-	experiments := []experiment{
-		{"fig5", func() fmt.Stringer { return r.Fig5() }},
-		{"fig6", func() fmt.Stringer { return r.Fig6() }},
-		{"fig7", func() fmt.Stringer { return r.Fig7() }},
-		{"fig12", func() fmt.Stringer { return multi{r.Fig12(timing.Gb8), r.Fig12(timing.Gb16), r.Fig12(timing.Gb32)} }},
-		{"table2", func() fmt.Stringer { return r.Table2() }},
-		{"fig13", func() fmt.Stringer { return r.Fig13() }},
-		{"breakdown", func() fmt.Stringer { return r.DARPBreakdown() }},
-		{"fig14", func() fmt.Stringer { return r.Fig14() }},
-		{"fig15", func() fmt.Stringer { return r.Fig15() }},
-		{"table3", func() fmt.Stringer { return r.Table3() }},
-		{"table4", func() fmt.Stringer { return r.Table4() }},
-		{"table5", func() fmt.Stringer { return r.Table5() }},
-		{"table6", func() fmt.Stringer { return r.Table6() }},
-		{"fig16", func() fmt.Stringer { return r.Fig16() }},
-		{"ablations", func() fmt.Stringer { return r.Ablations() }},
-		{"pausing", func() fmt.Stringer { return r.PausingComparison() }},
-	}
-
 	ran := 0
-	for _, e := range experiments {
-		if !all && !selected[e.name] {
+	for _, e := range exp.Experiments() {
+		if !all && !selected[e.Name] {
 			continue
 		}
 		start := time.Now()
-		res := e.fn()
+		res, err := r.RunExperiment(e.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			return 1
+		}
 		if r.Interrupted() {
-			// The experiment came back with holes where skipped simulations
-			// would be; its table is meaningless. Report what was saved
-			// instead of printing it.
-			fmt.Fprintf(os.Stderr, "interrupted during %s: %d simulations completed", e.name, r.SimsRun())
+			// The run stopped before every simulation completed; no table
+			// was assembled. Report what was saved instead.
+			fmt.Fprintf(os.Stderr, "interrupted during %s: %d simulations completed", e.Name, r.SimsRun())
 			if opts.Store != nil {
 				fmt.Fprintf(os.Stderr, ", flushed to %s — rerun with the same -store to resume", opts.Store.Dir())
 			}
@@ -194,30 +196,48 @@ func mainImpl() int {
 		}
 		fmt.Println(res.String())
 		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, e.name, res); err != nil {
-				fmt.Fprintf(os.Stderr, "csv export of %s failed: %v\n", e.name, err)
+			if err := writeCSVs(*csvDir, e.Name, res); err != nil {
+				fmt.Fprintf(os.Stderr, "csv export of %s failed: %v\n", e.Name, err)
 			}
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "%s took %v\n", e.name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "%s took %v\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; see -h\n", *run)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; -list shows the registry\n", sel)
 		return 2
 	}
 	return 0
 }
 
+// listExperiments prints the registry: names, titles, spec counts, and —
+// when a store is configured — how much of each experiment is already
+// warm, making -list a cheap resume/progress probe for long sweeps.
+func listExperiments(r *exp.Runner) {
+	st := r.Options().Store
+	for _, e := range exp.Experiments() {
+		specs := e.Specs(r)
+		line := fmt.Sprintf("%-10s %4d specs", e.Name, len(specs))
+		if st != nil {
+			warm := exp.WarmCount(st, specs)
+			pct := 0.0
+			if len(specs) > 0 {
+				pct = 100 * float64(warm) / float64(len(specs))
+			}
+			line += fmt.Sprintf(", %4d warm (%3.0f%%)", warm, pct)
+		}
+		fmt.Printf("%s  %s\n", line, e.Title)
+	}
+}
+
 // writeCSVs exports any experiment result that carries exportable series.
 func writeCSVs(dir, name string, res fmt.Stringer) error {
-	if m, ok := res.(multi); ok {
-		for i, sub := range m {
-			if w, ok := sub.(exp.CSVWritable); ok {
-				if err := exp.WriteCSV(dir, fmt.Sprintf("%s_%d", name, i), w); err != nil {
-					return err
-				}
+	if m, ok := res.(exp.MultiCSV); ok {
+		for i, sub := range m.CSVParts() {
+			if err := exp.WriteCSV(dir, fmt.Sprintf("%s_%d", name, i), sub); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -226,15 +246,4 @@ func writeCSVs(dir, name string, res fmt.Stringer) error {
 		return exp.WriteCSV(dir, name, w)
 	}
 	return nil
-}
-
-// multi concatenates several printable results.
-type multi []fmt.Stringer
-
-func (m multi) String() string {
-	parts := make([]string, len(m))
-	for i, s := range m {
-		parts[i] = s.String()
-	}
-	return strings.Join(parts, "\n")
 }

@@ -1,14 +1,27 @@
-// Command client demonstrates the dsarpd HTTP API: it submits a small
-// sweep (the Table 2 task set at a reduced scale by default), follows the
-// job's SSE progress stream, and prints per-task outcomes — showing which
-// results were freshly computed and which came from the server's
-// content-addressed store. Run it twice against the same server to watch
-// the second sweep complete without a single simulation.
+// Command client demonstrates the dsarpd HTTP API in two modes.
 //
-// Usage:
+// Sweep demo (default): submits a small sweep (the Table 2 task set at a
+// reduced scale), follows the job's SSE progress stream, and prints
+// per-task outcomes — showing which results were freshly computed and
+// which came from the server's content-addressed store. Run it twice
+// against the same server to watch the second sweep complete without a
+// single simulation.
 //
 //	dsarpd &                      # terminal 1
 //	go run ./examples/client      # terminal 2, twice
+//
+// Fleet mode (-experiment): reproduces one registry experiment across N
+// dsarpd workers sharing a store directory. The client enumerates the
+// experiment's specs locally, splits them round-robin across the workers
+// as plain sweeps, waits for every shard, fetches the per-task results,
+// and assembles the rendered table locally — byte-identical to running
+// the experiment on one machine, because the table is a pure function of
+// the per-spec results:
+//
+//	dsarpd -addr :8080 -store /tmp/fleet &   # worker 1
+//	dsarpd -addr :8081 -store /tmp/fleet &   # worker 2 (same store!)
+//	go run ./examples/client -experiment table2 \
+//	    -addrs http://localhost:8080,http://localhost:8081
 package main
 
 import (
@@ -20,31 +33,185 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"dsarp/internal/exp"
 	"dsarp/internal/timing"
 )
 
 func main() {
-	addr := flag.String("addr", "http://localhost:8080", "dsarpd base URL")
-	n := flag.Int("n", 0, "submit only the first n specs (0 = all)")
+	addr := flag.String("addr", "http://localhost:8080", "dsarpd base URL (sweep demo)")
+	addrs := flag.String("addrs", "", "comma-separated dsarpd base URLs (fleet mode; defaults to -addr)")
+	experiment := flag.String("experiment", "", "reproduce this registry experiment across the workers (see cmd/experiments -list)")
+	n := flag.Int("n", 0, "submit only the first n specs (0 = all; sweep demo)")
 	flag.Parse()
-	if err := run(*addr, *n); err != nil {
+
+	var err error
+	if *experiment != "" {
+		workers := strings.Split(*addrs, ",")
+		if *addrs == "" {
+			workers = []string{*addr}
+		}
+		err = fleet(workers, *experiment)
+	} else {
+		err = sweepDemo(*addr, *n)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "client: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int) error {
-	// Enumerate the Table 2 task set at a small scale. The runner is used
-	// only to build specs — every simulation happens server-side.
+// demoOpts is the reduced scale both modes enumerate at. The runner built
+// from it is used only for spec enumeration and assembly — every
+// simulation happens server-side. Specs are fully resolved, so workers
+// honor this scale regardless of their own -warmup/-measure defaults.
+func demoOpts() exp.Options {
 	opts := exp.Defaults()
 	opts.PerCategory = 1
 	opts.Cores = 2
 	opts.Warmup = 5_000
 	opts.Measure = 20_000
 	opts.Densities = []timing.Density{timing.Gb8}
-	specs := exp.NewRunner(opts).Table2Specs()
+	return opts
+}
+
+// fleet splits one experiment's specs across the workers and assembles
+// the table locally from the fetched results.
+func fleet(workers []string, name string) error {
+	r := exp.NewRunner(demoOpts())
+	e, ok := exp.LookupExperiment(name)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	specs := e.Specs(r)
+	fmt.Printf("experiment %s: %d specs across %d workers\n", name, len(specs), len(workers))
+
+	// Round-robin sharding. Any split works: results are keyed by content,
+	// and the shared store dedups across workers even when shards race on
+	// overlapping alone-run specs.
+	shards := make([][]exp.SimSpec, len(workers))
+	for i, s := range specs {
+		w := i % len(workers)
+		shards[w] = append(shards[w], s)
+	}
+
+	type shardJob struct {
+		worker string
+		specs  []exp.SimSpec
+		id     string
+	}
+	var jobs []shardJob
+	for w, shard := range shards {
+		if len(shard) == 0 {
+			continue
+		}
+		body, err := json.Marshal(map[string]any{
+			"name":  fmt.Sprintf("fleet-%s-%d", name, w),
+			"specs": shard,
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(workers[w]+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", workers[w], err)
+		}
+		var sweep struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sweep)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("worker %s rejected shard: %s", workers[w], resp.Status)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  worker %s: job %s (%d specs)\n", workers[w], sweep.ID, len(shard))
+		jobs = append(jobs, shardJob{worker: workers[w], specs: shard, id: sweep.ID})
+	}
+
+	// Wait for every shard, then fold its per-task results into one map.
+	results := exp.Results{}
+	for _, j := range jobs {
+		if err := waitDone(j.worker, j.id); err != nil {
+			return err
+		}
+		resp, err := http.Get(j.worker + "/v1/jobs/" + j.id + "/results")
+		if err != nil {
+			return err
+		}
+		var body struct {
+			Results []struct {
+				Index  int             `json:"index"`
+				Error  string          `json:"error"`
+				Result json.RawMessage `json:"result"`
+			} `json:"results"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		for _, out := range body.Results {
+			if out.Error != "" {
+				return fmt.Errorf("worker %s task %d: %s", j.worker, out.Index, out.Error)
+			}
+			res, err := exp.DecodeResult(out.Result)
+			if err != nil {
+				return err
+			}
+			results.Add(j.specs[out.Index], res)
+		}
+		fmt.Printf("  worker %s: job %s done\n", j.worker, j.id)
+	}
+
+	table, err := e.Assemble(r, results)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(table.String())
+	return nil
+}
+
+// waitDone polls a job until it reports state "done".
+func waitDone(worker, id string) error {
+	for {
+		resp, err := http.Get(worker + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			// e.g. 404 after a worker restart: job state is in-memory on
+			// the daemon. Fail fast instead of polling forever.
+			msg, _ := readAll(resp)
+			resp.Body.Close()
+			return fmt.Errorf("worker %s job %s: %s: %s", worker, id, resp.Status, strings.TrimSpace(msg))
+		}
+		var st struct {
+			State  string `json:"state"`
+			Errors int    `json:"errors"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if st.State == "done" {
+			if st.Errors > 0 {
+				return fmt.Errorf("worker %s job %s: %d tasks failed", worker, id, st.Errors)
+			}
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// sweepDemo is the original walkthrough: one sweep, SSE progress.
+func sweepDemo(addr string, n int) error {
+	specs := exp.NewRunner(demoOpts()).Table2Specs()
 	if n > 0 && n < len(specs) {
 		specs = specs[:n]
 	}

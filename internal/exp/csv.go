@@ -16,6 +16,12 @@ type CSVWritable interface {
 	CSV() (header []string, rows [][]string)
 }
 
+// MultiCSV is implemented by bundled results (Fig12Set) whose panels
+// export to separate CSV files.
+type MultiCSV interface {
+	CSVParts() []CSVWritable
+}
+
 // WriteCSV writes a result's data to dir/name.csv.
 func WriteCSV(dir, name string, r CSVWritable) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {

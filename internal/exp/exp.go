@@ -1,7 +1,14 @@
 // Package exp regenerates every table and figure of the paper's evaluation
-// (§3 and §6) plus the DESIGN.md ablations. Each experiment is a method on
-// Runner; results of individual simulations are cached and shared across
-// experiments so e.g. Fig. 12, Fig. 13 and Table 2 reuse the same runs.
+// (§3 and §6) plus the DESIGN.md ablations. Each experiment is a registry
+// entry (Experiments, LookupExperiment) with two pure halves: Specs
+// enumerates the simulations it needs as fully-resolved SimSpecs, and
+// Assemble renders the table from a Results map — so any execution
+// strategy fits between them (the runner's local pool, the HTTP sweep
+// machinery, or a fleet of dsarpd workers). The legacy Runner methods
+// (Table2, Fig13, ...) are thin run-then-assemble wrappers over the same
+// entries and render byte-identical output. Results of individual
+// simulations are cached and shared across experiments so e.g. Fig. 12,
+// Fig. 13 and Table 2 reuse the same runs.
 //
 // Scale is controlled by Options: the defaults are laptop-scale (see
 // DESIGN.md substitution 2); Paper() restores the paper's 100-workload
@@ -50,6 +57,15 @@ type Options struct {
 	// SchemaVersion), so a warm store only removes work: an interrupted
 	// sweep resumes from its per-task results instead of restarting.
 	Store *store.Store
+	// EphemeralResults bounds the runner's memory when a Store is
+	// configured: completed results are NOT retained in the in-memory
+	// cache once they are safely on disk — later hits re-read and decode
+	// the store entry instead. In-flight dedup is unaffected. Intended
+	// for long-lived daemons (dsarpd), which would otherwise accumulate
+	// one sim.Result per unique spec ever served; ignored without a
+	// Store, and a result whose store write fails is kept in memory so it
+	// is never silently lost.
+	EphemeralResults bool
 	// Progress, if non-nil, is called after each completed simulation. It
 	// is never called concurrently, but under parallelism the callback
 	// order is completion order, not submission order.
@@ -145,10 +161,13 @@ func abort[T any, K comparable](r *Runner, m map[K]*inflight[T], key K, fl *infl
 
 // singleflight returns cache[key], computing it with fn exactly once across
 // concurrent callers: the first caller runs fn, everyone else waits for its
-// result (or its panic). onStore, if non-nil, runs under the runner lock in
-// the same critical section that publishes the result. The bool reports
-// whether this caller did the computing.
-func singleflight[K comparable, T any](r *Runner, cache map[K]T, running map[K]*inflight[T], key K, fn func() T, onStore func()) (T, bool) {
+// result (or its panic). fn's second return says whether to publish the
+// value into the in-memory cache (false when the result is safely durable
+// elsewhere and the runner runs with EphemeralResults). onStore, if
+// non-nil, runs under the runner lock in the same critical section that
+// publishes the result. The bool reports whether this caller did the
+// computing.
+func singleflight[K comparable, T any](r *Runner, cache map[K]T, running map[K]*inflight[T], key K, fn func() (T, bool), onStore func()) (T, bool) {
 	r.mu.Lock()
 	if v, ok := cache[key]; ok {
 		r.mu.Unlock()
@@ -163,10 +182,12 @@ func singleflight[K comparable, T any](r *Runner, cache map[K]T, running map[K]*
 	r.mu.Unlock()
 	defer abort(r, running, key, fl)
 
-	v := fn()
+	v, keep := fn()
 
 	r.mu.Lock()
-	cache[key] = v
+	if keep {
+		cache[key] = v
+	}
 	delete(running, key)
 	if onStore != nil {
 		onStore()
@@ -325,12 +346,12 @@ func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSo
 	key := spec.Key()
 	src := SourceMemory
 	var done int
-	res, computed := singleflight(r, r.cache, r.running, key, func() sim.Result {
+	res, computed := singleflight(r, r.cache, r.running, key, func() (sim.Result, bool) {
 		if data, ok := r.storeGet(key); ok {
 			if res, err := DecodeResult(data); err == nil {
 				src = SourceStore
 				r.storeHits.Add(1)
-				return res
+				return res, !r.ephemeral()
 			}
 			// Undecodable content under a valid envelope: schema drift or
 			// logical corruption. Fall through and recompute; the Put below
@@ -346,8 +367,8 @@ func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSo
 		}
 		src = SourceComputed
 		r.simsRun.Add(1)
-		r.storePut(key, res)
-		return res
+		persisted := r.storePut(key, res)
+		return res, !r.ephemeral() || !persisted
 	}, func() {
 		r.done++
 		done = r.done
@@ -358,6 +379,45 @@ func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSo
 	return res, src
 }
 
+// ephemeral reports whether completed results should be dropped from RAM
+// (EphemeralResults is meaningful only with a durable store behind it).
+func (r *Runner) ephemeral() bool {
+	return r.opts.EphemeralResults && r.opts.Store != nil
+}
+
+// RunAll executes every spec through the cached/stored path, fanning out
+// over the runner's worker budget, and returns the results keyed by spec
+// content address — the input shape Experiment.Assemble consumes. Specs
+// must be canonical (runner-built enumerations are; external ones go
+// through PrepareSpec); variants resolve through the variant registry.
+// Like run, it panics on invalid specs or simulation errors — but every
+// variant is resolved up front, so a bad spec fails before the first
+// simulation starts, not hours into a sweep. After Interrupt the partial
+// map is withheld (ok=false): assembling from it would either panic on a
+// missing key or render a misleading table.
+func (r *Runner) RunAll(specs []SimSpec) (res Results, ok bool) {
+	mods := make([]func(*sim.Config), len(specs))
+	for i, s := range specs {
+		mod, err := VariantMod(s.Variant)
+		if err != nil {
+			panic(err)
+		}
+		mods[i] = mod
+	}
+	out := make([]sim.Result, len(specs))
+	r.forEach(len(specs), func(i int) {
+		out[i], _ = r.runSpec(specs[i], mods[i])
+	})
+	if r.Interrupted() {
+		return nil, false
+	}
+	res = make(Results, len(specs))
+	for i := range specs {
+		res.Add(specs[i], out[i])
+	}
+	return res, true
+}
+
 // storeGet consults the on-disk store, if configured.
 func (r *Runner) storeGet(key store.Key) ([]byte, bool) {
 	if r.opts.Store == nil {
@@ -366,12 +426,13 @@ func (r *Runner) storeGet(key store.Key) ([]byte, bool) {
 	return r.opts.Store.Get(key)
 }
 
-// storePut publishes a computed result to the store, if configured. A
-// failed write is counted but not fatal: the result is still correct, the
-// cache is just colder than it could be.
-func (r *Runner) storePut(key store.Key, res sim.Result) {
+// storePut publishes a computed result to the store, if configured,
+// reporting whether the entry is durably on disk. A failed write is
+// counted but not fatal: the result is still correct, the cache is just
+// colder than it could be.
+func (r *Runner) storePut(key store.Key, res sim.Result) bool {
 	if r.opts.Store == nil {
-		return
+		return false
 	}
 	data, err := EncodeResult(res)
 	if err == nil {
@@ -379,7 +440,9 @@ func (r *Runner) storePut(key store.Key, res sim.Result) {
 	}
 	if err != nil {
 		r.storeErrs.Add(1)
+		return false
 	}
+	return true
 }
 
 // SimsRun returns how many simulations this runner actually executed

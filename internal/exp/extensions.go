@@ -23,20 +23,45 @@ func PausingMechanisms() []core.Kind {
 		core.KindDSARP, core.KindNoRef}
 }
 
+func pausingSpecs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, wl := range r.mixes {
+			l.addWS(r, wl, core.KindREFab, d, "")
+		}
+		for _, k := range PausingMechanisms() {
+			for _, wl := range r.mixes {
+				l.addWS(r, wl, k, d, "")
+			}
+		}
+	}
+	return l.list()
+}
+
+func assemblePausing(r *Runner, res Results) PausingResult {
+	out := PausingResult{Densities: r.opts.Densities, Norm: map[core.Kind][]float64{}}
+	for _, d := range r.opts.Densities {
+		ab := res.wsSeries(r, r.mixes, core.KindREFab, d, "")
+		for _, k := range PausingMechanisms() {
+			ws := res.wsSeries(r, r.mixes, k, d, "")
+			out.Norm[k] = append(out.Norm[k], stats.Gmean(stats.Ratios(ws, ab)))
+		}
+	}
+	return out
+}
+
+func assemblePausingAny(r *Runner, res Results) fmt.Stringer { return assemblePausing(r, res) }
+
 // PausingComparison evaluates refresh pausing against DARP/DSARP. Expected
 // shape: pausing beats REFab (it yields to demand at row-granular pausing
 // points) but falls short of DSARP, which overlaps rather than merely
 // reorders refresh work.
 func (r *Runner) PausingComparison() PausingResult {
-	out := PausingResult{Densities: r.opts.Densities, Norm: map[core.Kind][]float64{}}
-	for _, d := range r.opts.Densities {
-		ab := r.wsSeries(r.mixes, core.KindREFab, d, "", nil)
-		for _, k := range PausingMechanisms() {
-			ws := r.wsSeries(r.mixes, k, d, "", nil)
-			out.Norm[k] = append(out.Norm[k], stats.Gmean(stats.Ratios(ws, ab)))
-		}
+	res, ok := r.RunAll(pausingSpecs(r))
+	if !ok {
+		return PausingResult{}
 	}
-	return out
+	return assemblePausing(r, res)
 }
 
 func (p PausingResult) String() string {

@@ -11,10 +11,23 @@ import (
 	"dsarp/internal/workload"
 )
 
+// Like tables.go, every figure here is registered declaratively: a specs
+// enumeration, a pure assembly from a Results map, and the legacy Runner
+// method as a thin wrapper over the two.
+
 // --- Fig. 5: refresh latency trend ---
 
 // Fig5Result is the tRFCab scaling trend (paper Fig. 5).
 type Fig5Result struct{ Points []timing.TrendPoint }
+
+// fig5Specs is empty: the trend is analytic, no simulation backs it. The
+// registry still carries it so every published artifact has one uniform
+// enumerate→assemble shape (a fleet run of fig5 is a zero-spec job).
+func fig5Specs(*Runner) []SimSpec { return nil }
+
+func assembleFig5Any(*Runner, Results) fmt.Stringer {
+	return Fig5Result{Points: timing.TRFCTrend()}
+}
 
 // Fig5 regenerates the refresh latency trend: two linear projections of
 // tRFCab versus chip density.
@@ -44,20 +57,26 @@ type Fig6Result struct {
 	Rows       []LossRow
 }
 
-// Fig6 measures the performance loss of all-bank refresh against an ideal
-// refresh-free system, per intensity category and density.
-func (r *Runner) Fig6() Fig6Result {
+func fig6Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, wl := range r.mixes {
+			l.addWS(r, wl, core.KindREFab, d, "")
+			l.addWS(r, wl, core.KindNoRef, d, "")
+		}
+	}
+	return l.list()
+}
+
+func assembleFig6(r *Runner, res Results) Fig6Result {
 	out := Fig6Result{Categories: workload.Categories()}
 	for _, d := range r.opts.Densities {
-		// Fan out all (workload x mechanism) runs, then assemble the
-		// per-category ratios in the deterministic workload order.
 		ratio := make([]float64, len(r.mixes))
-		r.forEach(len(r.mixes), func(i int) {
-			wl := r.mixes[i]
-			ab := r.WS(wl, core.KindREFab, d, "", nil)
-			ideal := r.WS(wl, core.KindNoRef, d, "", nil)
+		for i, wl := range r.mixes {
+			ab := res.ws(r, wl, core.KindREFab, d, "")
+			ideal := res.ws(r, wl, core.KindNoRef, d, "")
 			ratio[i] = ab / ideal
-		})
+		}
 		row := LossRow{Density: d, ByCategory: map[int]float64{}}
 		var all []float64
 		for _, cat := range out.Categories {
@@ -75,6 +94,18 @@ func (r *Runner) Fig6() Fig6Result {
 		out.Rows = append(out.Rows, row)
 	}
 	return out
+}
+
+func assembleFig6Any(r *Runner, res Results) fmt.Stringer { return assembleFig6(r, res) }
+
+// Fig6 measures the performance loss of all-bank refresh against an ideal
+// refresh-free system, per intensity category and density.
+func (r *Runner) Fig6() Fig6Result {
+	res, ok := r.RunAll(fig6Specs(r))
+	if !ok {
+		return Fig6Result{}
+	}
+	return assembleFig6(r, res)
 }
 
 func (f Fig6Result) String() string {
@@ -101,22 +132,43 @@ type Fig7Result struct {
 	LossPB    []float64
 }
 
-// Fig7 measures average performance loss of REFab and REFpb vs the ideal.
-func (r *Runner) Fig7() Fig7Result {
+func fig7Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, wl := range r.mixes {
+			l.addWS(r, wl, core.KindNoRef, d, "")
+			l.addWS(r, wl, core.KindREFab, d, "")
+			l.addWS(r, wl, core.KindREFpb, d, "")
+		}
+	}
+	return l.list()
+}
+
+func assembleFig7(r *Runner, res Results) Fig7Result {
 	out := Fig7Result{Densities: r.opts.Densities}
 	for _, d := range r.opts.Densities {
 		ab := make([]float64, len(r.mixes))
 		pb := make([]float64, len(r.mixes))
-		r.forEach(len(r.mixes), func(i int) {
-			wl := r.mixes[i]
-			ideal := r.WS(wl, core.KindNoRef, d, "", nil)
-			ab[i] = r.WS(wl, core.KindREFab, d, "", nil) / ideal
-			pb[i] = r.WS(wl, core.KindREFpb, d, "", nil) / ideal
-		})
+		for i, wl := range r.mixes {
+			ideal := res.ws(r, wl, core.KindNoRef, d, "")
+			ab[i] = res.ws(r, wl, core.KindREFab, d, "") / ideal
+			pb[i] = res.ws(r, wl, core.KindREFpb, d, "") / ideal
+		}
 		out.LossAB = append(out.LossAB, (1-stats.Gmean(ab))*100)
 		out.LossPB = append(out.LossPB, (1-stats.Gmean(pb))*100)
 	}
 	return out
+}
+
+func assembleFig7Any(r *Runner, res Results) fmt.Stringer { return assembleFig7(r, res) }
+
+// Fig7 measures average performance loss of REFab and REFpb vs the ideal.
+func (r *Runner) Fig7() Fig7Result {
+	res, ok := r.RunAll(fig7Specs(r))
+	if !ok {
+		return Fig7Result{}
+	}
+	return assembleFig7(r, res)
 }
 
 func (f Fig7Result) String() string {
@@ -147,24 +199,42 @@ type Fig12Result struct {
 	Curves  []Fig12Curve // sorted by DARP improvement, as in the paper
 }
 
-// Fig12 computes per-workload WS normalized to REFab for REFpb, DARP,
-// SARPpb and DSARP at one density, sorted by DARP improvement.
-func (r *Runner) Fig12(d timing.Density) Fig12Result {
+func fig12Specs(r *Runner, d timing.Density) []SimSpec {
+	l := newSpecList()
+	for _, wl := range r.mixes {
+		l.addWS(r, wl, core.KindREFab, d, "")
+		for _, k := range Fig12Mechanisms() {
+			l.addWS(r, wl, k, d, "")
+		}
+	}
+	return l.list()
+}
+
+func assembleFig12(r *Runner, res Results, d timing.Density) Fig12Result {
 	out := Fig12Result{Density: d}
 	out.Curves = make([]Fig12Curve, len(r.mixes))
-	r.forEach(len(r.mixes), func(i int) {
-		wl := r.mixes[i]
-		ab := r.WS(wl, core.KindREFab, d, "", nil)
+	for i, wl := range r.mixes {
+		ab := res.ws(r, wl, core.KindREFab, d, "")
 		c := Fig12Curve{Workload: wl.Name, Norm: map[core.Kind]float64{}}
 		for _, k := range Fig12Mechanisms() {
-			c.Norm[k] = r.WS(wl, k, d, "", nil) / ab
+			c.Norm[k] = res.ws(r, wl, k, d, "") / ab
 		}
 		out.Curves[i] = c
-	})
+	}
 	sort.Slice(out.Curves, func(i, j int) bool {
 		return out.Curves[i].Norm[core.KindDARP] < out.Curves[j].Norm[core.KindDARP]
 	})
 	return out
+}
+
+// Fig12 computes per-workload WS normalized to REFab for REFpb, DARP,
+// SARPpb and DSARP at one density, sorted by DARP improvement.
+func (r *Runner) Fig12(d timing.Density) Fig12Result {
+	res, ok := r.RunAll(fig12Specs(r, d))
+	if !ok {
+		return Fig12Result{Density: d}
+	}
+	return assembleFig12(r, res, d)
 }
 
 func (f Fig12Result) String() string {
@@ -184,6 +254,50 @@ func (f Fig12Result) String() string {
 	return b.String()
 }
 
+// Fig12Set bundles the per-density Fig. 12 panels the registry entry
+// renders — one per runner density, in order.
+type Fig12Set struct{ Figs []Fig12Result }
+
+// fig12AllSpecs enumerates Fig. 12 across every runner density.
+func fig12AllSpecs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, s := range fig12Specs(r, d) {
+			l.add(s)
+		}
+	}
+	return l.list()
+}
+
+func assembleFig12Set(r *Runner, res Results) Fig12Set {
+	var out Fig12Set
+	for _, d := range r.opts.Densities {
+		out.Figs = append(out.Figs, assembleFig12(r, res, d))
+	}
+	return out
+}
+
+func assembleFig12SetAny(r *Runner, res Results) fmt.Stringer { return assembleFig12Set(r, res) }
+
+// String concatenates the panels the way cmd/experiments always has: one
+// blank line between densities.
+func (f Fig12Set) String() string {
+	parts := make([]string, len(f.Figs))
+	for i, sub := range f.Figs {
+		parts[i] = sub.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// CSVParts exposes each density's panel for per-file CSV export.
+func (f Fig12Set) CSVParts() []CSVWritable {
+	out := make([]CSVWritable, len(f.Figs))
+	for i, sub := range f.Figs {
+		out[i] = sub
+	}
+	return out
+}
+
 // --- Fig. 13: average improvement of all mechanisms ---
 
 // Fig13Mechanisms are the bars of the paper's Fig. 13.
@@ -199,19 +313,44 @@ type Fig13Result struct {
 	Improve   map[core.Kind][]float64 // % over REFab, indexed by density
 }
 
-// Fig13 computes the gmean WS improvement of every mechanism over REFab.
-func (r *Runner) Fig13() Fig13Result {
+func fig13Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, wl := range r.mixes {
+			l.addWS(r, wl, core.KindREFab, d, "")
+		}
+		for _, k := range Fig13Mechanisms() {
+			for _, wl := range r.mixes {
+				l.addWS(r, wl, k, d, "")
+			}
+		}
+	}
+	return l.list()
+}
+
+func assembleFig13(r *Runner, res Results) Fig13Result {
 	out := Fig13Result{Densities: r.opts.Densities, Improve: map[core.Kind][]float64{}}
 	for _, d := range r.opts.Densities {
-		ab := r.wsSeries(r.mixes, core.KindREFab, d, "", nil)
+		ab := res.wsSeries(r, r.mixes, core.KindREFab, d, "")
 		out.WSab = append(out.WSab, stats.Mean(ab))
 		for _, k := range Fig13Mechanisms() {
-			ws := r.wsSeries(r.mixes, k, d, "", nil)
+			ws := res.wsSeries(r, r.mixes, k, d, "")
 			imp := stats.PctImprovement(stats.Gmean(stats.Ratios(ws, ab)))
 			out.Improve[k] = append(out.Improve[k], imp)
 		}
 	}
 	return out
+}
+
+func assembleFig13Any(r *Runner, res Results) fmt.Stringer { return assembleFig13(r, res) }
+
+// Fig13 computes the gmean WS improvement of every mechanism over REFab.
+func (r *Runner) Fig13() Fig13Result {
+	res, ok := r.RunAll(fig13Specs(r))
+	if !ok {
+		return Fig13Result{}
+	}
+	return assembleFig13(r, res)
 }
 
 func (f Fig13Result) String() string {
@@ -251,21 +390,44 @@ type Fig14Result struct {
 	DSARPReduction []float64               // % vs REFab, the paper's callout
 }
 
-// Fig14 computes mean DRAM energy per access for every mechanism.
-func (r *Runner) Fig14() Fig14Result {
+// fig14Specs needs no alone runs: energy per access is not WS-normalized.
+func fig14Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, k := range Fig14Mechanisms() {
+			for _, wl := range r.mixes {
+				l.addRun(r, wl, k, d, "")
+			}
+		}
+	}
+	return l.list()
+}
+
+func assembleFig14(r *Runner, res Results) Fig14Result {
 	out := Fig14Result{Densities: r.opts.Densities, EPA: map[core.Kind][]float64{}}
 	for di, d := range r.opts.Densities {
 		for _, k := range Fig14Mechanisms() {
 			vals := make([]float64, len(r.mixes))
-			r.forEach(len(r.mixes), func(i int) {
-				vals[i] = r.run(r.mixes[i], k, d, "", nil).EnergyPerAccess()
-			})
+			for i, wl := range r.mixes {
+				vals[i] = res.get(r, wl, k, d, "").EnergyPerAccess()
+			}
 			out.EPA[k] = append(out.EPA[k], stats.Mean(vals))
 		}
 		red := (1 - out.EPA[core.KindDSARP][di]/out.EPA[core.KindREFab][di]) * 100
 		out.DSARPReduction = append(out.DSARPReduction, red)
 	}
 	return out
+}
+
+func assembleFig14Any(r *Runner, res Results) fmt.Stringer { return assembleFig14(r, res) }
+
+// Fig14 computes mean DRAM energy per access for every mechanism.
+func (r *Runner) Fig14() Fig14Result {
+	res, ok := r.RunAll(fig14Specs(r))
+	if !ok {
+		return Fig14Result{}
+	}
+	return assembleFig14(r, res)
 }
 
 func (f Fig14Result) String() string {
@@ -300,8 +462,19 @@ type Fig15Result struct {
 	OverPB     map[int][]float64
 }
 
-// Fig15 computes DSARP's improvement over both baselines per category.
-func (r *Runner) Fig15() Fig15Result {
+func fig15Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, wl := range r.mixes {
+			l.addWS(r, wl, core.KindDSARP, d, "")
+			l.addWS(r, wl, core.KindREFab, d, "")
+			l.addWS(r, wl, core.KindREFpb, d, "")
+		}
+	}
+	return l.list()
+}
+
+func assembleFig15(r *Runner, res Results) Fig15Result {
 	out := Fig15Result{
 		Categories: workload.Categories(),
 		Densities:  r.opts.Densities,
@@ -311,12 +484,11 @@ func (r *Runner) Fig15() Fig15Result {
 	for _, d := range r.opts.Densities {
 		abR := make([]float64, len(r.mixes))
 		pbR := make([]float64, len(r.mixes))
-		r.forEach(len(r.mixes), func(i int) {
-			wl := r.mixes[i]
-			ds := r.WS(wl, core.KindDSARP, d, "", nil)
-			abR[i] = ds / r.WS(wl, core.KindREFab, d, "", nil)
-			pbR[i] = ds / r.WS(wl, core.KindREFpb, d, "", nil)
-		})
+		for i, wl := range r.mixes {
+			ds := res.ws(r, wl, core.KindDSARP, d, "")
+			abR[i] = ds / res.ws(r, wl, core.KindREFab, d, "")
+			pbR[i] = ds / res.ws(r, wl, core.KindREFpb, d, "")
+		}
 		for _, cat := range out.Categories {
 			var ab, pb []float64
 			for i, wl := range r.mixes {
@@ -331,6 +503,17 @@ func (r *Runner) Fig15() Fig15Result {
 		}
 	}
 	return out
+}
+
+func assembleFig15Any(r *Runner, res Results) fmt.Stringer { return assembleFig15(r, res) }
+
+// Fig15 computes DSARP's improvement over both baselines per category.
+func (r *Runner) Fig15() Fig15Result {
+	res, ok := r.RunAll(fig15Specs(r))
+	if !ok {
+		return Fig15Result{}
+	}
+	return assembleFig15(r, res)
 }
 
 func (f Fig15Result) String() string {
@@ -370,17 +553,42 @@ type Fig16Result struct {
 	Norm      map[core.Kind][]float64
 }
 
-// Fig16 compares fine granularity refresh and adaptive refresh with DSARP.
-func (r *Runner) Fig16() Fig16Result {
+func fig16Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, wl := range r.mixes {
+			l.addWS(r, wl, core.KindREFab, d, "")
+		}
+		for _, k := range Fig16Mechanisms() {
+			for _, wl := range r.mixes {
+				l.addWS(r, wl, k, d, "")
+			}
+		}
+	}
+	return l.list()
+}
+
+func assembleFig16(r *Runner, res Results) Fig16Result {
 	out := Fig16Result{Densities: r.opts.Densities, Norm: map[core.Kind][]float64{}}
 	for _, d := range r.opts.Densities {
-		ab := r.wsSeries(r.mixes, core.KindREFab, d, "", nil)
+		ab := res.wsSeries(r, r.mixes, core.KindREFab, d, "")
 		for _, k := range Fig16Mechanisms() {
-			ws := r.wsSeries(r.mixes, k, d, "", nil)
+			ws := res.wsSeries(r, r.mixes, k, d, "")
 			out.Norm[k] = append(out.Norm[k], stats.Gmean(stats.Ratios(ws, ab)))
 		}
 	}
 	return out
+}
+
+func assembleFig16Any(r *Runner, res Results) fmt.Stringer { return assembleFig16(r, res) }
+
+// Fig16 compares fine granularity refresh and adaptive refresh with DSARP.
+func (r *Runner) Fig16() Fig16Result {
+	res, ok := r.RunAll(fig16Specs(r))
+	if !ok {
+		return Fig16Result{}
+	}
+	return assembleFig16(r, res)
 }
 
 func (f Fig16Result) String() string {

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -25,30 +27,26 @@ func goldenOpts() Options {
 	}
 }
 
-// goldenTable2/goldenFig13 were produced by the seed (serial, pre-index)
-// runner at goldenOpts. Any scheduler or runner change that alters them is a
-// behavior change, not an optimization.
-const goldenTable2 = `Table 2 — WS improvement (%):
- density mech         max/PB    max/AB  gmean/PB  gmean/AB
-     8Gb DARP            1.7      16.8       0.7      11.0
-     8Gb SARPpb          3.0      16.4       1.9      12.4
-     8Gb DSARP           2.6      15.2       0.9      11.3
-    32Gb DARP            3.8      70.3      -1.6      50.3
-    32Gb SARPpb         20.0      75.4       6.4      62.5
-    32Gb DSARP          15.5      65.1       2.1      55.9
-`
+// goldenTable2/goldenFig13 live in testdata/: they were produced by the
+// seed (serial, pre-index) runner at goldenOpts. Any scheduler or runner
+// change that alters them is a behavior change, not an optimization — and
+// any diff that touches those fixture files MUST bump exp.SchemaVersion in
+// the same change (enforced by scripts/check-schema-bump.sh in CI), or
+// warm stores would keep serving the pre-change results.
+var (
+	goldenTable2 = readGolden("golden_table2.txt")
+	goldenFig13  = readGolden("golden_fig13.txt")
+)
 
-const goldenFig13 = `Fig. 13 — WS improvement over REFab (%):
-mech          8Gb    32Gb
-REFpb        10.3    52.8
-Elastic       3.3    10.9
-DARP         11.0    50.3
-SARPab        5.1    15.4
-SARPpb       12.4    62.5
-DSARP        11.3    55.9
-NoREF        14.5    73.6
-(REFab absolute WS per density: 8Gb=1.66 32Gb=1.10)
-`
+// readGolden loads a fixture; a missing file panics at test init, which is
+// louder (and earlier) than every golden comparison failing one by one.
+func readGolden(name string) string {
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		panic(err)
+	}
+	return string(data)
+}
 
 // TestGoldenTablesMatchSeed pins Table2 and Fig13 output to the seed
 // runner's, byte for byte, at every parallelism level: fully serial, a

@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dsarp/internal/timing"
+)
+
+// registryOpts is a one-density, one-workload-per-category scale: big
+// enough that every experiment has real content, small enough that running
+// the complete registry stays in test budget.
+func registryOpts() Options {
+	return Options{
+		PerCategory: 1,
+		Sensitivity: 1,
+		Cores:       2,
+		Warmup:      2_000,
+		Measure:     8_000,
+		Seed:        42,
+		Densities:   []timing.Density{timing.Gb8},
+	}
+}
+
+// legacyMethods maps every registry entry to its historical Runner method,
+// rendered the way cmd/experiments always rendered it (fig12 concatenates
+// the per-density panels).
+func legacyMethods(r *Runner) map[string]func() string {
+	fig12 := func() string {
+		parts := make([]string, len(r.Options().Densities))
+		for i, d := range r.Options().Densities {
+			parts[i] = r.Fig12(d).String()
+		}
+		return strings.Join(parts, "\n")
+	}
+	return map[string]func() string{
+		"fig5":      func() string { return r.Fig5().String() },
+		"fig6":      func() string { return r.Fig6().String() },
+		"fig7":      func() string { return r.Fig7().String() },
+		"fig12":     fig12,
+		"table2":    func() string { return r.Table2().String() },
+		"fig13":     func() string { return r.Fig13().String() },
+		"breakdown": func() string { return r.DARPBreakdown().String() },
+		"fig14":     func() string { return r.Fig14().String() },
+		"fig15":     func() string { return r.Fig15().String() },
+		"table3":    func() string { return r.Table3().String() },
+		"table4":    func() string { return r.Table4().String() },
+		"table5":    func() string { return r.Table5().String() },
+		"table6":    func() string { return r.Table6().String() },
+		"fig16":     func() string { return r.Fig16().String() },
+		"ablations": func() string { return r.Ablations().String() },
+		"pausing":   func() string { return r.PausingComparison().String() },
+	}
+}
+
+// TestRegistryMatchesLegacy is the registry's equivalence contract, for
+// every entry: (a) the legacy Runner method and (b) enumerate specs →
+// results from the content-addressed store → pure Assemble render
+// byte-identical output, and the assembly pass runs zero simulations.
+// Phase (b) deliberately reads raw store bytes through DecodeResult on a
+// store-less runner — exactly what a fleet client does after fetching
+// results from dsarpd workers.
+func TestRegistryMatchesLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the complete registry")
+	}
+	st := openStore(t)
+	opts := registryOpts()
+	opts.Store = st
+
+	cold := NewRunner(opts)
+	legacy := map[string]string{}
+	for name, fn := range legacyMethods(cold) {
+		legacy[name] = fn()
+	}
+	if cold.SimsRun() == 0 {
+		t.Fatal("cold pass executed no simulations")
+	}
+
+	// Assembly-only pass: a fresh runner that never simulates and never
+	// even sees the store — results arrive as decoded wire bytes.
+	assembler := NewRunner(registryOpts())
+	for _, e := range Experiments() {
+		specs := e.Specs(assembler)
+		results := Results{}
+		for _, spec := range specs {
+			data, ok := st.Get(spec.Key())
+			if !ok {
+				t.Fatalf("%s: spec %v not in store after cold pass", e.Name, spec)
+			}
+			res, err := DecodeResult(data)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", e.Name, err)
+			}
+			results.Add(spec, res)
+		}
+		out, err := e.Assemble(assembler, results)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", e.Name, err)
+		}
+		if got := out.String(); got != legacy[e.Name] {
+			t.Errorf("%s: store-assembled output diverged from legacy method:\n got:\n%s\nwant:\n%s",
+				e.Name, got, legacy[e.Name])
+		}
+	}
+	if n := assembler.SimsRun(); n != 0 {
+		t.Errorf("assembly pass executed %d simulations, want 0", n)
+	}
+
+	// And the legacy wrappers over a warm store: byte-identical again,
+	// still zero simulations — the resume path of an interrupted fleet.
+	warm := NewRunner(opts)
+	for name, fn := range legacyMethods(warm) {
+		if got := fn(); got != legacy[name] {
+			t.Errorf("%s: warm-store rerun diverged", name)
+		}
+	}
+	if n := warm.SimsRun(); n != 0 {
+		t.Errorf("warm pass executed %d simulations, want 0 (spec enumeration incomplete?)", n)
+	}
+}
+
+// TestRegistryCoversCmdNames pins the registry to the historical
+// cmd/experiments -run vocabulary and order.
+func TestRegistryCoversCmdNames(t *testing.T) {
+	want := []string{"fig5", "fig6", "fig7", "fig12", "table2", "fig13", "breakdown",
+		"fig14", "fig15", "table3", "table4", "table5", "table6", "fig16", "ablations", "pausing"}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(exps), len(want))
+	}
+	for i, e := range exps {
+		if e.Name != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, e.Name, want[i])
+		}
+		if e.Title == "" {
+			t.Errorf("%s: no title", e.Name)
+		}
+		if _, ok := LookupExperiment(e.Name); !ok {
+			t.Errorf("LookupExperiment(%q) missed", e.Name)
+		}
+	}
+	if _, ok := LookupExperiment("table99"); ok {
+		t.Error("LookupExperiment invented an experiment")
+	}
+}
+
+// TestSpecsAreCanonicalAndUnique: every enumeration yields specs that
+// survive PrepareSpec unchanged (same key) and contains no duplicates —
+// the properties the serving layer and fleet clients rely on.
+func TestSpecsAreCanonicalAndUnique(t *testing.T) {
+	r := NewRunner(registryOpts())
+	for _, e := range Experiments() {
+		seen := map[string]bool{}
+		for i, spec := range e.Specs(r) {
+			key := spec.Key().String()
+			if seen[key] {
+				t.Errorf("%s: spec %d is a duplicate (%s)", e.Name, i, spec.label())
+			}
+			seen[key] = true
+			prepared, err := r.PrepareSpec(spec)
+			if err != nil {
+				t.Errorf("%s: spec %d rejected by PrepareSpec: %v", e.Name, i, err)
+				continue
+			}
+			if prepared.Key() != spec.Key() {
+				t.Errorf("%s: spec %d not canonical: key changed under PrepareSpec (%s)", e.Name, i, spec.label())
+			}
+		}
+	}
+}
+
+// TestAssembleReportsMissingResults: an incomplete result map is an error
+// naming the hole, never a silently wrong table.
+func TestAssembleReportsMissingResults(t *testing.T) {
+	r := NewRunner(registryOpts())
+	e, ok := LookupExperiment("table2")
+	if !ok {
+		t.Fatal("no table2 entry")
+	}
+	_, err := e.Assemble(r, Results{})
+	if err == nil || !strings.Contains(err.Error(), "missing result") {
+		t.Errorf("assemble from empty results: err = %v, want missing-result error", err)
+	}
+}
+
+// TestRunExperimentUnknownName: the generic entry point rejects unknown
+// names instead of panicking.
+func TestRunExperimentUnknownName(t *testing.T) {
+	r := NewRunner(registryOpts())
+	if _, err := r.RunExperiment("fig99"); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+}
+
+// TestFig5ZeroSpecs: the analytic figure is a zero-spec experiment and
+// assembles from an empty map.
+func TestFig5ZeroSpecs(t *testing.T) {
+	r := NewRunner(registryOpts())
+	e, _ := LookupExperiment("fig5")
+	if n := len(e.Specs(r)); n != 0 {
+		t.Fatalf("fig5 enumerates %d specs, want 0", n)
+	}
+	out, err := e.Assemble(r, Results{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != r.Fig5().String() {
+		t.Error("fig5 registry render diverged from legacy method")
+	}
+	if s, err := r.RunExperiment("fig5"); err != nil || s.String() != r.Fig5().String() {
+		t.Errorf("RunExperiment(fig5): %v", err)
+	}
+}
+
+var _ fmt.Stringer = Fig12Set{} // the fig12 bundle renders like any other result

@@ -169,17 +169,23 @@ func (s SimSpec) simConfig() sim.Config {
 }
 
 // VariantMod resolves a variant name to the config modifier it denotes.
-// These are the pure-data variants of the paper's sweeps — the ones an
-// external caller (HTTP, CLI) can request; experiment code may still pass
-// arbitrary modifier closures under its own variant names, as long as each
-// name keeps denoting one modification.
+// Every variant any experiment uses is registered here — the registry is
+// the single definition of what each name means, which is what lets an
+// external caller (HTTP, CLI, a fleet client) request the exact runs the
+// experiment code performs and hit the same store keys.
 //
-//	""        unmodified Table 1 configuration
-//	coresN    no modification (tags a different core count, which the
-//	          workload itself carries)
-//	ret64     64 ms retention time (Table 6)
-//	subsN     N subarrays per bank (Table 5)
-//	tfawN     tFAW = N, tRRD = max(1, N/5) (Table 4)
+//	""          unmodified Table 1 configuration
+//	coresN      no modification (tags a different core count, which the
+//	            workload itself carries)
+//	ret64       64 ms retention time (Table 6)
+//	subsN       N subarrays per bank (Table 5)
+//	tfawN       tFAW = N, tRRD = max(1, N/5) (Table 4)
+//	flex16      DARP postpone bound 16, pre-erratum (ablation D1)
+//	randpick    DARP write-refresh picks a random bank (ablation D2)
+//	nothrottle  SARP tFAW/tRRD inflation disabled (ablation D3)
+//	openrow     open-row page policy (ablation D4)
+//	greedy      out-of-order refresh picks the largest-debt idle bank
+//	            (ablation D5)
 func VariantMod(variant string) (func(*sim.Config), error) {
 	var n int
 	switch {
@@ -200,6 +206,21 @@ func VariantMod(variant string) (func(*sim.Config), error) {
 				p.TRRD = max(1, tfaw/5)
 			}
 		}, nil
+	case variant == "flex16":
+		return darpVariant(core.DARPOptions{WriteRefresh: true, MaxPostpone: 16}), nil
+	case variant == "randpick":
+		return darpVariant(core.DARPOptions{WriteRefresh: true, RandomWritePick: true}), nil
+	case variant == "nothrottle":
+		return func(c *sim.Config) {
+			c.AdjustTiming = func(p *timing.Params) {
+				p.SARPThrottleABx1000 = 1000
+				p.SARPThrottlePBx1000 = 1000
+			}
+		}, nil
+	case variant == "openrow":
+		return func(c *sim.Config) { c.OpenRow = true }, nil
+	case variant == "greedy":
+		return darpVariant(core.DARPOptions{WriteRefresh: true, GreedyIdlePick: true}), nil
 	default:
 		return nil, fmt.Errorf("exp: unknown variant %q", variant)
 	}
@@ -232,25 +253,6 @@ func (r *Runner) AloneSpec(prof trace.Profile) SimSpec {
 // mechanisms across the runner's mixes and densities, plus the alone runs
 // behind the weighted-speedup normalization — in a deterministic order.
 // Feeding these through a store-backed runner or the serving layer warms
-// the store so Table2 itself runs without a single simulation.
-func (r *Runner) Table2Specs() []SimSpec {
-	mechs := append([]core.Kind{core.KindREFab, core.KindREFpb}, Table2Mechanisms()...)
-	var specs []SimSpec
-	for _, d := range r.opts.Densities {
-		for _, k := range mechs {
-			for _, wl := range r.mixes {
-				specs = append(specs, r.specFor(wl, k, d, ""))
-			}
-		}
-	}
-	seen := map[string]bool{}
-	for _, wl := range r.mixes {
-		for _, b := range wl.Benchmarks {
-			if !seen[b.Name] {
-				seen[b.Name] = true
-				specs = append(specs, r.AloneSpec(b))
-			}
-		}
-	}
-	return specs
-}
+// the store so Table2 itself runs without a single simulation. It is the
+// registry's "table2" enumeration, kept as a named method for clients.
+func (r *Runner) Table2Specs() []SimSpec { return table2Specs(r) }

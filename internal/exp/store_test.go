@@ -247,6 +247,45 @@ func TestRunSpecMatchesInternalRun(t *testing.T) {
 	}
 }
 
+// TestEphemeralResultsBoundMemory: with EphemeralResults and a store, a
+// completed result leaves no in-memory cache entry — later hits re-read
+// the disk entry (one sim, then store hits), so a long-lived daemon's RAM
+// does not grow with the number of unique specs served.
+func TestEphemeralResultsBoundMemory(t *testing.T) {
+	opts := tinyOpts()
+	opts.Store = openStore(t)
+	opts.EphemeralResults = true
+	r := NewRunner(opts)
+	wl := r.Mixes()[0]
+	first := r.run(wl, core.KindREFab, timing.Gb8, "", nil)
+	if got := r.run(wl, core.KindREFab, timing.Gb8, "", nil); !reflect.DeepEqual(first, got) {
+		t.Error("store re-read diverged from the computed result")
+	}
+	if n := r.SimsRun(); n != 1 {
+		t.Errorf("SimsRun = %d, want 1 (second call must hit the store, not recompute)", n)
+	}
+	if n := r.StoreHits(); n != 1 {
+		t.Errorf("StoreHits = %d, want 1", n)
+	}
+	r.mu.Lock()
+	cached := len(r.cache)
+	r.mu.Unlock()
+	if cached != 0 {
+		t.Errorf("in-memory cache holds %d results under EphemeralResults, want 0", cached)
+	}
+
+	// Without a store the flag is ignored: dropping the only copy would
+	// force recomputes.
+	opts2 := tinyOpts()
+	opts2.EphemeralResults = true
+	r2 := NewRunner(opts2)
+	r2.run(wl, core.KindREFab, timing.Gb8, "", nil)
+	r2.run(wl, core.KindREFab, timing.Gb8, "", nil)
+	if n := r2.SimsRun(); n != 1 {
+		t.Errorf("store-less EphemeralResults recomputed: SimsRun = %d, want 1", n)
+	}
+}
+
 func TestInterruptStopsScheduling(t *testing.T) {
 	for _, par := range []int{1, 4} {
 		opts := tinyOpts()

@@ -11,6 +11,13 @@ import (
 	"dsarp/internal/workload"
 )
 
+// Every table in this file follows the registry decomposition: a specs
+// function enumerating the simulations it needs, an assemble function
+// computing the table purely from a Results map, and the legacy Runner
+// method as a thin run-everything-then-assemble wrapper. The assembly
+// loops are kept line-for-line equivalent to the historical interleaved
+// code, so the rendered tables are byte-identical on both paths.
+
 // --- Table 2: max & gmean WS improvement over both baselines ---
 
 // Table2Row is one (density, mechanism) entry.
@@ -31,15 +38,26 @@ func Table2Mechanisms() []core.Kind {
 	return []core.Kind{core.KindDARP, core.KindSARPpb, core.KindDSARP}
 }
 
-// Table2 computes maximum and average WS improvement of DARP, SARPpb and
-// DSARP over REFpb and REFab at each density.
-func (r *Runner) Table2() Table2Result {
+func table2Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	mechs := append([]core.Kind{core.KindREFab, core.KindREFpb}, Table2Mechanisms()...)
+	for _, d := range r.opts.Densities {
+		for _, k := range mechs {
+			for _, wl := range r.mixes {
+				l.addWS(r, wl, k, d, "")
+			}
+		}
+	}
+	return l.list()
+}
+
+func assembleTable2(r *Runner, res Results) Table2Result {
 	var out Table2Result
 	for _, d := range r.opts.Densities {
-		ab := r.wsSeries(r.mixes, core.KindREFab, d, "", nil)
-		pb := r.wsSeries(r.mixes, core.KindREFpb, d, "", nil)
+		ab := res.wsSeries(r, r.mixes, core.KindREFab, d, "")
+		pb := res.wsSeries(r, r.mixes, core.KindREFpb, d, "")
 		for _, k := range Table2Mechanisms() {
-			ws := r.wsSeries(r.mixes, k, d, "", nil)
+			ws := res.wsSeries(r, r.mixes, k, d, "")
 			rAB := stats.Ratios(ws, ab)
 			rPB := stats.Ratios(ws, pb)
 			out.Rows = append(out.Rows, Table2Row{
@@ -53,6 +71,18 @@ func (r *Runner) Table2() Table2Result {
 		}
 	}
 	return out
+}
+
+func assembleTable2Any(r *Runner, res Results) fmt.Stringer { return assembleTable2(r, res) }
+
+// Table2 computes maximum and average WS improvement of DARP, SARPpb and
+// DSARP over REFpb and REFab at each density.
+func (r *Runner) Table2() Table2Result {
+	res, ok := r.RunAll(table2Specs(r))
+	if !ok {
+		return Table2Result{}
+	}
+	return assembleTable2(r, res)
 }
 
 func (t Table2Result) String() string {
@@ -82,13 +112,24 @@ type BreakdownRow struct {
 // BreakdownResult is the §6.1.2 component analysis.
 type BreakdownResult struct{ Rows []BreakdownRow }
 
-// DARPBreakdown separates the gains of DARP's two components.
-func (r *Runner) DARPBreakdown() BreakdownResult {
+func breakdownSpecs(r *Runner) []SimSpec {
+	l := newSpecList()
+	for _, d := range r.opts.Densities {
+		for _, k := range []core.Kind{core.KindREFab, core.KindDARPOoO, core.KindDARP} {
+			for _, wl := range r.mixes {
+				l.addWS(r, wl, k, d, "")
+			}
+		}
+	}
+	return l.list()
+}
+
+func assembleBreakdown(r *Runner, res Results) BreakdownResult {
 	var out BreakdownResult
 	for _, d := range r.opts.Densities {
-		ab := r.wsSeries(r.mixes, core.KindREFab, d, "", nil)
-		ooo := r.wsSeries(r.mixes, core.KindDARPOoO, d, "", nil)
-		full := r.wsSeries(r.mixes, core.KindDARP, d, "", nil)
+		ab := res.wsSeries(r, r.mixes, core.KindREFab, d, "")
+		ooo := res.wsSeries(r, r.mixes, core.KindDARPOoO, d, "")
+		full := res.wsSeries(r, r.mixes, core.KindDARP, d, "")
 		rowOoO := stats.Ratios(ooo, ab)
 		out.Rows = append(out.Rows, BreakdownRow{
 			Density:   d,
@@ -99,6 +140,17 @@ func (r *Runner) DARPBreakdown() BreakdownResult {
 		})
 	}
 	return out
+}
+
+func assembleBreakdownAny(r *Runner, res Results) fmt.Stringer { return assembleBreakdown(r, res) }
+
+// DARPBreakdown separates the gains of DARP's two components.
+func (r *Runner) DARPBreakdown() BreakdownResult {
+	res, ok := r.RunAll(breakdownSpecs(r))
+	if !ok {
+		return BreakdownResult{}
+	}
+	return assembleBreakdown(r, res)
 }
 
 func (t BreakdownResult) String() string {
@@ -126,27 +178,46 @@ type Table3Row struct {
 // Table3Result mirrors the paper's Table 3 (32 Gb, intensive workloads).
 type Table3Result struct{ Rows []Table3Row }
 
-// Table3 evaluates DSARP vs REFab on 2/4/8-core systems.
-func (r *Runner) Table3() Table3Result {
+// table3CoreCounts are the paper's evaluated system sizes.
+func table3CoreCounts() []int { return []int{2, 4, 8} }
+
+// table3Mixes derives the intensive workload set for one core count.
+func table3Mixes(r *Runner, cores int) []workload.Workload {
+	return workload.IntensiveMixes(r.opts.Sensitivity, cores, r.opts.Seed+1)
+}
+
+func table3Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	d := timing.Gb32
+	for _, cores := range table3CoreCounts() {
+		variant := fmt.Sprintf("cores%d", cores)
+		for _, wl := range table3Mixes(r, cores) {
+			l.addWS(r, wl, core.KindREFab, d, variant)
+			l.addWS(r, wl, core.KindDSARP, d, variant)
+		}
+	}
+	return l.list()
+}
+
+func assembleTable3(r *Runner, res Results) Table3Result {
 	var out Table3Result
 	d := timing.Gb32
-	for _, cores := range []int{2, 4, 8} {
-		mixes := workload.IntensiveMixes(r.opts.Sensitivity, cores, r.opts.Seed+1)
+	for _, cores := range table3CoreCounts() {
+		mixes := table3Mixes(r, cores)
 		wsR := make([]float64, len(mixes))
 		hsR := make([]float64, len(mixes))
 		msR := make([]float64, len(mixes))
 		epaR := make([]float64, len(mixes))
-		r.forEach(len(mixes), func(i int) {
-			wl := mixes[i]
-			alone := r.aloneIPCs(wl)
+		for i, wl := range mixes {
+			alone := res.aloneIPCs(r, wl)
 			variant := fmt.Sprintf("cores%d", cores)
-			resAB := r.run(wl, core.KindREFab, d, variant, nil)
-			resDS := r.run(wl, core.KindDSARP, d, variant, nil)
+			resAB := res.get(r, wl, core.KindREFab, d, variant)
+			resDS := res.get(r, wl, core.KindDSARP, d, variant)
 			wsR[i] = metrics.WeightedSpeedup(resDS.IPC, alone) / metrics.WeightedSpeedup(resAB.IPC, alone)
 			hsR[i] = metrics.HarmonicSpeedup(resDS.IPC, alone) / metrics.HarmonicSpeedup(resAB.IPC, alone)
 			msR[i] = metrics.MaxSlowdown(resDS.IPC, alone) / metrics.MaxSlowdown(resAB.IPC, alone)
 			epaR[i] = resDS.EnergyPerAccess() / resAB.EnergyPerAccess()
-		})
+		}
 		out.Rows = append(out.Rows, Table3Row{
 			Cores:          cores,
 			WSImprove:      stats.PctImprovement(stats.Gmean(wsR)),
@@ -156,6 +227,17 @@ func (r *Runner) Table3() Table3Result {
 		})
 	}
 	return out
+}
+
+func assembleTable3Any(r *Runner, res Results) fmt.Stringer { return assembleTable3(r, res) }
+
+// Table3 evaluates DSARP vs REFab on 2/4/8-core systems.
+func (r *Runner) Table3() Table3Result {
+	res, ok := r.RunAll(table3Specs(r))
+	if !ok {
+		return Table3Result{}
+	}
+	return assembleTable3(r, res)
 }
 
 func (t Table3Result) String() string {
@@ -178,29 +260,49 @@ type Table4Result struct {
 	Improve []float64
 }
 
-// Table4 sweeps tFAW on the 32 Gb intensive workloads.
-func (r *Runner) Table4() Table4Result {
-	out := Table4Result{TFAW: []int{5, 10, 15, 20, 25, 30}}
+func table4TFAWs() []int { return []int{5, 10, 15, 20, 25, 30} }
+
+func table4Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	d := timing.Gb32
+	for _, tfaw := range table4TFAWs() {
+		variant := fmt.Sprintf("tfaw%d", tfaw)
+		for _, wl := range r.sensitive {
+			l.addWS(r, wl, core.KindSARPpb, d, variant)
+			l.addWS(r, wl, core.KindREFpb, d, variant)
+		}
+	}
+	return l.list()
+}
+
+func assembleTable4(r *Runner, res Results) Table4Result {
+	out := Table4Result{TFAW: table4TFAWs()}
 	d := timing.Gb32
 	for _, tfaw := range out.TFAW {
-		// The modifier comes from the variant registry: the variant string
-		// is the store key's only window into the modification, so there
-		// must be exactly one definition of what it does.
 		variant := fmt.Sprintf("tfaw%d", tfaw)
-		mod, err := VariantMod(variant)
-		if err != nil {
-			panic(err)
-		}
 		ratios := make([]float64, len(r.sensitive))
-		r.forEach(len(r.sensitive), func(i int) {
-			wl := r.sensitive[i]
-			sp := r.WS(wl, core.KindSARPpb, d, variant, mod)
-			pb := r.WS(wl, core.KindREFpb, d, variant, mod)
+		for i, wl := range r.sensitive {
+			sp := res.ws(r, wl, core.KindSARPpb, d, variant)
+			pb := res.ws(r, wl, core.KindREFpb, d, variant)
 			ratios[i] = sp / pb
-		})
+		}
 		out.Improve = append(out.Improve, stats.PctImprovement(stats.Gmean(ratios)))
 	}
 	return out
+}
+
+func assembleTable4Any(r *Runner, res Results) fmt.Stringer { return assembleTable4(r, res) }
+
+// Table4 sweeps tFAW on the 32 Gb intensive workloads. The tfawN variants
+// come from the variant registry: the variant string is the store key's
+// only window into the modification, so there must be exactly one
+// definition of what it does.
+func (r *Runner) Table4() Table4Result {
+	res, ok := r.RunAll(table4Specs(r))
+	if !ok {
+		return Table4Result{}
+	}
+	return assembleTable4(r, res)
 }
 
 func (t Table4Result) String() string {
@@ -227,26 +329,46 @@ type Table5Result struct {
 	Improve   []float64
 }
 
-// Table5 sweeps subarrays per bank on the 32 Gb intensive workloads.
-func (r *Runner) Table5() Table5Result {
-	out := Table5Result{Subarrays: []int{1, 2, 4, 8, 16, 32, 64}}
+func table5Subarrays() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+func table5Specs(r *Runner) []SimSpec {
+	l := newSpecList()
+	d := timing.Gb32
+	for _, subs := range table5Subarrays() {
+		variant := fmt.Sprintf("subs%d", subs)
+		for _, wl := range r.sensitive {
+			l.addWS(r, wl, core.KindSARPpb, d, variant)
+			l.addWS(r, wl, core.KindREFpb, d, variant)
+		}
+	}
+	return l.list()
+}
+
+func assembleTable5(r *Runner, res Results) Table5Result {
+	out := Table5Result{Subarrays: table5Subarrays()}
 	d := timing.Gb32
 	for _, subs := range out.Subarrays {
 		variant := fmt.Sprintf("subs%d", subs)
-		mod, err := VariantMod(variant)
-		if err != nil {
-			panic(err)
-		}
 		ratios := make([]float64, len(r.sensitive))
-		r.forEach(len(r.sensitive), func(i int) {
-			wl := r.sensitive[i]
-			sp := r.WS(wl, core.KindSARPpb, d, variant, mod)
-			pb := r.WS(wl, core.KindREFpb, d, variant, mod)
+		for i, wl := range r.sensitive {
+			sp := res.ws(r, wl, core.KindSARPpb, d, variant)
+			pb := res.ws(r, wl, core.KindREFpb, d, variant)
 			ratios[i] = sp / pb
-		})
+		}
 		out.Improve = append(out.Improve, stats.PctImprovement(stats.Gmean(ratios)))
 	}
 	return out
+}
+
+func assembleTable5Any(r *Runner, res Results) fmt.Stringer { return assembleTable5(r, res) }
+
+// Table5 sweeps subarrays per bank on the 32 Gb intensive workloads.
+func (r *Runner) Table5() Table5Result {
+	res, ok := r.RunAll(table5Specs(r))
+	if !ok {
+		return Table5Result{}
+	}
+	return assembleTable5(r, res)
 }
 
 func (t Table5Result) String() string {
@@ -277,17 +399,24 @@ type Table6Row struct {
 // Table6Result mirrors the paper's Table 6: DSARP at 64 ms retention.
 type Table6Result struct{ Rows []Table6Row }
 
-// Table6 evaluates DSARP with tREFIab = 7.8 us (64 ms retention).
-func (r *Runner) Table6() Table6Result {
-	var out Table6Result
-	mod, err := VariantMod("ret64")
-	if err != nil {
-		panic(err)
-	}
+func table6Specs(r *Runner) []SimSpec {
+	l := newSpecList()
 	for _, d := range r.opts.Densities {
-		ab := r.wsSeries(r.mixes, core.KindREFab, d, "ret64", mod)
-		pb := r.wsSeries(r.mixes, core.KindREFpb, d, "ret64", mod)
-		ds := r.wsSeries(r.mixes, core.KindDSARP, d, "ret64", mod)
+		for _, k := range []core.Kind{core.KindREFab, core.KindREFpb, core.KindDSARP} {
+			for _, wl := range r.mixes {
+				l.addWS(r, wl, k, d, "ret64")
+			}
+		}
+	}
+	return l.list()
+}
+
+func assembleTable6(r *Runner, res Results) Table6Result {
+	var out Table6Result
+	for _, d := range r.opts.Densities {
+		ab := res.wsSeries(r, r.mixes, core.KindREFab, d, "ret64")
+		pb := res.wsSeries(r, r.mixes, core.KindREFpb, d, "ret64")
+		ds := res.wsSeries(r, r.mixes, core.KindDSARP, d, "ret64")
 		rAB := stats.Ratios(ds, ab)
 		rPB := stats.Ratios(ds, pb)
 		out.Rows = append(out.Rows, Table6Row{
@@ -299,6 +428,17 @@ func (r *Runner) Table6() Table6Result {
 		})
 	}
 	return out
+}
+
+func assembleTable6Any(r *Runner, res Results) fmt.Stringer { return assembleTable6(r, res) }
+
+// Table6 evaluates DSARP with tREFIab = 7.8 us (64 ms retention).
+func (r *Runner) Table6() Table6Result {
+	res, ok := r.RunAll(table6Specs(r))
+	if !ok {
+		return Table6Result{}
+	}
+	return assembleTable6(r, res)
 }
 
 func (t Table6Result) String() string {

@@ -40,21 +40,34 @@ type taskOutcome struct {
 
 // jobStatus is the GET /v1/jobs/{id} body.
 type jobStatus struct {
-	ID        string `json:"id"`
-	Name      string `json:"name,omitempty"`
-	State     string `json:"state"` // "running" | "done"
-	Done      int    `json:"done"`
-	Total     int    `json:"total"`
-	Computed  int    `json:"computed"`
-	CacheHits int    `json:"cache_hits"`
-	Errors    int    `json:"errors"`
+	ID         string `json:"id"`
+	Name       string `json:"name,omitempty"`
+	Experiment string `json:"experiment,omitempty"`
+	State      string `json:"state"` // "running" | "done"
+	Done       int    `json:"done"`
+	Total      int    `json:"total"`
+	Computed   int    `json:"computed"`
+	CacheHits  int    `json:"cache_hits"`
+	Errors     int    `json:"errors"`
+	// TableURL is set once an experiment job has finished and its table is
+	// assembled (or its assembly error recorded).
+	TableURL string `json:"table_url,omitempty"`
 }
 
 // job tracks one sweep: per-task outcomes, counters, and SSE subscribers.
+// An experiment job additionally carries an assemble hook that renders the
+// experiment's table from the outcomes the moment the last task lands.
 type job struct {
 	id    string
 	name  string
 	total int
+
+	// experiment/assemble are set for POST /v1/experiments/{name} jobs:
+	// assemble runs exactly once, under mu, before the done event is
+	// published — so a client that sees "done" can immediately fetch the
+	// table.
+	experiment string
+	assemble   func([]taskOutcome) (string, error)
 
 	mu       sync.Mutex
 	done     int
@@ -62,6 +75,8 @@ type job struct {
 	cached   int
 	errs     int
 	outcomes []taskOutcome
+	table    string
+	tableErr string
 	events   []jobEvent      // completion-ordered history, replayed to late subscribers
 	subs     []chan jobEvent // live subscribers; buffered so publish never blocks
 }
@@ -101,8 +116,32 @@ func (j *job) complete(index int, spec exp.SimSpec, res sim.Result, src exp.RunS
 	}
 	j.publishLocked(ev)
 	if j.done == j.total {
-		j.publishLocked(jobEvent{Type: eventDone, Done: j.done, Total: j.total})
+		j.finishLocked()
 	}
+}
+
+// finishLocked assembles an experiment job's table (if any) and publishes
+// the terminal event.
+func (j *job) finishLocked() {
+	if j.assemble != nil {
+		table, err := j.assemble(j.outcomes)
+		if err != nil {
+			j.tableErr = err.Error()
+		} else {
+			j.table = table
+		}
+		j.assemble = nil
+	}
+	j.publishLocked(jobEvent{Type: eventDone, Done: j.done, Total: j.total})
+}
+
+// tableState returns the experiment-table view of the job: whether it is
+// an experiment job at all, whether the table is ready, and the table or
+// its assembly error.
+func (j *job) tableState() (isExperiment, ready bool, table, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.experiment != "", j.done == j.total, j.table, j.tableErr
 }
 
 // publishLocked appends to the event history and fans out to subscribers.
@@ -142,12 +181,15 @@ func (j *job) status() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := jobStatus{
-		ID: j.id, Name: j.name, State: "running",
+		ID: j.id, Name: j.name, Experiment: j.experiment, State: "running",
 		Done: j.done, Total: j.total,
 		Computed: j.computed, CacheHits: j.cached, Errors: j.errs,
 	}
 	if j.done == j.total {
 		st.State = "done"
+		if j.experiment != "" {
+			st.TableURL = "/v1/jobs/" + j.id + "/table"
+		}
 	}
 	return st
 }
@@ -183,13 +225,27 @@ func newJobRegistry() jobRegistry {
 }
 
 func (r *jobRegistry) create(name string, specs []exp.SimSpec) *job {
+	return r.createExperiment(name, specs, "", nil)
+}
+
+// createExperiment registers an experiment job: when the last spec lands,
+// assemble renders its table from the outcomes. A zero-spec experiment
+// (fig5 is analytic) is born done, table included.
+func (r *jobRegistry) createExperiment(name string, specs []exp.SimSpec, experiment string, assemble func([]taskOutcome) (string, error)) *job {
 	var b [8]byte
 	rand.Read(b[:])
 	j := &job{
-		id:       hex.EncodeToString(b[:]),
-		name:     name,
-		total:    len(specs),
-		outcomes: make([]taskOutcome, len(specs)),
+		id:         hex.EncodeToString(b[:]),
+		name:       name,
+		total:      len(specs),
+		experiment: experiment,
+		assemble:   assemble,
+		outcomes:   make([]taskOutcome, len(specs)),
+	}
+	if j.total == 0 {
+		j.mu.Lock()
+		j.finishLocked()
+		j.mu.Unlock()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -504,3 +504,157 @@ func TestTable2OverHTTPWarmsLocalRunner(t *testing.T) {
 		t.Errorf("warm pass (%v) slower than cold compute (%v)", warmElapsed, coldElapsed)
 	}
 }
+
+// TestExperimentEndpoints covers the registry surface end to end: list
+// with warm counts, run an experiment through the job machinery, and fetch
+// a rendered table that is byte-identical to the same experiment computed
+// locally.
+func TestExperimentEndpoints(t *testing.T) {
+	s := newService(t, tinyOpts(), Config{Workers: 4, MaxQueue: 512}, nil)
+
+	type listing struct {
+		Schema      string `json:"schema"`
+		Experiments []struct {
+			Name      string `json:"name"`
+			Title     string `json:"title"`
+			SpecCount int    `json:"spec_count"`
+			WarmCount *int   `json:"warm_count"`
+			RunURL    string `json:"run_url"`
+		} `json:"experiments"`
+	}
+	resp, body := s.get(t, "/v1/experiments")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+	var l listing
+	if err := json.Unmarshal(body, &l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Schema != exp.SchemaVersion {
+		t.Errorf("schema = %q", l.Schema)
+	}
+	if len(l.Experiments) != len(exp.Experiments()) {
+		t.Fatalf("listing has %d experiments, registry %d", len(l.Experiments), len(exp.Experiments()))
+	}
+	byName := map[string]int{}
+	for i, e := range l.Experiments {
+		byName[e.Name] = i
+		if e.WarmCount == nil {
+			t.Errorf("%s: no warm count despite a configured store", e.Name)
+		} else if *e.WarmCount != 0 {
+			t.Errorf("%s: cold store reports %d warm specs", e.Name, *e.WarmCount)
+		}
+	}
+
+	// Run fig7 over HTTP and compare its table against a local compute.
+	resp, body = s.post(t, "/v1/experiments/fig7", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("run fig7: %d %s", resp.StatusCode, body)
+	}
+	var sw sweepResponse
+	json.Unmarshal(body, &sw)
+	if sw.TableURL == "" {
+		t.Fatal("experiment job without table_url")
+	}
+	st := waitJobDone(t, s, sw.ID)
+	if st.Errors != 0 {
+		t.Fatalf("fig7 finished with %d errors", st.Errors)
+	}
+	if st.Experiment != "fig7" || st.TableURL != sw.TableURL {
+		t.Errorf("done status lacks experiment metadata: %+v", st)
+	}
+	resp, body = s.get(t, sw.TableURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("table Content-Type = %q", ct)
+	}
+	want := exp.NewRunner(tinyOpts()).Fig7().String()
+	if string(body) != want {
+		t.Errorf("HTTP-assembled fig7 diverged from local compute:\n got:\n%s\nwant:\n%s", body, want)
+	}
+
+	// The listing now reports fig7 fully warm.
+	_, body = s.get(t, "/v1/experiments")
+	var l2 listing
+	json.Unmarshal(body, &l2)
+	e := l2.Experiments[byName["fig7"]]
+	if e.WarmCount == nil || *e.WarmCount != e.SpecCount {
+		t.Errorf("after the run, fig7 warm=%v of %d specs", e.WarmCount, e.SpecCount)
+	}
+
+	// A second run is served without a single fresh simulation and renders
+	// the identical table.
+	before := s.runner.SimsRun()
+	resp, body = s.post(t, "/v1/experiments/fig7", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("rerun fig7: %d %s", resp.StatusCode, body)
+	}
+	var sw2 sweepResponse
+	json.Unmarshal(body, &sw2)
+	waitJobDone(t, s, sw2.ID)
+	if n := s.runner.SimsRun() - before; n != 0 {
+		t.Errorf("warm rerun executed %d simulations, want 0", n)
+	}
+	_, body = s.get(t, sw2.TableURL)
+	if string(body) != want {
+		t.Error("warm rerun's table diverged")
+	}
+
+	// Unknown names 404; table on a plain sweep job 404s too.
+	if resp, _ := s.post(t, "/v1/experiments/fig99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment: %d, want 404", resp.StatusCode)
+	}
+	resp, body = s.post(t, "/v1/sweep", sweepRequest{Specs: []exp.SimSpec{tinySpec("plain")}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d", resp.StatusCode)
+	}
+	var plain sweepResponse
+	json.Unmarshal(body, &plain)
+	waitJobDone(t, s, plain.ID)
+	if resp, _ := s.get(t, "/v1/jobs/"+plain.ID+"/table"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("table of a plain sweep: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestExperimentZeroSpecs: the analytic fig5 is a zero-spec job — born
+// done, table immediately available, no queue slots consumed.
+func TestExperimentZeroSpecs(t *testing.T) {
+	s := newService(t, tinyOpts(), Config{Workers: 1, MaxQueue: 4}, nil)
+	resp, body := s.post(t, "/v1/experiments/fig5", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fig5: %d %s", resp.StatusCode, body)
+	}
+	var sw sweepResponse
+	json.Unmarshal(body, &sw)
+	st := waitJobDone(t, s, sw.ID)
+	if st.Total != 0 {
+		t.Errorf("fig5 total = %d, want 0", st.Total)
+	}
+	resp, body = s.get(t, sw.TableURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fig5 table: %d %s", resp.StatusCode, body)
+	}
+	if want := exp.NewRunner(tinyOpts()).Fig5().String(); string(body) != want {
+		t.Error("fig5 table diverged")
+	}
+	// Its SSE stream is just the done event — and it replays.
+	events := readSSE(t, s, sw.ID)
+	if len(events) != 1 || events[0].Type != eventDone {
+		t.Errorf("fig5 events = %+v, want a single done", events)
+	}
+}
+
+// TestExperimentTooLargeForQueue: an experiment that cannot fit the queue
+// is a permanent 413 pointing at -max-queue, not a retry loop.
+func TestExperimentTooLargeForQueue(t *testing.T) {
+	s := newService(t, tinyOpts(), Config{Workers: 1, MaxQueue: 3}, nil)
+	resp, body := s.post(t, "/v1/experiments/fig7", nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized experiment: %d %s, want 413", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "max-queue") {
+		t.Errorf("413 body does not mention -max-queue: %s", body)
+	}
+}

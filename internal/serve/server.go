@@ -3,13 +3,23 @@
 // deduplicated through the runner's singleflight layer and persisted in
 // the content-addressed result store.
 //
-// API (all request/response bodies are JSON):
+// API (all request/response bodies are JSON unless noted):
 //
 //	POST /v1/sim            one exp.SimSpec -> {key, source, cached, result}
 //	POST /v1/sweep          {specs: [...]}  -> 202 {id, total, ...urls}
+//	GET  /v1/experiments    the experiment registry: names, titles, spec
+//	                        counts, and how much of each is already warm
+//	                        in the store
+//	POST /v1/experiments/{name}  enumerate the experiment's specs, fan
+//	                        them into the sweep machinery -> 202 {id, ...,
+//	                        table_url}; when the last spec lands the
+//	                        rendered table is assembled from the results
 //	GET  /v1/jobs/{id}          job status
 //	GET  /v1/jobs/{id}/events   SSE progress stream (replays, then live)
 //	GET  /v1/jobs/{id}/results  per-task outcomes once the job is done
+//	GET  /v1/jobs/{id}/table    the assembled table (text/plain), for
+//	                        experiment jobs once done — byte-identical to
+//	                        the same experiment run locally
 //	GET  /v1/stats          runner + store + queue counters
 //	GET  /healthz           liveness
 //
@@ -98,9 +108,12 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("POST /v1/experiments/{name}", s.handleExperimentRun)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/table", s.handleJobTable)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -242,6 +255,8 @@ type sweepResponse struct {
 	StatusURL  string `json:"status_url"`
 	EventsURL  string `json:"events_url"`
 	ResultsURL string `json:"results_url"`
+	// TableURL is set for experiment jobs (POST /v1/experiments/{name}).
+	TableURL string `json:"table_url,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +302,121 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		EventsURL:  "/v1/jobs/" + j.id + "/events",
 		ResultsURL: "/v1/jobs/" + j.id + "/results",
 	})
+}
+
+// experimentInfo is one row of the GET /v1/experiments listing.
+type experimentInfo struct {
+	Name      string `json:"name"`
+	Title     string `json:"title"`
+	SpecCount int    `json:"spec_count"`
+	// WarmCount is how many of the experiment's specs already have a
+	// result in the store; present only when a store is configured.
+	WarmCount *int   `json:"warm_count,omitempty"`
+	RunURL    string `json:"run_url"`
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	st := s.runner.Options().Store
+	var infos []experimentInfo
+	for _, e := range exp.Experiments() {
+		specs := e.Specs(s.runner)
+		info := experimentInfo{
+			Name:      e.Name,
+			Title:     e.Title,
+			SpecCount: len(specs),
+			RunURL:    "/v1/experiments/" + e.Name,
+		}
+		if st != nil {
+			warm := exp.WarmCount(st, specs)
+			info.WarmCount = &warm
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema":      exp.SchemaVersion,
+		"experiments": infos,
+	})
+}
+
+// handleExperimentRun enumerates a registry entry's specs and fans them
+// into the same job machinery a hand-built sweep uses; when all specs
+// land, the job assembles the rendered table from their results (see
+// handleJobTable). The enumeration uses the daemon's scale options, so a
+// fleet of dsarpd started with the same flags enumerates identical specs.
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := exp.LookupExperiment(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no experiment %q", name))
+		return
+	}
+	specs := e.Specs(s.runner) // runner-built specs are already canonical
+	if len(specs) > s.maxQueue {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: experiment %s needs %d specs, queue capacity is %d; raise -max-queue or split it over /v1/sweep", name, len(specs), s.maxQueue))
+		return
+	}
+	if err := s.reserve(len(specs)); err != nil {
+		refuse(w, err)
+		return
+	}
+	j := s.jobs.createExperiment(name, specs, name, s.assembler(e, specs))
+	for i, spec := range specs {
+		s.queue <- task{spec: spec, job: j, index: i}
+	}
+	writeJSON(w, http.StatusAccepted, sweepResponse{
+		ID:         j.id,
+		Total:      len(specs),
+		StatusURL:  "/v1/jobs/" + j.id,
+		EventsURL:  "/v1/jobs/" + j.id + "/events",
+		ResultsURL: "/v1/jobs/" + j.id + "/results",
+		TableURL:   "/v1/jobs/" + j.id + "/table",
+	})
+}
+
+// assembler adapts a registry entry to the job completion hook: decode
+// every outcome's wire result, assemble, render. The bytes flowing in are
+// the same EncodeResult bytes the store holds, so the rendered table is
+// byte-identical to a local run over the same results.
+func (s *Server) assembler(e exp.Experiment, specs []exp.SimSpec) func([]taskOutcome) (string, error) {
+	return func(outcomes []taskOutcome) (string, error) {
+		results := exp.Results{}
+		for i, out := range outcomes {
+			if out.Error != "" {
+				return "", fmt.Errorf("serve: task %d (%s) failed: %s", i, specs[i].Name, out.Error)
+			}
+			res, err := exp.DecodeResult(out.Result)
+			if err != nil {
+				return "", fmt.Errorf("serve: task %d: %w", i, err)
+			}
+			results.Add(specs[i], res)
+		}
+		rendered, err := e.Assemble(s.runner, results)
+		if err != nil {
+			return "", err
+		}
+		return rendered.String(), nil
+	}
+}
+
+func (s *Server) handleJobTable(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	isExperiment, ready, table, errMsg := j.tableState()
+	switch {
+	case !isExperiment:
+		httpError(w, http.StatusNotFound, errors.New("serve: not an experiment job; use /results"))
+	case !ready:
+		writeJSON(w, http.StatusAccepted, j.status())
+	case errMsg != "":
+		httpError(w, http.StatusInternalServerError, errors.New(errMsg))
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, table)
+	}
 }
 
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {

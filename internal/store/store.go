@@ -64,6 +64,18 @@ type Options struct {
 	// least-recently-used entries are evicted until it fits (the entry just
 	// written is never evicted by its own write).
 	MaxBytes int64
+	// Generation names the schema generation of the keys the caller
+	// writes (internal/exp passes exp.SchemaVersion — the same string
+	// salted into every key). It is recorded in a manifest file in the
+	// store directory. When Open finds a manifest naming a different
+	// generation, every entry is garbage: its key was salted with the old
+	// generation, so no current-generation Get can ever address it again.
+	// Open sweeps them immediately — reporting the reclaimed space in
+	// Stats.Expired/ExpiredBytes — instead of letting dead entries wait
+	// out the LRU cap. A store without a manifest (created before
+	// generations existed) is adopted as current. Empty disables the
+	// mechanism.
+	Generation string
 }
 
 // Stats describe the store's state and activity since Open. The JSON tags
@@ -77,6 +89,11 @@ type Stats struct {
 	Corrupt   int64 `json:"corrupt"` // entries deleted because verification failed
 	Evicted   int64 `json:"evicted"` // entries removed by the byte cap
 	WriteErrs int64 `json:"write_errs"`
+	// Expired/ExpiredBytes count the entries swept at Open because the
+	// store's manifest named an older schema generation than
+	// Options.Generation (their keys can never be addressed again).
+	Expired      int64 `json:"expired"`
+	ExpiredBytes int64 `json:"expired_bytes"`
 }
 
 type entry struct {
@@ -97,19 +114,34 @@ type Store struct {
 	stats   Stats
 }
 
-// Open creates (if necessary) and indexes the store rooted at dir.
+// Open creates (if necessary) and indexes the store rooted at dir. With
+// Options.Generation set, entries recorded under an older generation are
+// swept here (see Options.Generation); check Stats().Expired afterwards to
+// report the reclaimed space.
 func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, opts: opts, entries: map[Key]*entry{}}
+	// sweepHorizon is taken before the manifest is read: during a rolling
+	// generation bump across processes sharing the directory, a sibling
+	// that already published the new manifest may be writing
+	// current-generation entries while this process (which read the old
+	// manifest first) sweeps. Those entries are strictly newer than the
+	// horizon, so the mtime gate below spares them; genuinely stale
+	// entries predate the bump and fall below it.
+	sweepHorizon := time.Now()
+	sweep, writeManifest, err := s.readGeneration()
+	if err != nil {
+		return nil, err
+	}
 	type found struct {
 		key   Key
 		size  int64
 		mtime int64
 	}
 	var idx []found
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
 		}
@@ -125,10 +157,17 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		key, err := ParseKey(filepath.Base(filepath.Dir(path)) + name)
 		if err != nil {
-			return nil // foreign file; leave it alone
+			return nil // foreign file (the manifest included); leave it alone
 		}
 		info, err := d.Info()
 		if err != nil {
+			return nil
+		}
+		if sweep && info.ModTime().Before(sweepHorizon) {
+			// Old-generation entry: unreachable by any current key.
+			os.Remove(path)
+			s.stats.Expired++
+			s.stats.ExpiredBytes += info.Size()
 			return nil
 		}
 		idx = append(idx, found{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
@@ -144,7 +183,70 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.entries[f.key] = &entry{size: f.size, stamp: s.clock}
 		s.bytes += f.size
 	}
+	// The manifest is published only after a completed sweep: a crash
+	// mid-sweep leaves the old manifest in place, so the next Open sweeps
+	// the remainder instead of trusting stale entries.
+	if writeManifest {
+		if err := s.writeManifest(filepath.Join(dir, manifestName)); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// manifestName is the per-store generation record. It lives at the store
+// root, where its name can never collide with an entry (entries are
+// two-level hex paths) and ParseKey skips it during indexing.
+const manifestName = "MANIFEST"
+
+const manifestMagic = "dsarpstore-manifest1"
+
+// readGeneration reads the store's manifest and reports whether existing
+// entries belong to an older generation and must be swept, and whether
+// the manifest needs (re)writing after indexing. A store predating
+// manifests (entries but no MANIFEST file) is adopted as current: its
+// entries were written by a caller that did not record generations, and
+// deleting a possibly-warm store on upgrade would be strictly worse than
+// trusting it.
+func (s *Store) readGeneration() (sweep, write bool, err error) {
+	if s.opts.Generation == "" {
+		return false, false, nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	switch {
+	case err == nil:
+		var magic, gen string
+		if _, err := fmt.Sscanf(string(data), "%s %s", &magic, &gen); err != nil || magic != manifestMagic {
+			// Unreadable manifest: rewrite it, keep the entries (same
+			// trust call as the missing-manifest case).
+			return false, true, nil
+		}
+		return gen != s.opts.Generation, gen != s.opts.Generation, nil
+	case os.IsNotExist(err):
+		return false, true, nil
+	default:
+		return false, false, fmt.Errorf("store: %w", err)
+	}
+}
+
+// writeManifest atomically publishes the current generation.
+func (s *Store) writeManifest(path string) error {
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := fmt.Fprintf(tmp, "%s %s\n", manifestMagic, s.opts.Generation)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", werr)
+	}
+	return nil
 }
 
 // Dir returns the store's root directory.
@@ -345,6 +447,22 @@ func (s *Store) dropLocked(k Key, e *entry) {
 	os.Remove(s.path(k))
 	delete(s.entries, k)
 	s.bytes -= e.size
+}
+
+// Contains reports whether an entry exists for key, without reading its
+// payload, verifying it, or touching LRU state: a cheap existence probe
+// for warm-status displays. The disk is consulted when the index misses,
+// so entries written by other processes sharing the directory count. A
+// corrupt entry may report true here and still miss on Get.
+func (s *Store) Contains(k Key) bool {
+	s.mu.Lock()
+	_, ok := s.entries[k]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	_, err := os.Stat(s.path(k))
+	return err == nil
 }
 
 // Len returns the number of indexed entries.

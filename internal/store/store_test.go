@@ -261,3 +261,101 @@ func TestKeyParseRoundTrip(t *testing.T) {
 		t.Error("non-hex key parsed")
 	}
 }
+
+// TestGenerationSweepAtOpen pins the schema GC contract: entries written
+// under generation A are swept — not merely missed — when the store
+// reopens under generation B, with the reclaimed space reported; same- and
+// no-generation reopens keep everything.
+func TestGenerationSweepAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf([]byte("gen-a-entry"))
+	payload := []byte("salted with generation A")
+	s := open(t, dir, Options{Generation: "schema-a"})
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same generation: warm across restarts, nothing swept.
+	s2 := open(t, dir, Options{Generation: "schema-a"})
+	if _, ok := s2.Get(key); !ok {
+		t.Fatal("same-generation reopen lost the entry")
+	}
+	if st := s2.Stats(); st.Expired != 0 {
+		t.Errorf("same-generation reopen expired %d entries", st.Expired)
+	}
+
+	// New generation: the old entry's key can never be addressed again, so
+	// it is deleted immediately and the space accounted.
+	s3 := open(t, dir, Options{Generation: "schema-b"})
+	if st := s3.Stats(); st.Expired != 1 || st.ExpiredBytes <= int64(len(payload)) {
+		t.Errorf("new-generation reopen: Expired=%d ExpiredBytes=%d, want 1 entry > payload size",
+			st.Expired, st.ExpiredBytes)
+	}
+	if s3.Len() != 0 {
+		t.Errorf("swept store indexes %d entries", s3.Len())
+	}
+	if _, err := os.Stat(s3.EntryPath(key)); !os.IsNotExist(err) {
+		t.Error("old-generation entry file survived the sweep")
+	}
+
+	// And the sweep happens exactly once: reopening under B again is calm.
+	s4 := open(t, dir, Options{Generation: "schema-b"})
+	if st := s4.Stats(); st.Expired != 0 {
+		t.Errorf("second same-generation reopen expired %d entries", st.Expired)
+	}
+}
+
+// TestGenerationAdoptsLegacyStore: a pre-manifest store directory (entries
+// but no MANIFEST) is adopted, not nuked — its entries were written by the
+// same binary lineage and are presumed current.
+func TestGenerationAdoptsLegacyStore(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf([]byte("legacy-entry"))
+	s := open(t, dir, Options{}) // no generation: no manifest written
+	if err := s.Put(key, []byte("warm result")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); !os.IsNotExist(err) {
+		t.Fatal("generation-less store wrote a manifest")
+	}
+	s2 := open(t, dir, Options{Generation: "schema-a"})
+	if _, ok := s2.Get(key); !ok {
+		t.Error("legacy entry swept on first generation-aware open")
+	}
+	if st := s2.Stats(); st.Expired != 0 {
+		t.Errorf("adoption expired %d entries", st.Expired)
+	}
+	// The adoption recorded the generation: a later generation now sweeps.
+	s3 := open(t, dir, Options{Generation: "schema-b"})
+	if st := s3.Stats(); st.Expired != 1 {
+		t.Errorf("post-adoption bump expired %d entries, want 1", st.Expired)
+	}
+}
+
+// TestContains probes existence without disturbing LRU or read stats.
+func TestContains(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	key := KeyOf([]byte("contains-me"))
+	if s.Contains(key) {
+		t.Fatal("empty store contains the key")
+	}
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(key) {
+		t.Fatal("store does not contain a just-put key")
+	}
+	// Written by "another process": visible without an index entry.
+	other := open(t, dir, Options{})
+	key2 := KeyOf([]byte("other-writer"))
+	if err := other.Put(key2, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(key2) {
+		t.Error("Contains missed an entry written by a sibling store")
+	}
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Contains touched read stats: %+v", st)
+	}
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# CI tripwire for store-schema discipline.
+#
+# The golden table/figure fixtures under internal/exp/testdata/ pin the
+# simulator's observable behavior, and exp.SchemaVersion salts every
+# content-addressed store key. If a change alters a golden fixture, the
+# same change MUST bump SchemaVersion — otherwise every warm store keeps
+# serving results computed under the old behavior, silently, forever.
+#
+# This script fails when the diff against the given base modifies an
+# existing golden fixture without also changing the SchemaVersion line in
+# internal/exp/spec.go. Newly added fixtures are exempt: they pin behavior
+# that never had stored results to go stale.
+#
+# Usage: scripts/check-schema-bump.sh <base-ref>   (e.g. origin/main)
+set -euo pipefail
+
+BASE="${1:?usage: check-schema-bump.sh <base-ref>}"
+GOLDENS="internal/exp/testdata"
+
+# --no-renames: a renamed-and-tweaked fixture must show as D+A, not slip
+# through as R (which -diff-filter=MD would exclude).
+modified=$(git diff --no-renames --name-only --diff-filter=MD "$BASE"...HEAD -- "$GOLDENS" || true)
+if [ -z "$modified" ]; then
+    echo "schema tripwire: no golden fixture modified; no schema bump required"
+    exit 0
+fi
+
+# Compare the SchemaVersion *value* at base vs head — a diff-line grep
+# would be fooled by a move/reformat of the const without a value change.
+schema_at() {
+    git show "$1:internal/exp/spec.go" 2>/dev/null \
+        | sed -n 's/^const SchemaVersion = "\(.*\)"$/\1/p'
+}
+old_schema=$(schema_at "$BASE")
+new_schema=$(schema_at HEAD)
+if [ -z "$new_schema" ]; then
+    echo "schema tripwire: cannot find SchemaVersion in internal/exp/spec.go at HEAD" >&2
+    exit 1
+fi
+if [ "$old_schema" != "$new_schema" ]; then
+    echo "schema tripwire: golden fixtures modified AND exp.SchemaVersion bumped ($old_schema -> $new_schema) — OK"
+    echo "$modified"
+    exit 0
+fi
+
+echo "schema tripwire: FAIL"
+echo
+echo "These golden fixtures changed:"
+echo "$modified" | sed 's/^/    /'
+echo
+echo "...but exp.SchemaVersion (internal/exp/spec.go) did not. A golden"
+echo "change means simulation output changed for the same spec, so every"
+echo "warm store would keep serving stale pre-change results. Bump"
+echo "SchemaVersion in the same commit (and state the behavior change in"
+echo "the commit message), or revert the golden change."
+exit 1
