@@ -12,6 +12,7 @@
 //	       [-parallel N] [-max-queue N] [-engine event|cycle]
 //	       [-warmup N] [-measure N] [-seed N]
 //	       [-scale default|paper] [-percat N] [-sensitivity N]
+//	       [-chaos fail=P,drop=P,stall=P:D,kill=N,seed=N]
 //
 // -warmup/-measure/-engine only fill fields a submitted spec leaves unset;
 // fully-specified specs are served as sent. -scale/-percat/-sensitivity
@@ -26,6 +27,11 @@
 //
 // SIGINT/SIGTERM drain gracefully: new submissions get 503, queued work
 // finishes and reaches the store, then the process exits.
+//
+// -chaos injects faults ahead of the /v1 handlers — spurious 500s,
+// severed connections, stalled responses, and an optional hard kill
+// (os.Exit(137)) after N requests — for exercising fleet orchestrators
+// against worker misbehavior. /healthz stays honest throughout.
 package main
 
 import (
@@ -64,6 +70,7 @@ func mainImpl() int {
 		percat     = flag.Int("percat", 0, "override workloads per intensity category (experiment enumeration)")
 		sens       = flag.Int("sensitivity", 0, "override sensitivity workload count (experiment enumeration)")
 		drainSecs  = flag.Int("drain-timeout", 60, "seconds to wait for in-flight work on shutdown")
+		chaosSpec  = flag.String("chaos", "", "inject faults for orchestrator testing, e.g. 'fail=0.1,drop=0.05,stall=0.1:2s,kill=100,seed=7'")
 	)
 	flag.Parse()
 
@@ -112,10 +119,27 @@ func mainImpl() int {
 		log.Printf("store: disabled (results die with the process)")
 	}
 
+	chaos, err := serve.ParseChaos(*chaosSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	if chaos != nil {
+		// The kill hook is a hard death, not a drain: exactly what a fleet
+		// orchestrator must survive. 137 = 128+SIGKILL, the code a real
+		// OOM-kill or kill -9 would yield.
+		chaos.Kill = func() {
+			log.Printf("chaos: hard-killing worker (kill threshold reached)")
+			os.Exit(137)
+		}
+		log.Printf("chaos enabled: %s", *chaosSpec)
+	}
+
 	srv := serve.New(serve.Config{
 		Runner:   exp.NewRunner(opts),
 		Workers:  *parallel,
 		MaxQueue: *maxQueue,
+		Chaos:    chaos,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,147 @@
+// Command fleet reproduces one registry experiment across N dsarpd
+// workers, fault-tolerantly: it health-checks the workers, dispatches
+// each spec to the least-loaded live one, retries transient failures
+// (429 backpressure, 5xx, timeouts, dropped connections, worker death)
+// with capped exponential backoff against the survivors, and assembles
+// the experiment's table locally — byte-identical to a single-node run,
+// because the table is a pure function of content-addressed results.
+//
+// Usage:
+//
+//	fleet -addrs http://host1:8080,http://host2:8080 -experiment table2
+//	      [-journal run.journal] [-store DIR [-store-max-mb N]]
+//	      [-scale default|paper] [-percat N] [-sensitivity N]
+//	      [-warmup N] [-measure N] [-seed N] [-engine event|cycle]
+//	      [-timeout DUR] [-concurrency N] [-max-attempts N]
+//
+// The scale flags mirror dsarpd's: the orchestrator enumerates the
+// experiment's specs locally at this scale, so it needs no agreement
+// with the workers' own flags — specs travel fully resolved.
+//
+// -journal names an append-only run journal: if the command dies (or is
+// interrupted), rerunning it with the same journal resumes where it
+// left off instead of starting over. -store keeps fetched results in a
+// local content-addressed store, so a resumed run re-dispatches nothing
+// that already landed.
+//
+// The table is written to stdout; progress and fault narration go to
+// stderr. Exit status: 0 on success, 1 when specs failed permanently or
+// the run was interrupted, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/fleet"
+	"dsarp/internal/sim"
+	"dsarp/internal/store"
+)
+
+func main() {
+	os.Exit(mainImpl())
+}
+
+func mainImpl() int {
+	var (
+		addrs       = flag.String("addrs", "", "comma-separated dsarpd base URLs (required)")
+		experiment  = flag.String("experiment", "", "registry experiment to reproduce (required; see cmd/experiments -list)")
+		journal     = flag.String("journal", "", "append-only run journal; rerun with the same file to resume")
+		storeDir    = flag.String("store", "", "local result store directory ('' disables; resumed runs skip stored specs)")
+		storeMaxMB  = flag.Int64("store-max-mb", 0, "local store size cap in MiB (0 = unlimited)")
+		engine      = flag.String("engine", "event", "simulation engine baked into enumerated specs")
+		warmup      = flag.Int64("warmup", 0, "override warmup (DRAM cycles)")
+		measure     = flag.Int64("measure", 0, "override measurement window")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		scale       = flag.String("scale", "default", "experiment-enumeration scale: default | paper")
+		percat      = flag.Int("percat", 0, "override workloads per intensity category")
+		sens        = flag.Int("sensitivity", 0, "override sensitivity workload count")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "per-dispatch timeout, simulation included")
+		concurrency = flag.Int("concurrency", 0, "specs in flight across the fleet (0 = 4 per worker)")
+		maxAttempts = flag.Int("max-attempts", 0, "transient retries per spec before giving up (0 = unlimited)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	if *addrs == "" || *experiment == "" {
+		fmt.Fprintln(os.Stderr, "fleet: -addrs and -experiment are required")
+		flag.Usage()
+		return 2
+	}
+
+	opts := exp.Defaults()
+	if *scale == "paper" {
+		opts = exp.Paper()
+	}
+	opts.Seed = *seed
+	if *percat > 0 {
+		opts.PerCategory = *percat
+	}
+	if *sens > 0 {
+		opts.Sensitivity = *sens
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *measure > 0 {
+		opts.Measure = *measure
+	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	opts.Engine = eng
+
+	cfg := fleet.Config{
+		Workers:        strings.Split(*addrs, ","),
+		RequestTimeout: *timeout,
+		Concurrency:    *concurrency,
+		MaxAttempts:    *maxAttempts,
+		Journal:        *journal,
+		Logf:           log.Printf,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{
+			MaxBytes:   *storeMaxMB << 20,
+			Generation: exp.SchemaVersion,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		cfg.Store = st
+	}
+	o, err := fleet.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+
+	// SIGINT/SIGTERM cancel the run; the journal (if any) resumes it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r := exp.NewRunner(opts) // enumeration and assembly only; runs no sims
+	table, err := o.RunExperiment(ctx, r, *experiment)
+	st := o.Stats()
+	log.Printf("fleet: %d dispatched, %d local hits, %d retries, %d failed",
+		st.Dispatched, st.LocalHits, st.Retries, st.Failed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		if ctx.Err() != nil && *journal == "" {
+			fmt.Fprintln(os.Stderr, "fleet: hint: pass -journal to make interrupted runs resumable")
+		}
+		return 1
+	}
+	fmt.Print(table.String())
+	return 0
+}

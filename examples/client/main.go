@@ -11,31 +11,37 @@
 //	go run ./examples/client      # terminal 2, twice
 //
 // Fleet mode (-experiment): reproduces one registry experiment across N
-// dsarpd workers sharing a store directory. The client enumerates the
-// experiment's specs locally, splits them round-robin across the workers
-// as plain sweeps, waits for every shard, fetches the per-task results,
-// and assembles the rendered table locally — byte-identical to running
-// the experiment on one machine, because the table is a pure function of
-// the per-spec results:
+// dsarpd workers through the internal/fleet orchestrator. The client
+// enumerates the experiment's specs locally, dispatches each to the
+// least-loaded live worker, retries transient failures (backpressure,
+// timeouts, worker death) against the survivors, and assembles the
+// rendered table locally — byte-identical to running the experiment on
+// one machine, because the table is a pure function of the per-spec
+// results. The workers need not share a store directory; results travel
+// back over HTTP:
 //
-//	dsarpd -addr :8080 -store /tmp/fleet &   # worker 1
-//	dsarpd -addr :8081 -store /tmp/fleet &   # worker 2 (same store!)
+//	dsarpd -addr :8080 -store /tmp/w1 &   # worker 1
+//	dsarpd -addr :8081 -store /tmp/w2 &   # worker 2
 //	go run ./examples/client -experiment table2 \
 //	    -addrs http://localhost:8080,http://localhost:8081
+//
+// For the full-featured CLI (journals, resumable runs, a local result
+// store) see cmd/fleet.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"strings"
-	"time"
 
 	"dsarp/internal/exp"
+	fleetpkg "dsarp/internal/fleet"
 	"dsarp/internal/timing"
 )
 
@@ -76,137 +82,34 @@ func demoOpts() exp.Options {
 	return opts
 }
 
-// fleet splits one experiment's specs across the workers and assembles
-// the table locally from the fetched results.
+// fleet reproduces one experiment across the workers through the
+// orchestrator: least-loaded dispatch, health checks, and transient-
+// failure retries come with it — a worker can die mid-run and the
+// survivors finish the job.
 func fleet(workers []string, name string) error {
 	r := exp.NewRunner(demoOpts())
-	e, ok := exp.LookupExperiment(name)
-	if !ok {
+	if _, ok := exp.LookupExperiment(name); !ok {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
-	specs := e.Specs(r)
-	fmt.Printf("experiment %s: %d specs across %d workers\n", name, len(specs), len(workers))
-
-	// Round-robin sharding. Any split works: results are keyed by content,
-	// and the shared store dedups across workers even when shards race on
-	// overlapping alone-run specs.
-	shards := make([][]exp.SimSpec, len(workers))
-	for i, s := range specs {
-		w := i % len(workers)
-		shards[w] = append(shards[w], s)
-	}
-
-	type shardJob struct {
-		worker string
-		specs  []exp.SimSpec
-		id     string
-	}
-	var jobs []shardJob
-	for w, shard := range shards {
-		if len(shard) == 0 {
-			continue
-		}
-		body, err := json.Marshal(map[string]any{
-			"name":  fmt.Sprintf("fleet-%s-%d", name, w),
-			"specs": shard,
-		})
-		if err != nil {
-			return err
-		}
-		resp, err := http.Post(workers[w]+"/v1/sweep", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return fmt.Errorf("worker %s: %w", workers[w], err)
-		}
-		var sweep struct {
-			ID string `json:"id"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&sweep)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusAccepted {
-			return fmt.Errorf("worker %s rejected shard: %s", workers[w], resp.Status)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  worker %s: job %s (%d specs)\n", workers[w], sweep.ID, len(shard))
-		jobs = append(jobs, shardJob{worker: workers[w], specs: shard, id: sweep.ID})
-	}
-
-	// Wait for every shard, then fold its per-task results into one map.
-	results := exp.Results{}
-	for _, j := range jobs {
-		if err := waitDone(j.worker, j.id); err != nil {
-			return err
-		}
-		resp, err := http.Get(j.worker + "/v1/jobs/" + j.id + "/results")
-		if err != nil {
-			return err
-		}
-		var body struct {
-			Results []struct {
-				Index  int             `json:"index"`
-				Error  string          `json:"error"`
-				Result json.RawMessage `json:"result"`
-			} `json:"results"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&body)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		for _, out := range body.Results {
-			if out.Error != "" {
-				return fmt.Errorf("worker %s task %d: %s", j.worker, out.Index, out.Error)
-			}
-			res, err := exp.DecodeResult(out.Result)
-			if err != nil {
-				return err
-			}
-			results.Add(j.specs[out.Index], res)
-		}
-		fmt.Printf("  worker %s: job %s done\n", j.worker, j.id)
-	}
-
-	table, err := e.Assemble(r, results)
+	o, err := fleetpkg.New(fleetpkg.Config{
+		Workers: workers,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("experiment %s across %d workers\n", name, len(workers))
+	table, err := o.RunExperiment(context.Background(), r, name)
+	if err != nil {
+		return err
+	}
+	st := o.Stats()
+	fmt.Printf("  done: %d dispatched, %d retries\n", st.Dispatched, st.Retries)
 	fmt.Println()
 	fmt.Print(table.String())
 	return nil
-}
-
-// waitDone polls a job until it reports state "done".
-func waitDone(worker, id string) error {
-	for {
-		resp, err := http.Get(worker + "/v1/jobs/" + id)
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			// e.g. 404 after a worker restart: job state is in-memory on
-			// the daemon. Fail fast instead of polling forever.
-			msg, _ := readAll(resp)
-			resp.Body.Close()
-			return fmt.Errorf("worker %s job %s: %s: %s", worker, id, resp.Status, strings.TrimSpace(msg))
-		}
-		var st struct {
-			State  string `json:"state"`
-			Errors int    `json:"errors"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		if st.State == "done" {
-			if st.Errors > 0 {
-				return fmt.Errorf("worker %s job %s: %d tasks failed", worker, id, st.Errors)
-			}
-			return nil
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
 }
 
 // sweepDemo is the original walkthrough: one sweep, SSE progress.

@@ -1,0 +1,648 @@
+// Package fleet orchestrates an experiment run end-to-end against N
+// dsarpd workers, with no shared-filesystem assumption at the dispatch
+// layer: every spec travels as JSON over POST /v1/sim and every result
+// comes back in the response body.
+//
+// The orchestrator owns the run's fault story:
+//
+//   - workers are health-checked (GET /healthz for liveness, GET /v1/stats
+//     for queue depth) and each spec is dispatched to the least-loaded
+//     live worker;
+//   - 429 (honoring Retry-After), 5xx, timeouts, dropped connections, and
+//     worker death are transient: the spec is re-dispatched — to a
+//     survivor when its worker died — under capped exponential backoff
+//     with jitter;
+//   - 400 and 413 are permanent: they fail the spec, not the run, and are
+//     reported together when the run finishes;
+//   - job state (pending → dispatched@worker → done | failed) is
+//     journaled to an append-only file, so an orchestrator restart
+//     resumes from the journal plus warm-store probes instead of
+//     recomputing.
+//
+// Because every result is a pure content-addressed function of its spec,
+// re-dispatching is always safe: a worker that already holds the result
+// serves it from its store, and the assembled table is byte-identical to
+// a single-node run however many retries, deaths, and restarts happened
+// in between.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/sim"
+	"dsarp/internal/store"
+)
+
+// Config assembles an Orchestrator.
+type Config struct {
+	// Workers are the dsarpd base URLs ("http://host:port"). At least one
+	// is required; any single one may die and restart mid-run.
+	Workers []string
+	// Client performs all HTTP requests (default: http.DefaultTransport
+	// behind a fresh client; per-request timeouts come from
+	// RequestTimeout/ProbeTimeout).
+	Client *http.Client
+	// RequestTimeout bounds one dispatch attempt, simulation included
+	// (default 10m). A worker stalled past it is treated as dead and the
+	// spec re-dispatched — safe, because results are content-addressed.
+	RequestTimeout time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// HealthInterval is the probe period (default 1s).
+	HealthInterval time.Duration
+	// BaseBackoff/MaxBackoff shape the capped exponential backoff applied
+	// to transient failures (defaults 250ms / 5s), jittered by ±50%. A
+	// server-sent Retry-After overrides the computed delay when larger.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxAttempts caps transient retries per spec; 0 means retry until
+	// the context is cancelled (worker death is expected to be temporary;
+	// the context carries the run-level deadline).
+	MaxAttempts int
+	// Concurrency bounds specs in flight across the fleet (default
+	// 4 × len(Workers)).
+	Concurrency int
+	// Journal, if non-empty, is the append-only run journal. An existing
+	// journal for the same run resumes it; one for a different run is
+	// refused.
+	Journal string
+	// Store, if non-nil, is an orchestrator-local result store: fetched
+	// results are persisted to it, and specs already present are not
+	// dispatched at all (the warm-resume fast path).
+	Store *store.Store
+	// Seed makes backoff jitter reproducible (tests).
+	Seed int64
+	// Logf, if non-nil, receives progress and fault-path narration.
+	Logf func(format string, args ...any)
+}
+
+// Stats are the orchestrator's run counters.
+type Stats struct {
+	LocalHits  int64 // specs satisfied by the local store, never dispatched
+	Dispatched int64 // specs satisfied by a worker round-trip
+	Retries    int64 // transient failures that led to a re-dispatch
+	Failed     int64 // specs that failed permanently
+}
+
+// worker is the orchestrator's view of one dsarpd.
+type worker struct {
+	url string
+
+	mu       sync.Mutex
+	alive    bool
+	probed   bool // at least one probe completed (avoid "down" logs at startup)
+	backlog  int  // worker-reported queued+running tasks (best effort)
+	inflight int  // this orchestrator's outstanding dispatches
+}
+
+// load orders workers for dispatch: our own in-flight requests plus the
+// backlog the worker last reported (which covers other clients too).
+func (w *worker) load() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inflight + w.backlog
+}
+
+func (w *worker) isAlive() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive
+}
+
+// Orchestrator dispatches specs across a fleet of dsarpd workers. Safe
+// for one Run at a time.
+type Orchestrator struct {
+	cfg     Config
+	client  *http.Client
+	workers []*worker
+	logf    func(string, ...any)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	localHits  atomic.Int64
+	dispatched atomic.Int64
+	retries    atomic.Int64
+	failedN    atomic.Int64
+}
+
+// New validates the config and builds an Orchestrator.
+func New(cfg Config) (*Orchestrator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Minute
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 250 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4 * len(cfg.Workers)
+	}
+	o := &Orchestrator{
+		cfg:    cfg,
+		client: cfg.Client,
+		logf:   cfg.Logf,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if o.client == nil {
+		o.client = &http.Client{}
+	}
+	if o.logf == nil {
+		o.logf = func(string, ...any) {}
+	}
+	for _, u := range cfg.Workers {
+		o.workers = append(o.workers, &worker{url: strings.TrimRight(u, "/")})
+	}
+	return o, nil
+}
+
+// Stats returns the orchestrator's counters.
+func (o *Orchestrator) Stats() Stats {
+	return Stats{
+		LocalHits:  o.localHits.Load(),
+		Dispatched: o.dispatched.Load(),
+		Retries:    o.retries.Load(),
+		Failed:     o.failedN.Load(),
+	}
+}
+
+// SpecError is one spec's permanent failure.
+type SpecError struct {
+	Index int
+	Label string
+	Key   store.Key
+	Err   error
+}
+
+func (e SpecError) Error() string {
+	return fmt.Sprintf("spec %d (%s): %v", e.Index, e.Label, e.Err)
+}
+
+// RunError reports the specs that failed permanently. The run itself
+// completed: every other spec's result is in the returned Results.
+type RunError struct {
+	Failed []SpecError
+}
+
+func (e *RunError) Error() string {
+	msgs := make([]string, len(e.Failed))
+	for i, f := range e.Failed {
+		msgs[i] = f.Error()
+	}
+	return fmt.Sprintf("fleet: %d specs failed permanently: %s", len(e.Failed), strings.Join(msgs, "; "))
+}
+
+// Run dispatches every spec and returns the result map Assemble consumes.
+// Specs must be canonical (registry enumerations are). On permanent spec
+// failures the partial Results are returned together with a *RunError; on
+// context cancellation the error wraps ctx.Err() and the journal (if
+// configured) holds everything needed to resume.
+func (o *Orchestrator) Run(ctx context.Context, name string, specs []exp.SimSpec) (exp.Results, error) {
+	keys := make([]store.Key, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key()
+	}
+
+	var (
+		j     *journal
+		state = journalState{done: map[store.Key]bool{}, failed: map[store.Key]string{}}
+	)
+	if o.cfg.Journal != "" {
+		var err error
+		j, state, err = openJournal(o.cfg.Journal, name, exp.SchemaVersion, keys)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		if len(state.done)+len(state.failed) > 0 {
+			o.logf("fleet: resuming %s from journal: %d done, %d failed, %d pending",
+				name, len(state.done), len(state.failed), len(specs)-len(state.done)-len(state.failed))
+		}
+	}
+
+	results := make(exp.Results, len(specs))
+	var resMu sync.Mutex
+
+	// Warm-resume pass: a spec whose result is already in the local store
+	// is done before the first byte hits the network. Journal entries
+	// marking a spec done on some worker do not exempt it from dispatch —
+	// without the payload the table cannot be assembled — but its
+	// re-dispatch is a warm store hit on that worker, not a recompute.
+	var pending []int
+	for i := range specs {
+		if o.cfg.Store != nil {
+			if data, ok := o.cfg.Store.Get(keys[i]); ok {
+				if res, err := exp.DecodeResult(data); err == nil {
+					resMu.Lock()
+					results[keys[i]] = res
+					resMu.Unlock()
+					o.localHits.Add(1)
+					if j != nil && !state.done[keys[i]] {
+						j.done(keys[i], "local-store")
+					}
+					continue
+				}
+			}
+		}
+		pending = append(pending, i)
+	}
+	o.logf("fleet: run %s: %d specs (%d warm locally) across %d workers",
+		name, len(specs), len(specs)-len(pending), len(o.workers))
+
+	if len(pending) > 0 {
+		hctx, hcancel := context.WithCancel(ctx)
+		defer hcancel()
+		o.probeAll(hctx) // synchronous first probe so dispatch starts informed
+		go o.healthLoop(hctx)
+
+		var (
+			wg      sync.WaitGroup
+			failMu  sync.Mutex
+			failed  []SpecError
+			queue   = make(chan int)
+			workers = min(o.cfg.Concurrency, len(pending))
+		)
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range queue {
+					res, raw, err := o.runSpec(ctx, j, specs[idx], keys[idx])
+					switch {
+					case err == nil:
+						resMu.Lock()
+						results[keys[idx]] = res
+						resMu.Unlock()
+						if o.cfg.Store != nil {
+							o.cfg.Store.Put(keys[idx], raw)
+						}
+					case ctx.Err() != nil:
+						// Cancelled mid-spec: reported once, below.
+					default:
+						failMu.Lock()
+						failed = append(failed, SpecError{
+							Index: idx, Label: specLabel(specs[idx]), Key: keys[idx], Err: err,
+						})
+						failMu.Unlock()
+					}
+				}
+			}()
+		}
+	feed:
+		for _, idx := range pending {
+			select {
+			case queue <- idx:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(queue)
+		wg.Wait()
+
+		if err := ctx.Err(); err != nil {
+			resume := ""
+			if j != nil {
+				resume = fmt.Sprintf(" (journal %s resumes this run)", o.cfg.Journal)
+			}
+			return results, fmt.Errorf("fleet: run %s interrupted: %w%s", name, err, resume)
+		}
+		if len(failed) > 0 {
+			sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+			o.failedN.Add(int64(len(failed)))
+			return results, &RunError{Failed: failed}
+		}
+	}
+	return results, nil
+}
+
+// RunExperiment reproduces one registry experiment on the fleet:
+// enumerate with the runner's scale, dispatch every spec, assemble the
+// table locally. The runner executes no simulations.
+func (o *Orchestrator) RunExperiment(ctx context.Context, r *exp.Runner, name string) (fmt.Stringer, error) {
+	e, ok := exp.LookupExperiment(name)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown experiment %q", name)
+	}
+	res, err := o.Run(ctx, name, e.Specs(r))
+	if err != nil {
+		return nil, err
+	}
+	return e.Assemble(r, res)
+}
+
+// runSpec drives one spec to a terminal state: retry transient failures
+// against whichever live worker is least loaded, give up only on
+// permanent errors (or MaxAttempts, or context cancellation).
+func (o *Orchestrator) runSpec(ctx context.Context, j *journal, spec exp.SimSpec, key store.Key) (sim.Result, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		w, err := o.pickWorker(ctx)
+		if err != nil {
+			return sim.Result{}, nil, err
+		}
+		if j != nil {
+			j.dispatched(key, w.url)
+		}
+		res, raw, retryAfter, err := o.post(ctx, w, spec)
+		if err == nil {
+			if j != nil {
+				j.done(key, w.url)
+			}
+			o.dispatched.Add(1)
+			return res, raw, nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			o.logf("fleet: %s failed permanently on %s: %v", specLabel(spec), w.url, err)
+			if j != nil {
+				j.failed(key, err.Error())
+			}
+			return sim.Result{}, nil, err
+		}
+		if ctx.Err() != nil {
+			return sim.Result{}, nil, ctx.Err()
+		}
+		o.retries.Add(1)
+		if o.cfg.MaxAttempts > 0 && attempt+1 >= o.cfg.MaxAttempts {
+			err = fmt.Errorf("fleet: gave up after %d attempts: %w", o.cfg.MaxAttempts, err)
+			if j != nil {
+				j.failed(key, err.Error())
+			}
+			return sim.Result{}, nil, err
+		}
+		delay := o.backoff(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		o.logf("fleet: %s on %s: %v; retrying in %v", specLabel(spec), w.url, err, delay.Round(time.Millisecond))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return sim.Result{}, nil, ctx.Err()
+		}
+	}
+}
+
+// permanentError marks failures that retrying cannot fix (400, 413): the
+// spec itself is at fault, not the fleet.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// post performs one dispatch attempt. The error classification is the
+// heart of the fault story:
+//
+//	nil                         success; result decoded
+//	*permanentError             400/413 — fail the spec
+//	anything else               transient — back off and re-dispatch
+//
+// A returned retryAfter > 0 is the worker's own wait estimate (429/503).
+func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (sim.Result, []byte, time.Duration, error) {
+	w.mu.Lock()
+	w.inflight++
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.inflight--
+		w.mu.Unlock()
+	}()
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return sim.Result{}, nil, 0, &permanentError{fmt.Errorf("marshal spec: %w", err)}
+	}
+	rctx, cancel := context.WithTimeout(ctx, o.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.url+"/v1/sim", strings.NewReader(string(body)))
+	if err != nil {
+		return sim.Result{}, nil, 0, &permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := o.client.Do(req)
+	if err != nil {
+		// Connection refused, reset, timeout: the worker is gone or
+		// wedged. Mark it dead now instead of waiting for the next probe.
+		o.markDead(w, err)
+		return sim.Result{}, nil, 0, fmt.Errorf("worker %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sr struct {
+			Key    string          `json:"key"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return sim.Result{}, nil, 0, fmt.Errorf("worker %s: malformed response: %w", w.url, err)
+		}
+		res, err := exp.DecodeResult(sr.Result)
+		if err != nil {
+			return sim.Result{}, nil, 0, fmt.Errorf("worker %s: undecodable result: %w", w.url, err)
+		}
+		return res, sr.Result, 0, nil
+	case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		return sim.Result{}, nil, 0, &permanentError{fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))}
+	case http.StatusTooManyRequests:
+		// Backpressure: the worker is alive, just full. Honor its wait
+		// estimate and count its load so the next pick prefers a sibling.
+		return sim.Result{}, nil, retryAfterOf(resp), fmt.Errorf("worker %s: %s", w.url, resp.Status)
+	case http.StatusServiceUnavailable:
+		// Draining: it will be gone shortly. Prefer survivors.
+		o.markDead(w, errors.New(resp.Status))
+		return sim.Result{}, nil, retryAfterOf(resp), fmt.Errorf("worker %s: %s", w.url, resp.Status)
+	default:
+		return sim.Result{}, nil, 0, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))
+	}
+}
+
+// retryAfterOf parses a Retry-After header, capped so a confused server
+// cannot stall the run.
+func retryAfterOf(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return min(time.Duration(secs)*time.Second, 30*time.Second)
+}
+
+func errorBody(resp *http.Response) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return "(no error body)"
+}
+
+// backoff returns the capped exponential delay for the given attempt,
+// jittered to ±50% so a fleet-wide failure does not resynchronize every
+// pending spec into one thundering retry.
+func (o *Orchestrator) backoff(attempt int) time.Duration {
+	d := o.cfg.BaseBackoff << min(attempt, 16)
+	if d > o.cfg.MaxBackoff || d <= 0 {
+		d = o.cfg.MaxBackoff
+	}
+	o.rngMu.Lock()
+	f := 0.5 + o.rng.Float64()
+	o.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// pickWorker returns the least-loaded live worker, waiting (and
+// re-probing) while the whole fleet is down.
+func (o *Orchestrator) pickWorker(ctx context.Context) (*worker, error) {
+	warned := false
+	for {
+		var best *worker
+		for _, w := range o.workers {
+			if !w.isAlive() {
+				continue
+			}
+			if best == nil || w.load() < best.load() {
+				best = w
+			}
+		}
+		if best != nil {
+			return best, nil
+		}
+		if !warned {
+			o.logf("fleet: all %d workers down; waiting for one to come back", len(o.workers))
+			warned = true
+		}
+		select {
+		case <-time.After(o.cfg.HealthInterval):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		o.probeAll(ctx)
+	}
+}
+
+// healthLoop re-probes every worker at HealthInterval until ctx ends.
+func (o *Orchestrator) healthLoop(ctx context.Context) {
+	t := time.NewTicker(o.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			o.probeAll(ctx)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// probeAll health-checks every worker concurrently.
+func (o *Orchestrator) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range o.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			o.probe(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe checks one worker: /healthz decides liveness, /v1/stats (best
+// effort) refreshes the backlog estimate behind least-loaded dispatch.
+func (o *Orchestrator) probe(ctx context.Context, w *worker) {
+	pctx, cancel := context.WithTimeout(ctx, o.cfg.ProbeTimeout)
+	defer cancel()
+	ok := o.getOK(pctx, w.url+"/healthz", nil)
+	backlog := 0
+	if ok {
+		var stats struct {
+			QueueFree int  `json:"queue_free"`
+			QueueCap  int  `json:"queue_cap"`
+			Draining  bool `json:"draining"`
+		}
+		if o.getOK(pctx, w.url+"/v1/stats", &stats) {
+			backlog = stats.QueueCap - stats.QueueFree
+			if stats.Draining {
+				ok = false // refusing new work: as good as down for dispatch
+			}
+		}
+	}
+	w.mu.Lock()
+	wasAlive, hadProbe := w.alive, w.probed
+	w.alive, w.probed = ok, true
+	if ok {
+		w.backlog = backlog
+	}
+	w.mu.Unlock()
+	if ok != wasAlive || !hadProbe {
+		if ok {
+			o.logf("fleet: worker %s is up", w.url)
+		} else {
+			o.logf("fleet: worker %s is down", w.url)
+		}
+	}
+}
+
+// getOK fetches url and optionally decodes its JSON body, reporting
+// success.
+func (o *Orchestrator) getOK(ctx context.Context, url string, v any) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := o.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	if v != nil && json.NewDecoder(resp.Body).Decode(v) != nil {
+		return false
+	}
+	return true
+}
+
+// markDead records a dispatch-time discovery that a worker is gone; the
+// health loop revives it when it answers probes again.
+func (o *Orchestrator) markDead(w *worker, err error) {
+	w.mu.Lock()
+	was := w.alive
+	w.alive = false
+	w.mu.Unlock()
+	if was {
+		o.logf("fleet: worker %s marked down (%v)", w.url, err)
+	}
+}
+
+func specLabel(s exp.SimSpec) string {
+	label := s.Name + " " + s.Mechanism + " " + strconv.Itoa(s.DensityGb) + "Gb"
+	if s.Variant != "" {
+		label += " " + s.Variant
+	}
+	return label
+}

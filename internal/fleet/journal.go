@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"dsarp/internal/store"
+)
+
+// The journal is an append-only JSONL file recording one run's state
+// transitions: a header pinning the run's identity (name plus every spec
+// key, in order), then one line per event — dispatched@worker, done(key),
+// failed(key, error), and a resume marker each time an orchestrator
+// reopens the file. Replaying it after a crash tells a fresh orchestrator
+// which specs are already durable somewhere (done), which permanently
+// failed, and which were merely in flight (safe to re-dispatch: results
+// are content-addressed, so dispatching a spec twice is idempotent).
+//
+// Only line-level durability is assumed: every append is fsynced, and a
+// torn final line (a crash mid-append) is ignored on replay. Every other
+// malformed line is an error — a journal is tiny and precious, and a hole
+// in the middle means something other than this code wrote to it.
+type journalEntry struct {
+	Type string `json:"type"` // "run" | "resume" | "dispatched" | "done" | "failed"
+	// Header fields.
+	Name   string   `json:"name,omitempty"`
+	Schema string   `json:"schema,omitempty"`
+	Keys   []string `json:"keys,omitempty"`
+	// Event fields.
+	Key    string `json:"key,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+const (
+	entryRun        = "run"
+	entryResume     = "resume"
+	entryDispatched = "dispatched"
+	entryDone       = "done"
+	entryFailed     = "failed"
+)
+
+// journalState is the replayed view of a prior run: the terminal state
+// each spec key last reached. Dispatched-but-not-done specs appear in
+// neither map — they are pending again.
+type journalState struct {
+	done   map[store.Key]bool
+	failed map[store.Key]string
+}
+
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal opens (or creates) the journal at path for the run
+// identified by name, schema, and keys. A fresh or effectively-empty file
+// gets a run header; an existing journal must carry a matching header —
+// resuming a journal written for a different spec set would silently mix
+// two runs' results, so it is refused. The replayed state of a resumed
+// journal is returned alongside.
+func openJournal(path, name, schema string, keys []store.Key) (*journal, journalState, error) {
+	state := journalState{done: map[store.Key]bool{}, failed: map[store.Key]string{}}
+	entries, err := readJournal(path)
+	if err != nil {
+		return nil, state, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, state, fmt.Errorf("fleet: journal: %w", err)
+	}
+	j := &journal{f: f}
+	if len(entries) == 0 {
+		hex := make([]string, len(keys))
+		for i, k := range keys {
+			hex[i] = k.String()
+		}
+		if err := j.append(journalEntry{Type: entryRun, Name: name, Schema: schema, Keys: hex}); err != nil {
+			f.Close()
+			return nil, state, err
+		}
+		return j, state, nil
+	}
+	head := entries[0]
+	if head.Type != entryRun {
+		f.Close()
+		return nil, state, fmt.Errorf("fleet: journal %s does not start with a run header", path)
+	}
+	if err := matchHeader(head, name, schema, keys); err != nil {
+		f.Close()
+		return nil, state, fmt.Errorf("fleet: journal %s belongs to a different run (%v); delete it or pass a different -journal", path, err)
+	}
+	for _, e := range entries[1:] {
+		k, err := store.ParseKey(e.Key)
+		if err != nil {
+			continue // resume markers and historical headers carry no key
+		}
+		switch e.Type {
+		case entryDone:
+			state.done[k] = true
+			delete(state.failed, k)
+		case entryFailed:
+			state.failed[k] = e.Error
+			delete(state.done, k)
+		}
+	}
+	if err := j.append(journalEntry{Type: entryResume, Name: name}); err != nil {
+		f.Close()
+		return nil, state, err
+	}
+	return j, state, nil
+}
+
+func matchHeader(head journalEntry, name, schema string, keys []store.Key) error {
+	if head.Name != name {
+		return fmt.Errorf("run name %q != %q", head.Name, name)
+	}
+	if head.Schema != schema {
+		return fmt.Errorf("schema %q != %q", head.Schema, schema)
+	}
+	if len(head.Keys) != len(keys) {
+		return fmt.Errorf("%d specs != %d", len(head.Keys), len(keys))
+	}
+	for i, k := range keys {
+		if head.Keys[i] != k.String() {
+			return fmt.Errorf("spec %d key mismatch", i)
+		}
+	}
+	return nil
+}
+
+// readJournal parses the journal at path. A missing file is an empty
+// journal; a torn final line (crash mid-append) is dropped; any other
+// malformed line is an error.
+func readJournal(path string) ([]journalEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: journal: %w", err)
+	}
+	defer f.Close()
+	var (
+		entries []journalEntry
+		lines   int
+		torn    = -1
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // headers carry every spec key
+	for sc.Scan() {
+		lines++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if torn >= 0 {
+				return nil, fmt.Errorf("fleet: journal %s: malformed line %d: %w", path, torn, err)
+			}
+			torn = lines
+			continue
+		}
+		if torn >= 0 {
+			// A parseable line after a malformed one: the damage is not a
+			// torn tail.
+			return nil, fmt.Errorf("fleet: journal %s: malformed line %d mid-file", path, torn)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: journal %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// append marshals one entry, writes it, and fsyncs: each line corresponds
+// to at least one completed network round-trip, so per-line durability is
+// cheap relative to what it records.
+func (j *journal) append(e journalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("fleet: journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("fleet: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) dispatched(k store.Key, worker string) error {
+	return j.append(journalEntry{Type: entryDispatched, Key: k.String(), Worker: worker})
+}
+
+func (j *journal) done(k store.Key, worker string) error {
+	return j.append(journalEntry{Type: entryDone, Key: k.String(), Worker: worker})
+}
+
+func (j *journal) failed(k store.Key, msg string) error {
+	return j.append(journalEntry{Type: entryFailed, Key: k.String(), Error: msg})
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/serve"
+	"dsarp/internal/store"
+	"dsarp/internal/timing"
+)
+
+// tinyOpts is the fast single-simulation scale shared by every fleet
+// test (mirrors the serving layer's test scale).
+func tinyOpts() exp.Options {
+	return exp.Options{
+		PerCategory: 1,
+		Sensitivity: 1,
+		Cores:       2,
+		Warmup:      2_000,
+		Measure:     8_000,
+		Seed:        42,
+		Densities:   []timing.Density{timing.Gb8},
+	}
+}
+
+// testWorker is one in-process dsarpd: a serve.Server behind a real TCP
+// listener, its own store directory (worker-local persistence), killable
+// abruptly — no drain, active connections severed — and restartable on
+// the same address with a fresh runner, the way a supervisor would
+// restart a SIGKILLed daemon.
+type testWorker struct {
+	t            *testing.T
+	dir          string
+	opts         exp.Options
+	serveWorkers int
+	maxQueue     int
+
+	mu      sync.Mutex
+	addr    string
+	httpSrv *http.Server
+	servers []*serve.Server
+	runners []*exp.Runner
+}
+
+// startWorker brings up a worker on a fresh port with its own store dir.
+func startWorker(t *testing.T, opts exp.Options) *testWorker {
+	return startWorkerQueue(t, opts, 2, 64)
+}
+
+// startWorkerQueue is startWorker with an explicit simulation-worker
+// count and queue capacity (backpressure tests want a one-slot queue).
+func startWorkerQueue(t *testing.T, opts exp.Options, serveWorkers, maxQueue int) *testWorker {
+	t.Helper()
+	tw := &testWorker{t: t, dir: t.TempDir(), opts: opts,
+		serveWorkers: serveWorkers, maxQueue: maxQueue}
+	tw.start(nil)
+	t.Cleanup(func() {
+		tw.kill()
+		// Let background simulation goroutines drain so the race detector
+		// and tempdir cleanup see a quiet process.
+		tw.mu.Lock()
+		servers := tw.servers
+		tw.mu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		for _, s := range servers {
+			s.Drain(ctx)
+		}
+	})
+	return tw
+}
+
+// start launches a fresh serve.Server over the worker's store directory,
+// reusing the previous address after a kill.
+func (tw *testWorker) start(chaos *serve.Chaos) {
+	tw.t.Helper()
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	addr := tw.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var (
+		l   net.Listener
+		err error
+	)
+	// The previous listener may linger for a beat after Close; retry
+	// briefly when rebinding the same port.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			tw.t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	tw.addr = l.Addr().String()
+
+	st, err := store.Open(tw.dir, store.Options{Generation: exp.SchemaVersion})
+	if err != nil {
+		tw.t.Fatal(err)
+	}
+	opts := tw.opts
+	opts.Store = st
+	opts.EphemeralResults = true
+	r := exp.NewRunner(opts)
+	srv := serve.New(serve.Config{Runner: r, Workers: tw.serveWorkers, MaxQueue: tw.maxQueue, Chaos: chaos})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l)
+	tw.httpSrv = hs
+	tw.servers = append(tw.servers, srv)
+	tw.runners = append(tw.runners, r)
+}
+
+// kill severs the worker abruptly: listener and every active connection
+// closed, no drain, no goodbye — the in-process stand-in for SIGKILL.
+// (In-flight simulations keep running inside the process; their specs are
+// re-dispatched by the orchestrator regardless, which is exactly the
+// idempotence the content-addressed store guarantees.)
+func (tw *testWorker) kill() {
+	tw.mu.Lock()
+	hs := tw.httpSrv
+	tw.httpSrv = nil
+	tw.mu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+}
+
+func (tw *testWorker) url() string {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return "http://" + tw.addr
+}
+
+// simsRun sums simulations executed across every incarnation of this
+// worker.
+func (tw *testWorker) simsRun() int64 {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	var n int64
+	for _, r := range tw.runners {
+		n += r.SimsRun()
+	}
+	return n
+}

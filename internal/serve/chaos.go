@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos injects faults ahead of the real handlers, so the failure paths a
+// fleet orchestrator must survive — spurious 500s, connections dropped
+// mid-request, responses that stall past the client's timeout, and a
+// worker dying mid-job — are testable instead of aspirational. Faults
+// apply to /v1/* only: /healthz stays honest, modeling application-level
+// misbehavior in a process that is still alive (process death is the kill
+// hook's job, or an external SIGKILL).
+//
+// Every fault mode is safe against the service's own invariants: a
+// stalled or dropped request still runs to completion server-side, so its
+// result reaches the store and a retry is a cheap warm hit; a 500 is
+// returned before the request touches the queue, so no slot leaks.
+type Chaos struct {
+	// FailProb is the probability a request is answered with a 500
+	// without reaching the real handler.
+	FailProb float64
+	// DropProb is the probability the connection is severed with no
+	// response at all (the client sees EOF / connection reset).
+	DropProb float64
+	// StallProb is the probability the request is delayed by Stall
+	// before being handled normally — long enough stalls trip client
+	// timeouts while the work still completes server-side.
+	StallProb float64
+	// Stall is the delay applied to stalled requests (default 2s).
+	Stall time.Duration
+	// KillAfter, if positive, invokes Kill once the middleware has seen
+	// that many /v1 requests: a deterministic mid-job death. Kill
+	// defaults to a no-op; cmd/dsarpd installs a hard os.Exit.
+	KillAfter int64
+	Kill      func()
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+}
+
+// wrap returns the fault-injecting middleware around next.
+func (c *Chaos) wrap(next http.Handler) http.Handler {
+	var (
+		mu     sync.Mutex
+		rng    = rand.New(rand.NewSource(c.Seed))
+		seen   atomic.Int64
+		killed atomic.Bool
+	)
+	stall := c.Stall
+	if stall <= 0 {
+		stall = 2 * time.Second
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if c.KillAfter > 0 && seen.Add(1) >= c.KillAfter && c.Kill != nil &&
+			killed.CompareAndSwap(false, true) {
+			c.Kill()
+		}
+		mu.Lock()
+		f := rng.Float64()
+		mu.Unlock()
+		switch {
+		case f < c.DropProb:
+			// Sever the connection without writing a response. net/http
+			// closes the client connection when a handler panics with
+			// ErrAbortHandler, which is exactly a "worker vanished
+			// mid-request" from the caller's side.
+			panic(http.ErrAbortHandler)
+		case f < c.DropProb+c.FailProb:
+			httpError(w, http.StatusInternalServerError,
+				errChaos)
+			return
+		case f < c.DropProb+c.FailProb+c.StallProb:
+			time.Sleep(stall)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+var errChaos = fmt.Errorf("serve: chaos-injected failure")
+
+// ParseChaos parses the -chaos flag syntax: comma-separated key=value
+// pairs, e.g. "fail=0.1,drop=0.05,stall=0.1:2s,kill=100,seed=7".
+//
+//	fail=P      probability of a 500
+//	drop=P      probability of a severed connection
+//	stall=P[:D] probability of a stalled response (delay D, default 2s)
+//	kill=N      hard-kill the worker after N /v1 requests
+//	seed=N      rng seed for the fault sequence
+func ParseChaos(s string) (*Chaos, error) {
+	if s == "" {
+		return nil, nil
+	}
+	c := &Chaos{}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: chaos: %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "fail":
+			c.FailProb, err = parseProb(val)
+		case "drop":
+			c.DropProb, err = parseProb(val)
+		case "stall":
+			prob, dur, cut := strings.Cut(val, ":")
+			c.StallProb, err = parseProb(prob)
+			if err == nil && cut {
+				c.Stall, err = time.ParseDuration(dur)
+			}
+		case "kill":
+			c.KillAfter, err = strconv.ParseInt(val, 10, 64)
+		case "seed":
+			c.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return nil, fmt.Errorf("serve: chaos: unknown key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: chaos: %s: %w", key, err)
+		}
+	}
+	if total := c.FailProb + c.DropProb + c.StallProb; total > 1 {
+		return nil, fmt.Errorf("serve: chaos: probabilities sum to %g > 1", total)
+	}
+	return c, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %g outside [0,1]", p)
+	}
+	return p, nil
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosFailSparesHealthz: with FailProb=1 every /v1 request is a 500,
+// yet /healthz keeps answering — chaos models application misbehavior in
+// a live process, so liveness probes must stay honest.
+func TestChaosFailSparesHealthz(t *testing.T) {
+	s := newService(t, tinyOpts(), Config{Workers: 1, Chaos: &Chaos{FailProb: 1}}, nil)
+
+	resp, body := s.post(t, "/v1/sim", tinySpec("chaos-fail"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("/v1/sim under FailProb=1: status %d, want 500 (%s)", resp.StatusCode, body)
+	}
+	resp, _ = s.get(t, "/v1/stats")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("/v1/stats under FailProb=1: status %d, want 500", resp.StatusCode)
+	}
+	resp, _ = s.get(t, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz under FailProb=1: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestChaosDropSeversConnection: DropProb=1 must leave the client with a
+// transport-level error, not an HTTP response — the same failure shape as
+// a worker dying mid-request.
+func TestChaosDropSeversConnection(t *testing.T) {
+	s := newService(t, tinyOpts(), Config{Workers: 1, Chaos: &Chaos{DropProb: 1}}, nil)
+	if _, err := http.Get(s.ts.URL + "/v1/stats"); err == nil {
+		t.Fatal("request under DropProb=1 returned a response; want a severed connection")
+	}
+	if resp, _ := s.get(t, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz under DropProb=1: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestChaosStallDelays: a stalled request is late but otherwise normal.
+func TestChaosStallDelays(t *testing.T) {
+	stall := 150 * time.Millisecond
+	s := newService(t, tinyOpts(), Config{Workers: 1, Chaos: &Chaos{StallProb: 1, Stall: stall}}, nil)
+	start := time.Now()
+	resp, _ := s.get(t, "/v1/stats")
+	if d := time.Since(start); d < stall {
+		t.Errorf("stalled request returned in %v, want >= %v", d, stall)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stalled request status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestChaosKillAfterFiresOnce: the kill hook triggers at the configured
+// request count and never again, however much traffic follows.
+func TestChaosKillAfterFiresOnce(t *testing.T) {
+	var kills atomic.Int64
+	s := newService(t, tinyOpts(), Config{Workers: 1, Chaos: &Chaos{
+		KillAfter: 3,
+		Kill:      func() { kills.Add(1) },
+	}}, nil)
+	for i := 0; i < 2; i++ {
+		s.get(t, "/v1/stats")
+	}
+	if n := kills.Load(); n != 0 {
+		t.Fatalf("kill fired after 2 requests (KillAfter=3): %d", n)
+	}
+	for i := 0; i < 5; i++ {
+		s.get(t, "/v1/stats")
+	}
+	if n := kills.Load(); n != 1 {
+		t.Errorf("kill fired %d times, want exactly once", n)
+	}
+}
+
+// TestParseChaos covers the -chaos flag grammar.
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("fail=0.1,drop=0.05,stall=0.2:500ms,kill=100,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Chaos{FailProb: 0.1, DropProb: 0.05, StallProb: 0.2, Stall: 500 * time.Millisecond, KillAfter: 100, Seed: 7}
+	if c.FailProb != want.FailProb || c.DropProb != want.DropProb ||
+		c.StallProb != want.StallProb || c.Stall != want.Stall ||
+		c.KillAfter != want.KillAfter || c.Seed != want.Seed {
+		t.Errorf("ParseChaos = %+v, want %+v", *c, want)
+	}
+
+	if c, err := ParseChaos(""); c != nil || err != nil {
+		t.Errorf("ParseChaos(\"\") = %v, %v; want nil, nil", c, err)
+	}
+	for _, bad := range []string{
+		"fail",              // not key=value
+		"fail=1.5",          // probability out of range
+		"fail=-0.1",         // probability out of range
+		"bogus=1",           // unknown key
+		"stall=0.1:zzz",     // bad duration
+		"kill=abc",          // bad count
+		"fail=0.6,drop=0.6", // probabilities sum past 1
+	} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted; want error", bad)
+		}
+	}
+}

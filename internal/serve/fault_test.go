@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dsarp/internal/exp"
+)
+
+// slowSpec is a spec long enough that a job stays visibly in flight while
+// a test connects, drops, and reconnects around it.
+func slowSpec(name string, seed int64) exp.SimSpec {
+	return exp.SimSpec{
+		Name:           name,
+		BenchmarkNames: []string{"stream.triad"},
+		Mechanism:      "REFab",
+		DensityGb:      8,
+		Seed:           seed,
+		Measure:        600_000,
+	}
+}
+
+// TestSSEReconnectReplay: a subscriber that loses its connection mid-job
+// and reconnects must receive the full event history in completion order
+// — no duplicates, no gaps — exactly as if it had never dropped.
+func TestSSEReconnectReplay(t *testing.T) {
+	s := newService(t, tinyOpts(), Config{Workers: 1}, nil)
+	specs := []exp.SimSpec{slowSpec("rc-a", 1), slowSpec("rc-b", 2), slowSpec("rc-c", 3)}
+	resp, body := s.post(t, "/v1/sweep", sweepRequest{Name: "reconnect", Specs: specs})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sw sweepResponse
+	json.Unmarshal(body, &sw)
+
+	// First subscription: read exactly one event, then drop the
+	// connection the way a flaky network would.
+	stream, err := http.Get(s.ts.URL + "/v1/jobs/" + sw.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	var first jobEvent
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			if err := json.Unmarshal([]byte(data), &first); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			break
+		}
+	}
+	stream.Body.Close()
+	if first.Type != eventTask || first.Done != 1 {
+		t.Fatalf("first streamed event = %+v, want task 1/%d", first, len(specs))
+	}
+
+	// The drop happened mid-job: with one worker and two specs still
+	// queued, the job cannot be done yet.
+	_, body = s.get(t, "/v1/jobs/"+sw.ID)
+	var st jobStatus
+	json.Unmarshal(body, &st)
+	if st.State != "running" {
+		t.Fatalf("job state after drop = %q, want running (drop was not mid-job)", st.State)
+	}
+
+	// Reconnect: the replay must start from event 1 and run gaplessly to
+	// done, each task index appearing exactly once.
+	events := readSSE(t, s, sw.ID)
+	if len(events) != len(specs)+1 {
+		t.Fatalf("reconnect got %d events, want %d tasks + done", len(events), len(specs))
+	}
+	seen := map[int]int{}
+	for i, ev := range events[:len(specs)] {
+		if ev.Type != eventTask {
+			t.Errorf("event %d type = %q, want task", i, ev.Type)
+		}
+		if ev.Done != i+1 || ev.Total != len(specs) {
+			t.Errorf("event %d progress = %d/%d, want %d/%d", i, ev.Done, ev.Total, i+1, len(specs))
+		}
+		seen[ev.Index]++
+	}
+	for i := range specs {
+		if seen[i] != 1 {
+			t.Errorf("task %d appeared %d times in the replay, want exactly once", i, seen[i])
+		}
+	}
+	if last := events[len(specs)]; last.Type != eventDone || last.Done != len(specs) {
+		t.Errorf("terminal event = %+v", last)
+	}
+	if events[0] != first {
+		t.Errorf("replay event 0 = %+v differs from the originally streamed %+v", events[0], first)
+	}
+}
+
+// TestRetryAfterEstimate pins the Retry-After formula: backlog divided
+// across the worker pool, times the observed per-simulation runtime,
+// clamped to [1, 600].
+func TestRetryAfterEstimate(t *testing.T) {
+	s := newService(t, tinyOpts(), Config{Workers: 2, MaxQueue: 8}, nil)
+
+	set := func(free int, ewma float64) {
+		s.mu.Lock()
+		s.free, s.simEWMA = free, ewma
+		s.mu.Unlock()
+	}
+	cases := []struct {
+		free int
+		ewma float64
+		want int
+	}{
+		{8, 0, 1},        // empty queue, no history: floor of 1s
+		{5, 0, 2},        // 3 queued, no history: 1s per task over 2 workers
+		{2, 2.0, 6},      // 6 queued at 2s each over 2 workers
+		{0, 1000.0, 600}, // pathological estimate hits the ceiling
+	}
+	for _, c := range cases {
+		set(c.free, c.ewma)
+		if got := s.retryAfterSecs(); got != c.want {
+			t.Errorf("retryAfterSecs(free=%d, ewma=%g) = %d, want %d", c.free, c.ewma, got, c.want)
+		}
+	}
+	set(8, 0) // restore so cleanup drains an empty queue
+}
+
+// TestRetryAfterHeaderOnRefusal: both refusal paths — 429 queue-full and
+// 503 draining — must carry a positive integer Retry-After.
+func TestRetryAfterHeaderOnRefusal(t *testing.T) {
+	s := newService(t, tinyOpts(), Config{Workers: 1, MaxQueue: 3}, nil)
+
+	// Fill the queue ledger directly (no simulations needed) and watch a
+	// submission bounce with advice.
+	if err := s.reserve(s.maxQueue); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := s.post(t, "/v1/sim", tinySpec("ra-429"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429", resp.StatusCode)
+	}
+	if secs := retryAfterHeader(t, resp); secs < 1 {
+		t.Errorf("429 Retry-After = %d, want >= 1", secs)
+	}
+	s.release(s.maxQueue)
+	for i := 0; i < s.maxQueue; i++ {
+		s.tasks.Done()
+	}
+
+	// Draining refuses with 503 — still with a wait estimate, since a
+	// drained worker is typically about to be restarted.
+	s2 := newService(t, tinyOpts(), Config{Workers: 1}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s2.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = s2.post(t, "/v1/sim", tinySpec("ra-503"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining: status %d, want 503", resp.StatusCode)
+	}
+	if secs := retryAfterHeader(t, resp); secs < 1 {
+		t.Errorf("503 Retry-After = %d, want >= 1", secs)
+	}
+}
+
+func retryAfterHeader(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	h := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(h)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, not an integer: %v", h, err)
+	}
+	return secs
+}

@@ -35,9 +35,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"dsarp/internal/exp"
 	"dsarp/internal/sim"
@@ -53,6 +56,9 @@ type Config struct {
 	// MaxQueue bounds queued-plus-running tasks (default 256). Submissions
 	// beyond it get 429.
 	MaxQueue int
+	// Chaos, if non-nil, injects faults ahead of the /v1 handlers — see
+	// the Chaos type. Production deployments leave it nil.
+	Chaos *Chaos
 }
 
 // task is one unit of queued work: a prepared spec, plus either a job slot
@@ -72,14 +78,17 @@ type taskReply struct {
 
 // Server owns the worker pool, the queue, and the job registry.
 type Server struct {
-	runner *exp.Runner
-	mux    *http.ServeMux
-	queue  chan task
+	runner   *exp.Runner
+	mux      *http.ServeMux
+	handler  http.Handler // mux, possibly behind chaos middleware
+	queue    chan task
+	workersN int
 
 	mu       sync.Mutex
 	free     int // remaining queue+run slots
 	maxQueue int
 	draining bool
+	simEWMA  float64 // EWMA of one computed simulation's wall time, seconds
 
 	tasks   sync.WaitGroup // queued or running tasks
 	workers sync.WaitGroup
@@ -101,6 +110,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		runner:   cfg.Runner,
 		queue:    make(chan task, cfg.MaxQueue),
+		workersN: cfg.Workers,
 		free:     cfg.MaxQueue,
 		maxQueue: cfg.MaxQueue,
 		jobs:     newJobRegistry(),
@@ -118,6 +128,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	s.handler = s.mux
+	if cfg.Chaos != nil {
+		s.handler = cfg.Chaos.wrap(s.mux)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -126,12 +140,16 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for t := range s.queue {
+		start := time.Now()
 		res, src, err := s.runner.RunSpec(t.spec)
+		if err == nil && src == exp.SourceComputed {
+			s.noteSimDuration(time.Since(start))
+		}
 		s.release(1)
 		if t.job != nil {
 			t.job.complete(t.index, t.spec, res, src, err)
@@ -220,7 +238,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.reserve(1); err != nil {
-		refuse(w, err)
+		s.refuse(w, err)
 		return
 	}
 	reply := make(chan taskReply, 1)
@@ -288,7 +306,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// All-or-nothing admission: either the whole sweep fits the queue
 	// budget or none of it is admitted.
 	if err := s.reserve(len(prepared)); err != nil {
-		refuse(w, err)
+		s.refuse(w, err)
 		return
 	}
 	j := s.jobs.create(req.Name, prepared)
@@ -357,7 +375,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.reserve(len(specs)); err != nil {
-		refuse(w, err)
+		s.refuse(w, err)
 		return
 	}
 	j := s.jobs.createExperiment(name, specs, name, s.assembler(e, specs))
@@ -536,13 +554,50 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// refuse maps submission-time capacity errors to their status codes.
-func refuse(w http.ResponseWriter, err error) {
+// noteSimDuration feeds one computed simulation's wall time into the EWMA
+// behind Retry-After estimates. Cached and store-served results are
+// excluded: they say nothing about how fast the backlog will drain.
+func (s *Server) noteSimDuration(d time.Duration) {
+	secs := d.Seconds()
+	s.mu.Lock()
+	if s.simEWMA == 0 {
+		s.simEWMA = secs
+	} else {
+		s.simEWMA = 0.7*s.simEWMA + 0.3*secs
+	}
+	s.mu.Unlock()
+}
+
+// retryAfterSecs estimates how long a refused client should wait before
+// resubmitting: the current backlog divided across the worker pool, times
+// the EWMA runtime of one computed simulation. Before any simulation has
+// completed the estimate falls back to one second per queued task-batch.
+// Clamped to [1, 600] so a pathological estimate never tells a client
+// "come back tomorrow".
+func (s *Server) retryAfterSecs() int {
+	s.mu.Lock()
+	backlog := s.maxQueue - s.free
+	perSim := s.simEWMA
+	s.mu.Unlock()
+	if perSim == 0 {
+		perSim = 1
+	}
+	secs := int(math.Ceil(float64(backlog) / float64(s.workersN) * perSim))
+	return min(max(secs, 1), 600)
+}
+
+// refuse maps submission-time capacity errors to their status codes. Both
+// the 429 (queue full) and the drain 503 carry a Retry-After computed
+// from live queue depth and observed per-simulation runtime: a drained
+// worker is typically restarted, and its backlog estimate is the best
+// guess for when it will take work again.
+func (s *Server) refuse(w http.ResponseWriter, err error) {
 	switch err {
 	case errQueueFull:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		httpError(w, http.StatusTooManyRequests, err)
 	case errDraining:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		httpError(w, http.StatusServiceUnavailable, err)
 	default:
 		httpError(w, http.StatusInternalServerError, err)

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestTornHeaderVariants: entries torn inside the header itself — the
+// shapes a crash mid-write or a torn sector leaves behind — must read as
+// misses, be deleted, and heal on the next Put, without disturbing
+// healthy neighbors.
+func TestTornHeaderVariants(t *testing.T) {
+	goodKey := KeyOf([]byte("healthy-neighbor"))
+	goodPayload := []byte("intact result")
+	for _, tc := range []struct {
+		name string
+		torn func(valid []byte) []byte // valid entry bytes -> torn file content
+	}{
+		{"newline-only", func([]byte) []byte { return []byte("\n") }},
+		{"half-header", func(valid []byte) []byte {
+			i := bytes.IndexByte(valid, '\n')
+			return valid[: i/2 : i/2]
+		}},
+		{"header-no-newline", func(valid []byte) []byte {
+			i := bytes.IndexByte(valid, '\n')
+			return valid[:i:i]
+		}},
+		{"header-half-payload", func(valid []byte) []byte {
+			i := bytes.IndexByte(valid, '\n')
+			return valid[: i+1+(len(valid)-i-1)/2 : i+1+(len(valid)-i-1)/2]
+		}},
+		{"wrong-magic", func(valid []byte) []byte {
+			return append([]byte("otherstore9"), valid[len(magic):]...)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, Options{})
+			if err := s.Put(goodKey, goodPayload); err != nil {
+				t.Fatal(err)
+			}
+			key := KeyOf([]byte("torn-" + tc.name))
+			payload := []byte("payload for " + tc.name)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			valid, err := os.ReadFile(s.EntryPath(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.EntryPath(key), tc.torn(valid), 0o666); err != nil {
+				t.Fatal(err)
+			}
+
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("torn entry served as a hit: %q", got)
+			}
+			if _, err := os.Stat(s.EntryPath(key)); !os.IsNotExist(err) {
+				t.Error("torn entry not deleted on failed read")
+			}
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Errorf("healed entry unreadable: %q, %v", got, ok)
+			}
+			if got, ok := s.Get(goodKey); !ok || !bytes.Equal(got, goodPayload) {
+				t.Errorf("healthy neighbor damaged by heal: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestPartialTempWriteNeverVisible: a writer that crashed before its
+// rename leaves only a temp file — which must be invisible to Get and
+// Contains, in this process and after a fresh Open.
+func TestPartialTempWriteNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	key := KeyOf([]byte("crashed-before-rename"))
+	payload := []byte("a complete, valid payload that never got published")
+
+	// Build byte-exact entry content the way Put would, but stop at the
+	// temp stage — the crash point just before rename.
+	h := KeyOf(payload) // sha256 of payload
+	content := append([]byte(fmt.Sprintf("%s %s %d\n", magic, h.String(), len(payload))), payload...)
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"crashed"), content, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key); ok {
+		t.Error("unpublished temp write served as a hit")
+	}
+	if s.Contains(key) {
+		t.Error("unpublished temp write visible to Contains")
+	}
+	s2 := open(t, dir, Options{})
+	if s2.Len() != 0 {
+		t.Errorf("fresh Open indexed an unpublished temp write: Len = %d", s2.Len())
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Error("unpublished temp write served as a hit after reopen")
+	}
+}
+
+// TestConcurrentHealFromTwoOpens: two Stores over one directory (two
+// daemons sharing a cache) both discover a corrupt entry, both delete it,
+// both heal it with Put — concurrently, under the race detector. The
+// invariants: a Get never returns wrong bytes, healthy entries survive,
+// and once the dust settles the slot is healthy for a third Open.
+func TestConcurrentHealFromTwoOpens(t *testing.T) {
+	dir := t.TempDir()
+	healthyKey := KeyOf([]byte("bystander"))
+	healthyPayload := []byte("must survive the stampede")
+	corruptKey := KeyOf([]byte("contested"))
+	payload := []byte("the one true payload")
+
+	seed := open(t, dir, Options{})
+	if err := seed.Put(healthyKey, healthyPayload); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put(corruptKey, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seed.EntryPath(corruptKey), []byte("garbage, not an entry"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	a := open(t, dir, Options{})
+	b := open(t, dir, Options{})
+
+	// Phase 1: both stores race to discover the corruption. Any hit they
+	// do report must be the true payload, never garbage.
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if got, ok := s.Get(corruptKey); ok && !bytes.Equal(got, payload) {
+					t.Errorf("Get returned wrong bytes: %q", got)
+				}
+				if got, ok := s.Get(healthyKey); !ok || !bytes.Equal(got, healthyPayload) {
+					t.Errorf("healthy entry lost mid-stampede: %q, %v", got, ok)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Phase 2: both heal concurrently. Atomic rename makes the writes
+	// interchangeable — last one wins, both are correct.
+	for _, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			if err := s.Put(corruptKey, payload); err != nil {
+				t.Errorf("heal Put: %v", err)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	for name, s := range map[string]*Store{"a": a, "b": b, "fresh": open(t, dir, Options{})} {
+		if got, ok := s.Get(corruptKey); !ok || !bytes.Equal(got, payload) {
+			t.Errorf("%s: healed slot unreadable: %q, %v", name, got, ok)
+		}
+		if got, ok := s.Get(healthyKey); !ok || !bytes.Equal(got, healthyPayload) {
+			t.Errorf("%s: healthy entry lost: %q, %v", name, got, ok)
+		}
+	}
+}
