@@ -10,9 +10,9 @@
 //
 //	dsarpd [-addr :8080] [-store .dsarp-store] [-store-max-mb N]
 //	       [-parallel N] [-max-queue N] [-engine event|cycle]
-//	       [-warmup N] [-measure N] [-seed N]
+//	       [-warmup N] [-measure N] [-seed N] [-sim-timeout D]
 //	       [-scale default|paper] [-percat N] [-sensitivity N]
-//	       [-chaos fail=P,drop=P,stall=P:D,kill=N,seed=N]
+//	       [-chaos fail=P,drop=P,stall=P:D,kill=N,diskfail=P,seed=N]
 //
 // -warmup/-measure/-engine only fill fields a submitted spec leaves unset;
 // fully-specified specs are served as sent. -scale/-percat/-sensitivity
@@ -24,6 +24,17 @@
 // written under an older schema sweeps its (unreachable) entries at
 // startup. Completed results are not retained in RAM — the store is the
 // cache — so memory stays flat however many unique specs are served.
+//
+// Jobs are crash-durable when a store is configured: every job is
+// journaled under <store>/jobs, and a restarted dsarpd on the same store
+// directory adopts incomplete jobs — same job IDs, full SSE replay,
+// unfinished specs re-enqueued. If the store's disk fails mid-flight the
+// daemon keeps completing work from memory and reports itself degraded
+// on /healthz and /v1/stats instead of dying.
+//
+// -sim-timeout bounds each simulation's wall clock: a run that exceeds
+// it is aborted, its queue slot freed, and the client told 504 (retry
+// elsewhere, or resubmit with a bigger budget).
 //
 // SIGINT/SIGTERM drain gracefully: new submissions get 503, queued work
 // finishes and reaches the store, then the process exits.
@@ -42,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -70,7 +82,8 @@ func mainImpl() int {
 		percat     = flag.Int("percat", 0, "override workloads per intensity category (experiment enumeration)")
 		sens       = flag.Int("sensitivity", 0, "override sensitivity workload count (experiment enumeration)")
 		drainSecs  = flag.Int("drain-timeout", 60, "seconds to wait for in-flight work on shutdown")
-		chaosSpec  = flag.String("chaos", "", "inject faults for orchestrator testing, e.g. 'fail=0.1,drop=0.05,stall=0.1:2s,kill=100,seed=7'")
+		simTimeout = flag.Duration("sim-timeout", 0, "wall-clock budget per simulation (0 = unlimited); exceeding it aborts the run with a retryable 504")
+		chaosSpec  = flag.String("chaos", "", "inject faults for orchestrator testing, e.g. 'fail=0.1,drop=0.05,stall=0.1:2s,kill=100,diskfail=0.2,seed=7'")
 	)
 	flag.Parse()
 
@@ -97,28 +110,10 @@ func mainImpl() int {
 		return 2
 	}
 	opts.Engine = eng
+	opts.SimTimeout = *simTimeout
 
-	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{
-			MaxBytes:   *storeMaxMB << 20,
-			Generation: exp.SchemaVersion,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%v\n", err)
-			return 1
-		}
-		opts.Store = st
-		// The disk is the cache: don't also retain every result in RAM
-		// for the life of the daemon.
-		opts.EphemeralResults = true
-		if s := st.Stats(); s.Expired > 0 {
-			log.Printf("store: swept %d old-schema entries (%d bytes reclaimed)", s.Expired, s.ExpiredBytes)
-		}
-		log.Printf("store: %s (%d entries)", st.Dir(), st.Len())
-	} else {
-		log.Printf("store: disabled (results die with the process)")
-	}
-
+	// Chaos is parsed before the store opens: diskfail injects failures
+	// into the store's write path, so the hook must exist first.
 	chaos, err := serve.ParseChaos(*chaosSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -135,11 +130,39 @@ func mainImpl() int {
 		log.Printf("chaos enabled: %s", *chaosSpec)
 	}
 
+	journalDir := ""
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{
+			MaxBytes:   *storeMaxMB << 20,
+			Generation: exp.SchemaVersion,
+			FailWrites: chaos.FailWrites(),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		opts.Store = st
+		// The disk is the cache: don't also retain every result in RAM
+		// for the life of the daemon.
+		opts.EphemeralResults = true
+		// Job journals live beside the entries they reference: adopting a
+		// store directory means adopting its unfinished jobs too.
+		journalDir = filepath.Join(*storeDir, "jobs")
+		if s := st.Stats(); s.Expired > 0 {
+			log.Printf("store: swept %d old-schema entries (%d bytes reclaimed)", s.Expired, s.ExpiredBytes)
+		}
+		log.Printf("store: %s (%d entries)", st.Dir(), st.Len())
+	} else {
+		log.Printf("store: disabled (results and jobs die with the process)")
+	}
+
 	srv := serve.New(serve.Config{
-		Runner:   exp.NewRunner(opts),
-		Workers:  *parallel,
-		MaxQueue: *maxQueue,
-		Chaos:    chaos,
+		Runner:     exp.NewRunner(opts),
+		Workers:    *parallel,
+		MaxQueue:   *maxQueue,
+		Chaos:      chaos,
+		JournalDir: journalDir,
+		Logf:       log.Printf,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

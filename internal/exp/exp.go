@@ -16,10 +16,12 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsarp/internal/core"
 	"dsarp/internal/metrics"
@@ -57,6 +59,15 @@ type Options struct {
 	// SchemaVersion), so a warm store only removes work: an interrupted
 	// sweep resumes from its per-task results instead of restarting.
 	Store *store.Store
+	// SimTimeout, if positive, is a per-simulation wall-clock budget: a
+	// computed run that exceeds it is aborted via sim.Config.Stop and
+	// surfaces ErrSimTimeout instead of a result. Nothing partial reaches
+	// the cache or store, so a retry (possibly on another fleet worker) is
+	// clean. Cache and store hits are unaffected — the budget covers
+	// simulation work, not lookups. Zero means unlimited (the default:
+	// simulations are deterministic, so a timeout usually signals an
+	// over-ambitious spec or a starved machine rather than a hang).
+	SimTimeout time.Duration
 	// EphemeralResults bounds the runner's memory when a Store is
 	// configured: completed results are NOT retained in the in-memory
 	// cache once they are safely on disk — later hits re-read and decode
@@ -316,10 +327,18 @@ func (s RunSource) String() string {
 // Cached reports whether the result was served without simulating.
 func (s RunSource) Cached() bool { return s != SourceComputed }
 
+// ErrSimTimeout marks a simulation aborted by the per-sim watchdog
+// (Options.SimTimeout): the run exceeded its wall-clock budget and was
+// interrupted before producing a result. The failure is retryable — the
+// spec is intact and nothing partial was cached — so serving layers map
+// it to a retryable status and fleet orchestrators re-dispatch.
+var ErrSimTimeout = errors.New("exp: simulation exceeded its wall-clock budget")
+
 // RunSpec executes (or recalls) the simulation an external spec describes:
 // the serving layer's entry point. The spec is normalized and validated
 // first; config modifiers come from the variant registry only. Unlike the
-// internal run path, failures surface as errors, not panics.
+// internal run path, failures surface as errors, not panics; a watchdog
+// abort surfaces as an error wrapping ErrSimTimeout.
 func (r *Runner) RunSpec(spec SimSpec) (res sim.Result, src RunSource, err error) {
 	spec, err = r.PrepareSpec(spec)
 	if err != nil {
@@ -331,6 +350,10 @@ func (r *Runner) RunSpec(spec SimSpec) (res sim.Result, src RunSource, err error
 	}
 	defer func() {
 		if v := recover(); v != nil {
+			if e, ok := v.(error); ok && errors.Is(e, ErrSimTimeout) {
+				err = e
+				return
+			}
 			err = fmt.Errorf("exp: run %s: %v", spec.label(), v)
 		}
 	}()
@@ -361,7 +384,22 @@ func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSo
 		if mod != nil {
 			mod(&cfg)
 		}
+		var watchdog *time.Timer
+		if r.opts.SimTimeout > 0 {
+			stop := &atomic.Bool{}
+			cfg.Stop = stop
+			watchdog = time.AfterFunc(r.opts.SimTimeout, func() { stop.Store(true) })
+		}
 		res, err := sim.Run(cfg)
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+		if errors.Is(err, sim.ErrInterrupted) {
+			// The panic value is an error wrapping ErrSimTimeout so RunSpec
+			// (on the computing caller AND on singleflight waiters, which
+			// re-raise it) can classify the failure as retryable.
+			panic(fmt.Errorf("exp: %s: %w after %v", spec.label(), ErrSimTimeout, r.opts.SimTimeout))
+		}
 		if err != nil {
 			panic(fmt.Sprintf("exp: %s: %v", spec.label(), err))
 		}

@@ -18,6 +18,13 @@ import (
 // and a table byte-identical to a single-node golden.
 func TestChaosWorkerKilledMidRun(t *testing.T) {
 	opts := tinyOpts()
+	// A fast machine can drain the whole 24-spec run before the victim's
+	// request counter reaches KillAfter (the kill then never fires and the
+	// test exercises nothing). Longer simulations keep the run alive well
+	// past the kill threshold — the 100ms health probes alone reach it —
+	// and past the 300ms supervisor restart, so the death is genuinely
+	// mid-run on any hardware.
+	opts.Measure = 300_000
 	golden, err := exp.NewRunner(opts).RunExperiment("fig7")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// stubWorker serves just enough of the dsarpd surface for health probes:
+// /healthz and a /v1/stats body with a controllable degraded flag.
+func stubWorker(t *testing.T, degraded bool, queueFree int) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if degraded {
+			fmt.Fprintln(w, "degraded: store: injected")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"queue_free":%d,"queue_cap":64,"draining":false,"degraded":%v}`,
+			queueFree, degraded)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestDegradedWorkerDeprioritized: a degraded worker stays alive but
+// loses dispatch priority — pickWorker prefers any healthy worker even
+// one carrying more load, and falls back to the degraded worker only
+// when no healthy one remains.
+func TestDegradedWorkerDeprioritized(t *testing.T) {
+	// Degraded worker reports an empty queue (least loaded); healthy one
+	// reports a backlog of 60. Load alone would pick the degraded worker.
+	deg := stubWorker(t, true, 64)
+	healthy := stubWorker(t, false, 4)
+	o := mustOrch(t, testConfig(deg.URL, healthy.URL))
+
+	ctx := context.Background()
+	o.probeAll(ctx)
+
+	wDeg, wHealthy := o.workers[0], o.workers[1]
+	if !wDeg.isAlive() {
+		t.Fatal("degraded worker probed as dead; degraded must remain alive")
+	}
+	if !wDeg.isDegraded() {
+		t.Fatal("probe did not parse degraded=true from /v1/stats")
+	}
+	if wHealthy.isDegraded() {
+		t.Fatal("healthy worker misparsed as degraded")
+	}
+
+	for i := 0; i < 5; i++ {
+		w, err := o.pickWorker(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != wHealthy {
+			t.Fatalf("pickWorker chose the degraded worker over a healthy one (loads: deg=%d healthy=%d)",
+				wDeg.load(), wHealthy.load())
+		}
+	}
+
+	// Healthy worker dies: the degraded worker is better than nothing.
+	wHealthy.mu.Lock()
+	wHealthy.alive = false
+	wHealthy.mu.Unlock()
+	w, err := o.pickWorker(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != wDeg {
+		t.Fatal("with no healthy worker, pickWorker must fall back to the degraded one")
+	}
+
+	// Recovery: the worker stops reporting degraded (e.g. after a restart
+	// on a fixed disk) and regains full priority.
+	rec := stubWorker(t, false, 64)
+	wDeg.mu.Lock()
+	wDeg.url = rec.URL
+	wDeg.mu.Unlock()
+	o.probeAll(ctx)
+	if wDeg.isDegraded() {
+		t.Fatal("probe did not clear degraded after the worker recovered")
+	}
+}

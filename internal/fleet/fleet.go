@@ -103,6 +103,7 @@ type worker struct {
 	mu       sync.Mutex
 	alive    bool
 	probed   bool // at least one probe completed (avoid "down" logs at startup)
+	degraded bool // worker self-reports degraded (read-only store / journal loss)
 	backlog  int  // worker-reported queued+running tasks (best effort)
 	inflight int  // this orchestrator's outstanding dispatches
 }
@@ -119,6 +120,12 @@ func (w *worker) isAlive() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.alive
+}
+
+func (w *worker) isDegraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
 }
 
 // Orchestrator dispatches specs across a fleet of dsarpd workers. Safe
@@ -227,7 +234,7 @@ func (o *Orchestrator) Run(ctx context.Context, name string, specs []exp.SimSpec
 	}
 
 	var (
-		j     *journal
+		j     *runJournal
 		state = journalState{done: map[store.Key]bool{}, failed: map[store.Key]string{}}
 	)
 	if o.cfg.Journal != "" {
@@ -356,7 +363,7 @@ func (o *Orchestrator) RunExperiment(ctx context.Context, r *exp.Runner, name st
 // runSpec drives one spec to a terminal state: retry transient failures
 // against whichever live worker is least loaded, give up only on
 // permanent errors (or MaxAttempts, or context cancellation).
-func (o *Orchestrator) runSpec(ctx context.Context, j *journal, spec exp.SimSpec, key store.Key) (sim.Result, []byte, error) {
+func (o *Orchestrator) runSpec(ctx context.Context, j *runJournal, spec exp.SimSpec, key store.Key) (sim.Result, []byte, error) {
 	for attempt := 0; ; attempt++ {
 		w, err := o.pickWorker(ctx)
 		if err != nil {
@@ -514,18 +521,30 @@ func (o *Orchestrator) backoff(attempt int) time.Duration {
 }
 
 // pickWorker returns the least-loaded live worker, waiting (and
-// re-probing) while the whole fleet is down.
+// re-probing) while the whole fleet is down. Workers that self-report
+// degraded (read-only store, lost job journal) still compute correctly
+// but can't persist, so every result they serve is a cache miss for the
+// rest of the fleet: they are used only when no healthy worker is alive.
 func (o *Orchestrator) pickWorker(ctx context.Context) (*worker, error) {
 	warned := false
 	for {
-		var best *worker
+		var best, bestDegraded *worker
 		for _, w := range o.workers {
 			if !w.isAlive() {
+				continue
+			}
+			if w.isDegraded() {
+				if bestDegraded == nil || w.load() < bestDegraded.load() {
+					bestDegraded = w
+				}
 				continue
 			}
 			if best == nil || w.load() < best.load() {
 				best = w
 			}
+		}
+		if best == nil {
+			best = bestDegraded
 		}
 		if best != nil {
 			return best, nil
@@ -577,24 +596,28 @@ func (o *Orchestrator) probe(ctx context.Context, w *worker) {
 	defer cancel()
 	ok := o.getOK(pctx, w.url+"/healthz", nil)
 	backlog := 0
+	degraded := false
 	if ok {
 		var stats struct {
 			QueueFree int  `json:"queue_free"`
 			QueueCap  int  `json:"queue_cap"`
 			Draining  bool `json:"draining"`
+			Degraded  bool `json:"degraded"`
 		}
 		if o.getOK(pctx, w.url+"/v1/stats", &stats) {
 			backlog = stats.QueueCap - stats.QueueFree
+			degraded = stats.Degraded
 			if stats.Draining {
 				ok = false // refusing new work: as good as down for dispatch
 			}
 		}
 	}
 	w.mu.Lock()
-	wasAlive, hadProbe := w.alive, w.probed
+	wasAlive, hadProbe, wasDegraded := w.alive, w.probed, w.degraded
 	w.alive, w.probed = ok, true
 	if ok {
 		w.backlog = backlog
+		w.degraded = degraded
 	}
 	w.mu.Unlock()
 	if ok != wasAlive || !hadProbe {
@@ -602,6 +625,13 @@ func (o *Orchestrator) probe(ctx context.Context, w *worker) {
 			o.logf("fleet: worker %s is up", w.url)
 		} else {
 			o.logf("fleet: worker %s is down", w.url)
+		}
+	}
+	if ok && degraded != wasDegraded {
+		if degraded {
+			o.logf("fleet: worker %s is degraded; deprioritizing", w.url)
+		} else {
+			o.logf("fleet: worker %s recovered from degraded", w.url)
 		}
 	}
 }

@@ -1,28 +1,23 @@
 package fleet
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
-	"sync"
 
+	"dsarp/internal/journal"
 	"dsarp/internal/store"
 )
 
-// The journal is an append-only JSONL file recording one run's state
-// transitions: a header pinning the run's identity (name plus every spec
-// key, in order), then one line per event — dispatched@worker, done(key),
-// failed(key, error), and a resume marker each time an orchestrator
-// reopens the file. Replaying it after a crash tells a fresh orchestrator
-// which specs are already durable somewhere (done), which permanently
-// failed, and which were merely in flight (safe to re-dispatch: results
-// are content-addressed, so dispatching a spec twice is idempotent).
-//
-// Only line-level durability is assumed: every append is fsynced, and a
-// torn final line (a crash mid-append) is ignored on replay. Every other
-// malformed line is an error — a journal is tiny and precious, and a hole
-// in the middle means something other than this code wrote to it.
+// The run journal is an append-only JSONL file (see internal/journal for
+// the durability mechanics: fsync per line, torn final lines tolerated,
+// mid-file corruption refused) recording one run's state transitions: a
+// header pinning the run's identity (name plus every spec key, in order),
+// then one line per event — dispatched@worker, done(key), failed(key,
+// error), and a resume marker each time an orchestrator reopens the file.
+// Replaying it after a crash tells a fresh orchestrator which specs are
+// already durable somewhere (done), which permanently failed, and which
+// were merely in flight (safe to re-dispatch: results are
+// content-addressed, so dispatching a spec twice is idempotent).
 type journalEntry struct {
 	Type string `json:"type"` // "run" | "resume" | "dispatched" | "done" | "failed"
 	// Header fields.
@@ -51,9 +46,8 @@ type journalState struct {
 	failed map[store.Key]string
 }
 
-type journal struct {
-	mu sync.Mutex
-	f  *os.File
+type runJournal struct {
+	f *journal.File
 }
 
 // openJournal opens (or creates) the journal at path for the run
@@ -62,17 +56,17 @@ type journal struct {
 // resuming a journal written for a different spec set would silently mix
 // two runs' results, so it is refused. The replayed state of a resumed
 // journal is returned alongside.
-func openJournal(path, name, schema string, keys []store.Key) (*journal, journalState, error) {
+func openJournal(path, name, schema string, keys []store.Key) (*runJournal, journalState, error) {
 	state := journalState{done: map[store.Key]bool{}, failed: map[store.Key]string{}}
 	entries, err := readJournal(path)
 	if err != nil {
 		return nil, state, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	f, err := journal.OpenAppend(path)
 	if err != nil {
-		return nil, state, fmt.Errorf("fleet: journal: %w", err)
+		return nil, state, fmt.Errorf("fleet: %w", err)
 	}
-	j := &journal{f: f}
+	j := &runJournal{f: f}
 	if len(entries) == 0 {
 		hex := make([]string, len(keys))
 		for i, k := range keys {
@@ -132,85 +126,43 @@ func matchHeader(head journalEntry, name, schema string, keys []store.Key) error
 	return nil
 }
 
-// readJournal parses the journal at path. A missing file is an empty
-// journal; a torn final line (crash mid-append) is dropped; any other
-// malformed line is an error.
+// readJournal parses the journal at path into fleet entries. The shared
+// reader handles the file mechanics (missing file, torn tail, mid-file
+// corruption); a line that is valid JSON but not a fleet entry shape
+// still unmarshals (unknown fields are ignored) and is skipped by replay.
 func readJournal(path string) ([]journalEntry, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
+	lines, err := journal.Read(path)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: journal: %w", err)
+		return nil, fmt.Errorf("fleet: %w", err)
 	}
-	defer f.Close()
-	var (
-		entries []journalEntry
-		lines   int
-		torn    = -1
-	)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // headers carry every spec key
-	for sc.Scan() {
-		lines++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
+	entries := make([]journalEntry, 0, len(lines))
+	for i, raw := range lines {
 		var e journalEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			if torn >= 0 {
-				return nil, fmt.Errorf("fleet: journal %s: malformed line %d: %w", path, torn, err)
-			}
-			torn = lines
-			continue
-		}
-		if torn >= 0 {
-			// A parseable line after a malformed one: the damage is not a
-			// torn tail.
-			return nil, fmt.Errorf("fleet: journal %s: malformed line %d mid-file", path, torn)
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("fleet: journal %s: line %d: %w", path, i+1, err)
 		}
 		entries = append(entries, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("fleet: journal %s: %w", path, err)
 	}
 	return entries, nil
 }
 
-// append marshals one entry, writes it, and fsyncs: each line corresponds
-// to at least one completed network round-trip, so per-line durability is
-// cheap relative to what it records.
-func (j *journal) append(e journalEntry) error {
-	data, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("fleet: journal: %w", err)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.Write(append(data, '\n')); err != nil {
-		return fmt.Errorf("fleet: journal: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("fleet: journal: %w", err)
+func (j *runJournal) append(e journalEntry) error {
+	if err := j.f.Append(e); err != nil {
+		return fmt.Errorf("fleet: %w", err)
 	}
 	return nil
 }
 
-func (j *journal) dispatched(k store.Key, worker string) error {
+func (j *runJournal) dispatched(k store.Key, worker string) error {
 	return j.append(journalEntry{Type: entryDispatched, Key: k.String(), Worker: worker})
 }
 
-func (j *journal) done(k store.Key, worker string) error {
+func (j *runJournal) done(k store.Key, worker string) error {
 	return j.append(journalEntry{Type: entryDone, Key: k.String(), Worker: worker})
 }
 
-func (j *journal) failed(k store.Key, msg string) error {
+func (j *runJournal) failed(k store.Key, msg string) error {
 	return j.append(journalEntry{Type: entryFailed, Key: k.String(), Error: msg})
 }
 
-func (j *journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Close()
-}
+func (j *runJournal) Close() error { return j.f.Close() }

@@ -41,8 +41,35 @@ type Chaos struct {
 	// defaults to a no-op; cmd/dsarpd installs a hard os.Exit.
 	KillAfter int64
 	Kill      func()
+	// DiskFailProb is the probability an individual result-store write
+	// fails (wired into store.Options.FailWrites by cmd/dsarpd). One hit
+	// flips the store into degraded read-only mode — this exercises the
+	// ENOSPC/EIO path, not the HTTP layer, so it is excluded from the
+	// request-fault probability budget.
+	DiskFailProb float64
 	// Seed makes the fault sequence reproducible.
 	Seed int64
+}
+
+// FailWrites returns a store.Options.FailWrites hook that fails each
+// write with probability DiskFailProb, or nil when disk chaos is off. It
+// draws from its own rng (Seed+1) so disk faults don't perturb the
+// request-fault sequence.
+func (c *Chaos) FailWrites() func() error {
+	if c == nil || c.DiskFailProb <= 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(c.Seed + 1))
+	return func() error {
+		mu.Lock()
+		f := rng.Float64()
+		mu.Unlock()
+		if f < c.DiskFailProb {
+			return fmt.Errorf("chaos: injected disk write failure")
+		}
+		return nil
+	}
 }
 
 // wrap returns the fault-injecting middleware around next.
@@ -96,6 +123,8 @@ var errChaos = fmt.Errorf("serve: chaos-injected failure")
 //	drop=P      probability of a severed connection
 //	stall=P[:D] probability of a stalled response (delay D, default 2s)
 //	kill=N      hard-kill the worker after N /v1 requests
+//	diskfail=P  probability each result-store write fails (the first
+//	            failure flips the store to degraded read-only)
 //	seed=N      rng seed for the fault sequence
 func ParseChaos(s string) (*Chaos, error) {
 	if s == "" {
@@ -121,6 +150,8 @@ func ParseChaos(s string) (*Chaos, error) {
 			}
 		case "kill":
 			c.KillAfter, err = strconv.ParseInt(val, 10, 64)
+		case "diskfail":
+			c.DiskFailProb, err = parseProb(val)
 		case "seed":
 			c.Seed, err = strconv.ParseInt(val, 10, 64)
 		default:

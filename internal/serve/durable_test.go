@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/store"
+)
+
+// startDurable builds a service over an explicit store and journal dir
+// with no automatic Drain: durability tests stop their servers
+// deliberately — crash() for a kill -9 stand-in, shutdown() for a clean
+// exit — and often start a successor over the same directories.
+func startDurable(t *testing.T, opts exp.Options, cfg Config, st *store.Store, jdir string) *testService {
+	t.Helper()
+	opts.Store = st
+	r := exp.NewRunner(opts)
+	cfg.Runner = r
+	cfg.JournalDir = jdir
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	return &testService{Server: srv, runner: r, store: st, ts: ts}
+}
+
+func openStoreDir(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// crash is the in-process kill -9: workers stop after at most their
+// current task, everything queued is abandoned, nothing is drained.
+func (s *testService) crash() {
+	s.halt()
+	s.ts.Close()
+}
+
+func (s *testService) shutdown(t *testing.T) {
+	t.Helper()
+	s.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkFullStream asserts the canonical complete event history for total
+// tasks: each index exactly once, done counters 1..total, a terminal done
+// event, no failures.
+func checkFullStream(t *testing.T, events []jobEvent, total int) {
+	t.Helper()
+	if len(events) != total+1 {
+		t.Fatalf("%d events, want %d tasks + done", len(events), total)
+	}
+	seen := map[int]bool{}
+	for i, ev := range events[:total] {
+		if ev.Type != eventTask {
+			t.Errorf("event %d type %q", i, ev.Type)
+		}
+		if ev.Done != i+1 || ev.Total != total {
+			t.Errorf("event %d progress %d/%d, want %d/%d", i, ev.Done, ev.Total, i+1, total)
+		}
+		if ev.Error != "" {
+			t.Errorf("task %d failed: %s", ev.Index, ev.Error)
+		}
+		if seen[ev.Index] {
+			t.Errorf("task %d completed twice in the stream", ev.Index)
+		}
+		seen[ev.Index] = true
+	}
+	for i := 0; i < total; i++ {
+		if !seen[i] {
+			t.Errorf("no event for task %d", i)
+		}
+	}
+	if last := events[total]; last.Type != eventDone || last.Done != total {
+		t.Errorf("terminal event %+v", last)
+	}
+}
+
+// TestSSEAcrossRestart is the tentpole acceptance: an experiment job
+// hard-stopped mid-run survives a restart on the same store+journal
+// directories — same job ID, a full ordered SSE replay with no duplicate
+// or missing events, and a table byte-identical to a local run.
+func TestSSEAcrossRestart(t *testing.T) {
+	opts := tinyOpts()
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "jobs")
+
+	a := startDurable(t, opts, Config{Workers: 1, MaxQueue: 512},
+		openStoreDir(t, filepath.Join(dir, "store")), jdir)
+	resp, body := a.post(t, "/v1/experiments/fig7", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fig7: %d %s", resp.StatusCode, body)
+	}
+	var sw sweepResponse
+	json.Unmarshal(body, &sw)
+	if sw.Total < 2 {
+		t.Fatalf("fig7 has %d specs; need >=2 for a mid-job crash", sw.Total)
+	}
+
+	// Let at least one task land durably, then pull the plug.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, sb := a.get(t, "/v1/jobs/"+sw.ID)
+		var st jobStatus
+		json.Unmarshal(sb, &st)
+		if st.Done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no task completed before the crash window")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	a.crash()
+
+	b := startDurable(t, opts, Config{Workers: 4, MaxQueue: 512},
+		openStoreDir(t, filepath.Join(dir, "store")), jdir)
+	defer b.shutdown(t)
+
+	// The same job ID resolves immediately on the successor.
+	resp, body = b.get(t, "/v1/jobs/"+sw.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job %s after restart: %d %s", sw.ID, resp.StatusCode, body)
+	}
+
+	checkFullStream(t, readSSE(t, b, sw.ID), sw.Total)
+
+	resp, tbl := b.get(t, "/v1/jobs/"+sw.ID+"/table")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table after restart: %d %s", resp.StatusCode, tbl)
+	}
+	if want := exp.NewRunner(opts).Fig7().String(); string(tbl) != want {
+		t.Errorf("post-crash table diverged from local compute:\n got:\n%s\nwant:\n%s", tbl, want)
+	}
+
+	// The replay replays: a second subscriber sees the identical history.
+	checkFullStream(t, readSSE(t, b, sw.ID), sw.Total)
+}
+
+// TestAdoptTornFinalLine: a crash can tear the journal's last line; the
+// torn tail is dropped and the rest of the job adopts cleanly.
+func TestAdoptTornFinalLine(t *testing.T) {
+	opts := tinyOpts()
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "jobs")
+
+	a := startDurable(t, opts, Config{Workers: 2},
+		openStoreDir(t, filepath.Join(dir, "store")), jdir)
+	resp, body := a.post(t, "/v1/sweep", sweepRequest{Name: "torn",
+		Specs: []exp.SimSpec{tinySpec("torn-a"), tinySpec("torn-b")}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sw sweepResponse
+	json.Unmarshal(body, &sw)
+	waitJobDone(t, a, sw.ID)
+	a.shutdown(t)
+
+	path := filepath.Join(jdir, sw.ID+".jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"task","ind`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b := startDurable(t, opts, Config{Workers: 2},
+		openStoreDir(t, filepath.Join(dir, "store")), jdir)
+	defer b.shutdown(t)
+	st := waitJobDone(t, b, sw.ID)
+	if st.Done != 2 || st.Errors != 0 {
+		t.Fatalf("adopted status %+v, want 2/2 clean", st)
+	}
+	if n := b.runner.SimsRun(); n != 0 {
+		t.Errorf("adoption of a complete job ran %d simulations", n)
+	}
+}
+
+// TestAdoptStoreGCdThenDuplicateLines: two restarts in a row. A journaled
+// completion whose store entry was GC'd is pending again after restart
+// one — the successor recomputes it (appending a second journal line for
+// the same index). Restart two must then tolerate the duplicate: first
+// line wins, nothing reruns, results unchanged.
+func TestAdoptStoreGCdThenDuplicateLines(t *testing.T) {
+	opts := tinyOpts()
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "jobs")
+	storeDir := filepath.Join(dir, "store")
+
+	stA := openStoreDir(t, storeDir)
+	a := startDurable(t, opts, Config{Workers: 2}, stA, jdir)
+	resp, body := a.post(t, "/v1/sweep", sweepRequest{Name: "gc",
+		Specs: []exp.SimSpec{tinySpec("gc")}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sw sweepResponse
+	json.Unmarshal(body, &sw)
+	waitJobDone(t, a, sw.ID)
+	_, res1 := a.get(t, "/v1/jobs/"+sw.ID+"/results")
+	a.shutdown(t)
+
+	// GC the entry out from under the journal.
+	prep, err := a.runner.PrepareSpec(tinySpec("gc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(stA.EntryPath(prep.Key())); err != nil {
+		t.Fatal(err)
+	}
+
+	b := startDurable(t, opts, Config{Workers: 2}, openStoreDir(t, storeDir), jdir)
+	st := waitJobDone(t, b, sw.ID)
+	if st.Done != 1 || st.Errors != 0 {
+		t.Fatalf("adopted status %+v, want 1/1 clean", st)
+	}
+	if n := b.runner.SimsRun(); n != 1 {
+		t.Errorf("GC'd entry recomputed %d times, want 1", n)
+	}
+	_, res2 := b.get(t, "/v1/jobs/"+sw.ID+"/results")
+	if !bytes.Equal(res1, res2) {
+		t.Errorf("recomputed results diverged:\n was %s\n now %s", res1, res2)
+	}
+	b.shutdown(t)
+
+	// Second restart: journal now holds two lines for index 0. The first
+	// wins (its key is back in the store), nothing reruns.
+	c := startDurable(t, opts, Config{Workers: 2}, openStoreDir(t, storeDir), jdir)
+	defer c.shutdown(t)
+	if st := waitJobDone(t, c, sw.ID); st.Done != 1 || st.Errors != 0 {
+		t.Fatalf("second adoption status %+v", st)
+	}
+	if n := c.runner.SimsRun(); n != 0 {
+		t.Errorf("second adoption ran %d simulations, want 0", n)
+	}
+	checkFullStream(t, readSSE(t, c, sw.ID), 1)
+	_, res3 := c.get(t, "/v1/jobs/"+sw.ID+"/results")
+	if !bytes.Equal(res1, res3) {
+		t.Error("results changed across the second restart")
+	}
+}
+
+// TestAdoptionRacesIdenticalPost: a client that lost its worker typically
+// resubmits; if the resubmission hits the successor while adoption is
+// re-running the same specs, the runner's singleflight must collapse the
+// two into one simulation.
+func TestAdoptionRacesIdenticalPost(t *testing.T) {
+	opts := tinyOpts()
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "jobs")
+	storeDir := filepath.Join(dir, "store")
+
+	slow := func(name string) exp.SimSpec {
+		s := tinySpec(name)
+		s.Measure = 400_000 // long enough that the crash lands mid-job
+		return s
+	}
+	specs := []exp.SimSpec{slow("race-a"), slow("race-b")}
+
+	a := startDurable(t, opts, Config{Workers: 1}, openStoreDir(t, storeDir), jdir)
+	resp, body := a.post(t, "/v1/sweep", sweepRequest{Name: "race", Specs: specs})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sw sweepResponse
+	json.Unmarshal(body, &sw)
+	a.crash() // worker finishes its current task; the rest is abandoned
+
+	// Successor adopts (re-enqueueing the unfinished specs) while an
+	// identical sweep arrives over HTTP.
+	b := startDurable(t, opts, Config{Workers: 2}, openStoreDir(t, storeDir), jdir)
+	defer b.shutdown(t)
+	resp, body = b.post(t, "/v1/sweep", sweepRequest{Name: "race", Specs: specs})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %s", resp.StatusCode, body)
+	}
+	var sw2 sweepResponse
+	json.Unmarshal(body, &sw2)
+	if sw2.ID == sw.ID {
+		t.Fatal("resubmission reused the adopted job ID")
+	}
+
+	st1 := waitJobDone(t, b, sw.ID)
+	st2 := waitJobDone(t, b, sw2.ID)
+	if st1.Errors != 0 || st2.Errors != 0 {
+		t.Fatalf("errors: adopted %d, resubmitted %d", st1.Errors, st2.Errors)
+	}
+	// Across adoption re-runs and the resubmission, each unfinished spec
+	// simulated at most once on the successor.
+	if n := b.runner.SimsRun(); n > int64(len(specs)) {
+		t.Errorf("successor ran %d simulations for %d unique specs", n, len(specs))
+	}
+	_, r1 := b.get(t, "/v1/jobs/"+sw.ID+"/results")
+	_, r2 := b.get(t, "/v1/jobs/"+sw2.ID+"/results")
+	var d1, d2 struct {
+		Results []taskOutcome `json:"results"`
+	}
+	json.Unmarshal(r1, &d1)
+	json.Unmarshal(r2, &d2)
+	if len(d1.Results) != 2 || len(d2.Results) != 2 {
+		t.Fatalf("results: %d and %d outcomes", len(d1.Results), len(d2.Results))
+	}
+	for i := range d1.Results {
+		if !bytes.Equal(d1.Results[i].Result, d2.Results[i].Result) {
+			t.Errorf("task %d: adopted and resubmitted results differ", i)
+		}
+	}
+}
+
+// TestDiskFailDegraded: with every store write failing (chaos diskfail),
+// sweeps still complete from memory, and the worker reports itself
+// degraded on /healthz and /v1/stats — alive, correct, not durable.
+func TestDiskFailDegraded(t *testing.T) {
+	chaos, err := ParseChaos("diskfail=1.0,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{FailWrites: chaos.FailWrites()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newService(t, tinyOpts(), Config{Workers: 2}, st)
+
+	if resp, body := s.get(t, "/healthz"); resp.StatusCode != http.StatusOK ||
+		strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("pre-fault healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, body := s.post(t, "/v1/sweep", sweepRequest{Name: "diskfail",
+		Specs: []exp.SimSpec{tinySpec("df-a"), tinySpec("df-b")}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sw sweepResponse
+	json.Unmarshal(body, &sw)
+	if st2 := waitJobDone(t, s, sw.ID); st2.Errors != 0 {
+		t.Fatalf("sweep under diskfail finished with %d errors", st2.Errors)
+	}
+	if n := st.Len(); n != 0 {
+		t.Errorf("store holds %d entries though every write failed", n)
+	}
+
+	resp, body = s.get(t, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded healthz = %d, want 200 (deprioritize, don't kill)", resp.StatusCode)
+	}
+	if !strings.HasPrefix(string(body), "degraded: ") {
+		t.Errorf("degraded healthz body %q", body)
+	}
+	_, body = s.get(t, "/v1/stats")
+	var stats struct {
+		Degraded       bool   `json:"degraded"`
+		DegradedReason string `json:"degraded_reason"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Degraded || stats.DegradedReason == "" {
+		t.Errorf("stats degraded=%v reason=%q, want true with a reason", stats.Degraded, stats.DegradedReason)
+	}
+
+	// Still serving: the same specs come back from memory, no recompute.
+	before := s.runner.SimsRun()
+	resp, _ = s.post(t, "/v1/sim", tinySpec("df-a"))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded sim: %d, want 200", resp.StatusCode)
+	}
+	if n := s.runner.SimsRun() - before; n != 0 {
+		t.Errorf("degraded re-serve recomputed %d times", n)
+	}
+}
+
+// TestSimTimeout504: a watchdog abort surfaces as 504 (retryable
+// elsewhere), not a generic 500.
+func TestSimTimeout504(t *testing.T) {
+	opts := tinyOpts()
+	opts.SimTimeout = time.Nanosecond
+	s := newService(t, opts, Config{Workers: 1}, nil)
+	spec := tinySpec("budget")
+	spec.Measure = 2_000_000
+	resp, body := s.post(t, "/v1/sim", spec)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out sim: %d %s, want 504", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "wall-clock") {
+		t.Errorf("504 body does not name the budget: %s", body)
+	}
+}
+
+// TestParseChaosDiskFail: diskfail parses, bounds-checks, and is excluded
+// from the request-fault probability budget.
+func TestParseChaosDiskFail(t *testing.T) {
+	c, err := ParseChaos("diskfail=0.25,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DiskFailProb != 0.25 {
+		t.Errorf("DiskFailProb = %g", c.DiskFailProb)
+	}
+	if c.FailWrites() == nil {
+		t.Error("FailWrites() nil with diskfail set")
+	}
+	if (&Chaos{}).FailWrites() != nil || (*Chaos)(nil).FailWrites() != nil {
+		t.Error("FailWrites() non-nil without diskfail")
+	}
+	if _, err := ParseChaos("diskfail=1.5"); err == nil {
+		t.Error("diskfail=1.5 accepted")
+	}
+	// Disk faults are a different layer: they don't consume the
+	// fail/drop/stall budget.
+	if _, err := ParseChaos("fail=0.5,drop=0.5,diskfail=1.0"); err != nil {
+		t.Errorf("diskfail counted against the request-fault budget: %v", err)
+	}
+
+	// A hook with p=1 fails every write; p=0 via nil receiver is off.
+	fw := (&Chaos{DiskFailProb: 1}).FailWrites()
+	for i := 0; i < 3; i++ {
+		if fw() == nil {
+			t.Fatal("diskfail=1.0 let a write through")
+		}
+	}
+}

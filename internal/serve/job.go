@@ -4,9 +4,11 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"os"
 	"sync"
 
 	"dsarp/internal/exp"
+	"dsarp/internal/journal"
 	"dsarp/internal/sim"
 )
 
@@ -79,6 +81,13 @@ type job struct {
 	tableErr string
 	events   []jobEvent      // completion-ordered history, replayed to late subscribers
 	subs     []chan jobEvent // live subscribers; buffered so publish never blocks
+
+	// Durability (see durable.go): jl is the job's journal, appended to —
+	// and fsynced — before each completion is published; nil when the
+	// server runs without a journal directory or after a write failure.
+	jl           *journal.File
+	jlPath       string
+	onJournalErr func(error)
 }
 
 // complete records a finished task and publishes its event. Called by
@@ -99,6 +108,20 @@ func (j *job) complete(index int, spec exp.SimSpec, res sim.Result, src exp.RunS
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.jl != nil {
+		line := taskLine{
+			Type: taskType, Index: index, Key: out.Key,
+			Source: out.Source, Cached: out.Cached, Error: out.Error,
+		}
+		if jerr := j.jl.Append(line); jerr != nil {
+			// Keep serving from memory; the job just stops being durable.
+			j.jl.Close()
+			j.jl = nil
+			if j.onJournalErr != nil {
+				j.onJournalErr(jerr)
+			}
+		}
+	}
 	j.outcomes[index] = out
 	j.done++
 	switch {
@@ -194,6 +217,22 @@ func (j *job) status() jobStatus {
 	return st
 }
 
+// dropJournal closes and deletes the job's journal. Used at eviction: an
+// evicted job is no longer resolvable by ID, so adopting its journal
+// after a restart would resurrect a job nobody can have a handle to.
+func (j *job) dropJournal() {
+	j.mu.Lock()
+	jl, path := j.jl, j.jlPath
+	j.jl, j.jlPath = nil, ""
+	j.mu.Unlock()
+	if jl != nil {
+		jl.Close()
+	}
+	if path != "" {
+		os.Remove(path)
+	}
+}
+
 func (j *job) results() (jobStatus, []taskOutcome) {
 	st := j.status()
 	j.mu.Lock()
@@ -247,6 +286,15 @@ func (r *jobRegistry) createExperiment(name string, specs []exp.SimSpec, experim
 		j.finishLocked()
 		j.mu.Unlock()
 	}
+	r.register(j)
+	return j
+}
+
+// adopt registers a job rebuilt from its journal (durable.go), keeping
+// the ID it was created under.
+func (r *jobRegistry) adopt(j *job) { r.register(j) }
+
+func (r *jobRegistry) register(j *job) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.jobs[j.id] = j
@@ -259,10 +307,11 @@ func (r *jobRegistry) createExperiment(name string, specs []exp.SimSpec, experim
 				break
 			}
 		}
-		delete(r.jobs, r.order[victim].id)
+		evicted := r.order[victim]
+		delete(r.jobs, evicted.id)
 		r.order = append(r.order[:victim], r.order[victim+1:]...)
+		evicted.dropJournal()
 	}
-	return j
 }
 
 func (r jobRegistry) get(id string) (*job, bool) {

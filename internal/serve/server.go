@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -59,6 +60,14 @@ type Config struct {
 	// Chaos, if non-nil, injects faults ahead of the /v1 handlers — see
 	// the Chaos type. Production deployments leave it nil.
 	Chaos *Chaos
+	// JournalDir, if set, makes jobs crash-durable: every job is journaled
+	// there and adopted back — same IDs, same event history, unfinished
+	// specs re-enqueued — when the next Server starts on the directory.
+	// Empty disables durability (jobs die with the process, as before).
+	JournalDir string
+	// Logf receives operational messages (journal adoption, degradation).
+	// Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // task is one unit of queued work: a prepared spec, plus either a job slot
@@ -78,17 +87,26 @@ type taskReply struct {
 
 // Server owns the worker pool, the queue, and the job registry.
 type Server struct {
-	runner   *exp.Runner
-	mux      *http.ServeMux
-	handler  http.Handler // mux, possibly behind chaos middleware
-	queue    chan task
-	workersN int
+	runner     *exp.Runner
+	mux        *http.ServeMux
+	handler    http.Handler // mux, possibly behind chaos middleware
+	queue      chan task
+	workersN   int
+	journalDir string
+	logf       func(format string, args ...any)
 
-	mu       sync.Mutex
-	free     int // remaining queue+run slots
-	maxQueue int
-	draining bool
-	simEWMA  float64 // EWMA of one computed simulation's wall time, seconds
+	// halted simulates a crash for durability tests: once closed (halt),
+	// workers stop without draining the queue — queued tasks are abandoned
+	// exactly as a kill -9 would abandon them.
+	halted   chan struct{}
+	haltOnce sync.Once
+
+	mu         sync.Mutex
+	free       int // remaining queue+run slots
+	maxQueue   int
+	draining   bool
+	simEWMA    float64 // EWMA of one computed simulation's wall time, seconds
+	journalErr string  // first job-journal write failure; "" while healthy
 
 	tasks   sync.WaitGroup // queued or running tasks
 	workers sync.WaitGroup
@@ -108,12 +126,24 @@ func New(cfg Config) *Server {
 		cfg.MaxQueue = 256
 	}
 	s := &Server{
-		runner:   cfg.Runner,
-		queue:    make(chan task, cfg.MaxQueue),
-		workersN: cfg.Workers,
-		free:     cfg.MaxQueue,
-		maxQueue: cfg.MaxQueue,
-		jobs:     newJobRegistry(),
+		runner:     cfg.Runner,
+		queue:      make(chan task, cfg.MaxQueue),
+		workersN:   cfg.Workers,
+		journalDir: cfg.JournalDir,
+		logf:       cfg.Logf,
+		halted:     make(chan struct{}),
+		free:       cfg.MaxQueue,
+		maxQueue:   cfg.MaxQueue,
+		jobs:       newJobRegistry(),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if s.journalDir != "" {
+		if err := os.MkdirAll(s.journalDir, 0o755); err != nil {
+			s.noteJournalErr(err)
+			s.journalDir = ""
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
@@ -125,7 +155,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/table", s.handleJobTable)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Degraded stays 200: the process is alive and completing work, it has
+	// just lost durable writes — orchestrators should deprioritize it, not
+	// restart-loop it.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if deg, reason := s.degradedState(); deg {
+			fmt.Fprintf(w, "degraded: %s\n", reason)
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	s.handler = s.mux
@@ -136,6 +173,27 @@ func New(cfg Config) *Server {
 		s.workers.Add(1)
 		go s.worker()
 	}
+	// Adopt journaled jobs from a previous incarnation before any request
+	// can race them, then feed the re-enqueued specs from the background:
+	// an adopted backlog larger than the queue buffer must not block New.
+	if adopted := s.adoptJobs(); len(adopted) > 0 {
+		// Force-reserve: free may go negative, which is correct — adopted
+		// work occupies real capacity, and submissions see 429 until it
+		// drains.
+		s.mu.Lock()
+		s.free -= len(adopted)
+		s.mu.Unlock()
+		s.tasks.Add(len(adopted))
+		go func() {
+			for _, t := range adopted {
+				select {
+				case s.queue <- t:
+				case <-s.halted:
+					return // crash-simulation: the rest is lost, as intended
+				}
+			}
+		}()
+	}
 	return s
 }
 
@@ -144,7 +202,17 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for t := range s.queue {
+	for {
+		var t task
+		select {
+		case <-s.halted:
+			return
+		case tt, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			t = tt
+		}
 		start := time.Now()
 		res, src, err := s.runner.RunSpec(t.spec)
 		if err == nil && src == exp.SourceComputed {
@@ -159,6 +227,21 @@ func (s *Server) worker() {
 		}
 		s.tasks.Done()
 	}
+}
+
+// halt stops the server the way a crash would: submissions are refused,
+// workers finish at most their current task, and everything still queued
+// is abandoned — its journal entries were never written, so a successor
+// adopting the journal directory re-enqueues exactly those specs. Used by
+// durability tests (a real kill -9 needs no cooperation); a halted Server
+// must not be Drained, since abandoned tasks would keep Drain waiting
+// forever.
+func (s *Server) halt() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.haltOnce.Do(func() { close(s.halted) })
+	s.workers.Wait()
 }
 
 // reserve atomically claims n queue slots, refusing while draining. Each
@@ -245,7 +328,13 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	s.queue <- task{spec: spec, reply: reply}
 	rep := <-reply
 	if rep.err != nil {
-		httpError(w, http.StatusInternalServerError, rep.err)
+		// A watchdog abort is retryable elsewhere or with a bigger budget:
+		// 504 distinguishes it from a permanent simulation failure.
+		status := http.StatusInternalServerError
+		if errors.Is(rep.err, exp.ErrSimTimeout) {
+			status = http.StatusGatewayTimeout
+		}
+		httpError(w, status, rep.err)
 		return
 	}
 	data, err := exp.EncodeResult(rep.res)
@@ -309,7 +398,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.refuse(w, err)
 		return
 	}
-	j := s.jobs.create(req.Name, prepared)
+	j := s.createJob(req.Name, prepared, "", nil)
 	for i, spec := range prepared {
 		s.queue <- task{spec: spec, job: j, index: i}
 	}
@@ -378,7 +467,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		s.refuse(w, err)
 		return
 	}
-	j := s.jobs.createExperiment(name, specs, name, s.assembler(e, specs))
+	j := s.createJob(name, specs, name, s.assembler(e, specs))
 	for i, spec := range specs {
 		s.queue <- task{spec: spec, job: j, index: i}
 	}
@@ -515,6 +604,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	free, draining := s.free, s.draining
 	s.mu.Unlock()
+	deg, reason := s.degradedState()
 	stats := map[string]any{
 		"sims_run":   s.runner.SimsRun(),
 		"store_hits": s.runner.StoreHits(),
@@ -522,8 +612,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"queue_free": free,
 		"queue_cap":  s.maxQueue,
 		"draining":   draining,
+		"degraded":   deg,
 		"jobs":       s.jobs.count(),
 		"schema":     exp.SchemaVersion,
+	}
+	if reason != "" {
+		stats["degraded_reason"] = reason
 	}
 	if st := s.runner.Options().Store; st != nil {
 		stats["store"] = st.Stats()

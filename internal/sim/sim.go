@@ -5,8 +5,10 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"dsarp/internal/cache"
 	"dsarp/internal/core"
@@ -96,6 +98,15 @@ type Config struct {
 	// cycles; see DESIGN.md substitution 2 for the scaled defaults.
 	Warmup  int64
 	Measure int64
+
+	// Stop, if non-nil, is a cooperative abort flag: the run loop polls it
+	// every few thousand cycles and, once it reads true, Run returns
+	// ErrInterrupted instead of a Result. This is the per-simulation
+	// watchdog hook (exp.Options.SimTimeout arms it from a wall-clock
+	// timer); an aborted run produces no partial Result, so nothing
+	// half-measured can ever reach a cache or store. Nil costs nothing on
+	// the hot path.
+	Stop *atomic.Bool
 
 	// Check attaches the DRAM protocol checker (slower; used in tests).
 	Check bool
@@ -438,16 +449,46 @@ const (
 	blindWindow    = 32
 )
 
-// RunTo advances the system to cycle end under the configured engine.
+// ErrInterrupted is returned by Run when Config.Stop flips true before
+// the measurement window completes: the simulation was cut off by a
+// watchdog (or a shutdown) and produced no result.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// stopPollEvery spaces out Stop polls: one atomic load per this many run
+// loop iterations, so the abort check is invisible in benchmarks while a
+// wedged simulation still notices its watchdog within microseconds.
+const stopPollEvery = 4096
+
+// stopped reports whether a cooperative abort was requested.
+func (s *System) stopped() bool {
+	return s.cfg.Stop != nil && s.cfg.Stop.Load()
+}
+
+// RunTo advances the system to cycle end under the configured engine,
+// returning early (with s.now < end) if Config.Stop flips true.
 func (s *System) RunTo(end int64) {
+	poll := 0
+	checkStop := func() bool {
+		if poll++; poll < stopPollEvery {
+			return false
+		}
+		poll = 0
+		return s.stopped()
+	}
 	if s.cfg.Engine == EngineCycle {
 		for s.now < end {
 			s.Step()
+			if checkStop() {
+				return
+			}
 		}
 		return
 	}
 	saturated := 0
 	for s.now < end {
+		if checkStop() {
+			return
+		}
 		if t := s.NextEvent(end); t > s.now {
 			if t-s.now >= worthwhileSkip {
 				saturated = 0
@@ -511,7 +552,9 @@ func (s *System) snap() snapshot {
 	return sn
 }
 
-// Run executes warmup + measurement and returns the windowed result.
+// Run executes warmup + measurement and returns the windowed result. If
+// Config.Stop flips true before the measurement window completes, Run
+// returns ErrInterrupted and no Result.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.WithDefaults()
 	s, err := NewSystem(cfg)
@@ -519,9 +562,15 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	s.RunTo(cfg.Warmup)
+	if s.now < cfg.Warmup {
+		return Result{}, ErrInterrupted
+	}
 	start := s.snap()
 	startStepped := s.stepped
 	s.RunTo(cfg.Warmup + cfg.Measure)
+	if s.now < cfg.Warmup+cfg.Measure {
+		return Result{}, ErrInterrupted
+	}
 	end := s.snap()
 
 	res := Result{

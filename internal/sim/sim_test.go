@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"sync/atomic"
 	"testing"
 
 	"dsarp/internal/core"
@@ -73,5 +75,35 @@ func TestRefreshHurtsAndMechanismsRecover(t *testing.T) {
 	}
 	if dsarp <= refab {
 		t.Errorf("DSARP (%.3f) should outperform REFab (%.3f)", dsarp, refab)
+	}
+}
+
+// TestRunStopInterrupts: a pre-tripped Stop flag aborts the run with
+// ErrInterrupted and no Result — the watchdog contract.
+func TestRunStopInterrupts(t *testing.T) {
+	for _, engine := range []Engine{EngineEvent, EngineCycle} {
+		stop := &atomic.Bool{}
+		stop.Store(true)
+		cfg := Config{
+			Workload:  smallWorkload(),
+			Mechanism: core.KindREFab,
+			Seed:      1,
+			Warmup:    20_000,
+			Measure:   80_000,
+			Engine:    engine,
+			Stop:      stop,
+		}
+		if _, err := Run(cfg); !errors.Is(err, ErrInterrupted) {
+			t.Errorf("%v: Run with tripped Stop = %v, want ErrInterrupted", engine, err)
+		}
+	}
+}
+
+// TestRunNilStopUnaffected: the zero Config change — no Stop flag — still
+// completes normally (the poll must be nil-safe).
+func TestRunNilStopUnaffected(t *testing.T) {
+	res := runSmoke(t, core.KindREFab, timing.Gb8)
+	if res.MeasuredCycles == 0 {
+		t.Fatal("no measurement window")
 	}
 }

@@ -11,7 +11,13 @@
 //     verified on read — a truncated or bit-flipped entry is deleted and
 //     reported as a miss, turning corruption into a recompute;
 //   - an optional byte cap evicts the least-recently-used entries after
-//     each write.
+//     each write;
+//   - a write failure (ENOSPC, EIO, a yanked volume) flips the store into
+//     a sticky read-only degraded state instead of failing work: Gets
+//     keep serving, Puts fail fast without touching the disk, and
+//     Degraded()/Stats expose the reason so a serving layer can report
+//     itself degraded rather than dead. The state clears only on a fresh
+//     Open (typically a process restart onto a repaired disk).
 package store
 
 import (
@@ -76,6 +82,11 @@ type Options struct {
 	// generations existed) is adopted as current. Empty disables the
 	// mechanism.
 	Generation string
+	// FailWrites, if non-nil, is consulted before each Put writes to disk;
+	// a non-nil return injects that error as a write failure (and so flips
+	// the store degraded). Fault-injection hook for chaos testing —
+	// production stores leave it nil.
+	FailWrites func() error
 }
 
 // Stats describe the store's state and activity since Open. The JSON tags
@@ -94,6 +105,10 @@ type Stats struct {
 	// Options.Generation (their keys can never be addressed again).
 	Expired      int64 `json:"expired"`
 	ExpiredBytes int64 `json:"expired_bytes"`
+	// Degraded reports the sticky read-only state a write failure flips
+	// the store into; DegradedReason is the first failure's error text.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 type entry struct {
@@ -107,11 +122,12 @@ type Store struct {
 	dir  string
 	opts Options
 
-	mu      sync.Mutex
-	entries map[Key]*entry
-	bytes   int64
-	clock   int64
-	stats   Stats
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	bytes    int64
+	clock    int64
+	stats    Stats
+	degraded string // non-empty = read-only, value is the reason
 }
 
 // Open creates (if necessary) and indexes the store rooted at dir. With
@@ -368,7 +384,22 @@ func readEntry(path string) ([]byte, error) {
 // Put stores payload under key, atomically replacing any existing entry,
 // then applies the byte cap. Like Get, the file I/O happens outside the
 // store lock; only the index update takes it.
+//
+// A write failure flips the store into a sticky read-only degraded state:
+// this Put and every later one return an error without touching the disk,
+// while Gets keep serving whatever is already durable. Callers that treat
+// Put errors as "result stays in memory" (the runner does) thereby keep
+// completing work at full correctness on a dead disk.
 func (s *Store) Put(k Key, payload []byte) error {
+	s.mu.Lock()
+	if s.degraded != "" {
+		reason := s.degraded
+		s.stats.WriteErrs++
+		s.mu.Unlock()
+		return fmt.Errorf("store: degraded (read-only): %s", reason)
+	}
+	s.mu.Unlock()
+
 	var buf bytes.Buffer
 	h := sha256.Sum256(payload)
 	fmt.Fprintf(&buf, "%s %s %d\n", magic, hex.EncodeToString(h[:]), len(payload))
@@ -376,6 +407,11 @@ func (s *Store) Put(k Key, payload []byte) error {
 
 	path := s.path(k)
 	err := func() error {
+		if fail := s.opts.FailWrites; fail != nil {
+			if err := fail(); err != nil {
+				return err
+			}
+		}
 		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
 			return err
 		}
@@ -403,6 +439,9 @@ func (s *Store) Put(k Key, payload []byte) error {
 	defer s.mu.Unlock()
 	if err != nil {
 		s.stats.WriteErrs++
+		if s.degraded == "" {
+			s.degraded = err.Error()
+		}
 		return fmt.Errorf("store: %w", err)
 	}
 	size := int64(buf.Len())
@@ -472,6 +511,15 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
+// Degraded reports whether a write failure has flipped the store
+// read-only, and why. The state is sticky for the store's lifetime; a
+// fresh Open on a repaired disk starts healthy.
+func (s *Store) Degraded() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded != "", s.degraded
+}
+
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
@@ -479,5 +527,7 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Entries = len(s.entries)
 	st.Bytes = s.bytes
+	st.Degraded = s.degraded != ""
+	st.DegradedReason = s.degraded
 	return st
 }

@@ -359,3 +359,59 @@ func TestContains(t *testing.T) {
 		t.Errorf("Contains touched read stats: %+v", st)
 	}
 }
+
+// TestDegradedMode: a write failure flips the store read-only — later
+// Puts fail fast without disk I/O, Gets keep serving, and the reason is
+// reported via Degraded() and Stats. A fresh Open starts healthy again.
+func TestDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	fail := false
+	s := open(t, dir, Options{FailWrites: func() error {
+		if fail {
+			return fmt.Errorf("injected ENOSPC")
+		}
+		return nil
+	}})
+
+	keyA := KeyOf([]byte("healthy"))
+	if err := s.Put(keyA, []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if deg, _ := s.Degraded(); deg {
+		t.Fatal("healthy store reports degraded")
+	}
+
+	fail = true
+	keyB := KeyOf([]byte("doomed"))
+	if err := s.Put(keyB, []byte("payload-b")); err == nil {
+		t.Fatal("Put succeeded through an injected write failure")
+	}
+	deg, reason := s.Degraded()
+	if !deg || !strings.Contains(reason, "ENOSPC") {
+		t.Fatalf("Degraded() = %v, %q; want true with the injected reason", deg, reason)
+	}
+
+	// Degraded Puts fail fast even once the injected fault clears: the
+	// state is sticky until a fresh Open.
+	fail = false
+	if err := s.Put(keyB, []byte("payload-b")); err == nil ||
+		!strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("degraded Put = %v, want read-only refusal", err)
+	}
+	if got, ok := s.Get(keyA); !ok || !bytes.Equal(got, []byte("payload-a")) {
+		t.Fatal("degraded store no longer serves existing entries")
+	}
+	st := s.Stats()
+	if !st.Degraded || st.DegradedReason == "" || st.WriteErrs != 2 {
+		t.Fatalf("stats = %+v; want degraded with reason and 2 write errors", st)
+	}
+
+	// A restart onto a repaired disk is healthy and writable.
+	s2 := open(t, dir, Options{})
+	if deg, _ := s2.Degraded(); deg {
+		t.Fatal("fresh Open inherited degraded state")
+	}
+	if err := s2.Put(keyB, []byte("payload-b")); err != nil {
+		t.Fatal(err)
+	}
+}
