@@ -12,6 +12,7 @@
 //	       [-parallel N] [-max-queue N] [-engine event|cycle]
 //	       [-warmup N] [-measure N] [-seed N] [-sim-timeout D]
 //	       [-scale default|paper] [-percat N] [-sensitivity N]
+//	       [-self URL -peers URL,URL,... [-replicas R]]
 //	       [-chaos fail=P,drop=P,stall=P:D,kill=N,diskfail=P,seed=N]
 //
 // -warmup/-measure/-engine only fill fields a submitted spec leaves unset;
@@ -36,6 +37,16 @@
 // it is aborted, its queue slot freed, and the client told 504 (retry
 // elsewhere, or resubmit with a bigger budget).
 //
+// -peers joins the worker to a replicated warm-store tier: every member
+// builds the same rendezvous ring over the member URLs (-self plus
+// -peers, order irrelevant, self-inclusion harmless — hand every worker
+// the same flat list), each result key is owned by -replicas members
+// (default 2), and workers repair each other lazily — a local store miss
+// for an owned key is hedge-fetched from the other owners before
+// simulating, and every computed result is pushed asynchronously to the
+// key's other owners. With R=2 the fleet's warm state survives the
+// permanent loss of any single worker. Requires a store.
+//
 // SIGINT/SIGTERM drain gracefully: new submissions get 503, queued work
 // finishes and reaches the store, then the process exits.
 //
@@ -54,6 +65,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,6 +93,9 @@ func mainImpl() int {
 		scale      = flag.String("scale", "default", "experiment-enumeration scale: default | paper")
 		percat     = flag.Int("percat", 0, "override workloads per intensity category (experiment enumeration)")
 		sens       = flag.Int("sensitivity", 0, "override sensitivity workload count (experiment enumeration)")
+		self       = flag.String("self", "", "this worker's base URL as peers address it (required with -peers)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs; joins the replicated warm-store tier")
+		replicas   = flag.Int("replicas", 2, "warm-store replication factor R (with -peers)")
 		drainSecs  = flag.Int("drain-timeout", 60, "seconds to wait for in-flight work on shutdown")
 		simTimeout = flag.Duration("sim-timeout", 0, "wall-clock budget per simulation (0 = unlimited); exceeding it aborts the run with a retryable 504")
 		chaosSpec  = flag.String("chaos", "", "inject faults for orchestrator testing, e.g. 'fail=0.1,drop=0.05,stall=0.1:2s,kill=100,diskfail=0.2,seed=7'")
@@ -156,12 +171,33 @@ func mainImpl() int {
 		log.Printf("store: disabled (results and jobs die with the process)")
 	}
 
+	var peerCfg *serve.PeerConfig
+	if *peers != "" {
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "dsarpd: -peers requires -self (this worker's URL as the peers address it)")
+			return 2
+		}
+		if opts.Store == nil {
+			fmt.Fprintln(os.Stderr, "dsarpd: -peers requires a -store (the replicated tier is the store)")
+			return 2
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		peerCfg = &serve.PeerConfig{Self: *self, Peers: peerList, Replicas: *replicas}
+		log.Printf("replication: self=%s peers=%v R=%d", *self, peerList, *replicas)
+	}
+
 	srv := serve.New(serve.Config{
 		Runner:     exp.NewRunner(opts),
 		Workers:    *parallel,
 		MaxQueue:   *maxQueue,
 		Chaos:      chaos,
 		JournalDir: journalDir,
+		Peer:       peerCfg,
 		Logf:       log.Printf,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

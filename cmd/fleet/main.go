@@ -12,7 +12,13 @@
 //	      [-journal run.journal] [-store DIR [-store-max-mb N]]
 //	      [-scale default|paper] [-percat N] [-sensitivity N]
 //	      [-warmup N] [-measure N] [-seed N] [-engine event|cycle]
-//	      [-timeout DUR] [-concurrency N] [-max-attempts N]
+//	      [-timeout DUR] [-concurrency N] [-max-attempts N] [-replicas R]
+//
+// -replicas mirrors the workers' own replication factor: dispatch is
+// ring-affine, preferring each spec's rendezvous owners among -addrs so
+// warm state lands where the workers' replication tier (dsarpd -peers)
+// and future reruns will look. At the end of a run, workers that report
+// a replication section in /v1/stats are summarized on stderr.
 //
 // The scale flags mirror dsarpd's: the orchestrator enumerates the
 // experiment's specs locally at this scale, so it needs no agreement
@@ -67,6 +73,7 @@ func mainImpl() int {
 		timeout     = flag.Duration("timeout", 10*time.Minute, "per-dispatch timeout, simulation included")
 		concurrency = flag.Int("concurrency", 0, "specs in flight across the fleet (0 = 4 per worker)")
 		maxAttempts = flag.Int("max-attempts", 0, "transient retries per spec before giving up (0 = unlimited)")
+		replicas    = flag.Int("replicas", 2, "workers' warm-store replication factor (ring-affine dispatch)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -106,6 +113,7 @@ func mainImpl() int {
 		RequestTimeout: *timeout,
 		Concurrency:    *concurrency,
 		MaxAttempts:    *maxAttempts,
+		Replicas:       *replicas,
 		Journal:        *journal,
 		Logf:           log.Printf,
 	}
@@ -133,8 +141,11 @@ func mainImpl() int {
 	r := exp.NewRunner(opts) // enumeration and assembly only; runs no sims
 	table, err := o.RunExperiment(ctx, r, *experiment)
 	st := o.Stats()
-	log.Printf("fleet: %d dispatched, %d local hits, %d retries, %d failed",
-		st.Dispatched, st.LocalHits, st.Retries, st.Failed)
+	log.Printf("fleet: %d dispatched (%d computed, %d affine), %d local hits, %d retries, %d failed",
+		st.Dispatched, st.Computed, st.Affine, st.LocalHits, st.Retries, st.Failed)
+	if line, ok := o.ReplicationSummary(context.Background()); ok {
+		log.Printf("fleet: %s", line)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		if ctx.Err() != nil && *journal == "" {

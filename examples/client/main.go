@@ -12,13 +12,16 @@
 //
 // Fleet mode (-experiment): reproduces one registry experiment across N
 // dsarpd workers through the internal/fleet orchestrator. The client
-// enumerates the experiment's specs locally, dispatches each to the
-// least-loaded live worker, retries transient failures (backpressure,
-// timeouts, worker death) against the survivors, and assembles the
-// rendered table locally — byte-identical to running the experiment on
-// one machine, because the table is a pure function of the per-spec
-// results. The workers need not share a store directory; results travel
-// back over HTTP:
+// enumerates the experiment's specs locally, dispatches each ring-affine
+// (preferring the workers that own the spec's key in the fleet's
+// rendezvous ring, falling back to the least-loaded live worker),
+// retries transient failures (backpressure, timeouts, worker death)
+// against the survivors, and assembles the rendered table locally —
+// byte-identical to running the experiment on one machine, because the
+// table is a pure function of the per-spec results. The workers need not
+// share a store directory; results travel back over HTTP, and workers
+// started with -peers replicate them so the warm state survives losing
+// any worker:
 //
 //	dsarpd -addr :8080 -store /tmp/w1 &   # worker 1
 //	dsarpd -addr :8081 -store /tmp/w2 &   # worker 2
@@ -106,7 +109,11 @@ func fleet(workers []string, name string) error {
 		return err
 	}
 	st := o.Stats()
-	fmt.Printf("  done: %d dispatched, %d retries\n", st.Dispatched, st.Retries)
+	fmt.Printf("  done: %d dispatched (%d computed, %d affine), %d retries\n",
+		st.Dispatched, st.Computed, st.Affine, st.Retries)
+	if line, ok := o.ReplicationSummary(context.Background()); ok {
+		fmt.Printf("  %s\n", line)
+	}
 	fmt.Println()
 	fmt.Print(table.String())
 	return nil

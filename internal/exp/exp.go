@@ -132,6 +132,10 @@ type Runner struct {
 	// in-flight ones finish (and reach the store). See Interrupt.
 	interrupted atomic.Bool
 
+	// peerFetch, when set, is consulted on a local store miss before a
+	// simulation starts. See SetPeerFetch.
+	peerFetch atomic.Pointer[func(store.Key) ([]byte, bool)]
+
 	progressMu sync.Mutex // serializes the Progress callback
 }
 
@@ -308,6 +312,9 @@ const (
 	// SourceMemory: served from the runner's in-memory cache, or by
 	// waiting on an identical in-flight run.
 	SourceMemory
+	// SourcePeer: fetched from another fleet worker's store through the
+	// runner's peer-fetch hook (see SetPeerFetch) instead of simulating.
+	SourcePeer
 )
 
 // String returns the wire spelling used by the serving layer.
@@ -319,6 +326,8 @@ func (s RunSource) String() string {
 		return "store"
 	case SourceMemory:
 		return "memory"
+	case SourcePeer:
+		return "peer"
 	default:
 		return fmt.Sprintf("RunSource(%d)", int(s))
 	}
@@ -379,6 +388,22 @@ func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSo
 			// Undecodable content under a valid envelope: schema drift or
 			// logical corruption. Fall through and recompute; the Put below
 			// heals the entry.
+		}
+		if fetch := r.peerFetch.Load(); fetch != nil {
+			if data, ok := (*fetch)(key); ok {
+				if res, err := DecodeResult(data); err == nil {
+					// Read-through repair: persist the raw payload bytes
+					// locally (byte-identity preserved — no re-encode), so
+					// the next membership-aware reader finds the entry where
+					// the ring says to look.
+					src = SourcePeer
+					persisted := r.storePutRaw(key, data)
+					return res, !r.ephemeral() || !persisted
+				}
+				// An undecodable peer payload is the fetcher's job to
+				// reject; a hook that leaks one through falls back to a
+				// clean recompute.
+			}
 		}
 		cfg := spec.simConfig()
 		if mod != nil {
@@ -481,6 +506,34 @@ func (r *Runner) storePut(key store.Key, res sim.Result) bool {
 		return false
 	}
 	return true
+}
+
+// storePutRaw persists already-encoded result bytes (a verified peer
+// payload) under key, reporting whether they are durably on disk.
+func (r *Runner) storePutRaw(key store.Key, data []byte) bool {
+	if r.opts.Store == nil {
+		return false
+	}
+	if err := r.opts.Store.Put(key, data); err != nil {
+		r.storeErrs.Add(1)
+		return false
+	}
+	return true
+}
+
+// SetPeerFetch installs (or, with nil, removes) the runner's peer-fetch
+// hook: on a local store miss the hook is consulted — inside the
+// singleflight, so concurrent identical specs share one fetch — and a
+// payload it returns is decoded, served as SourcePeer, and persisted
+// locally instead of simulating. The serving layer installs the sharded
+// warm-store fetcher here; the hook must already hash-verify what it
+// returns. Safe to call concurrently with running simulations.
+func (r *Runner) SetPeerFetch(fetch func(store.Key) ([]byte, bool)) {
+	if fetch == nil {
+		r.peerFetch.Store(nil)
+		return
+	}
+	r.peerFetch.Store(&fetch)
 }
 
 // SimsRun returns how many simulations this runner actually executed

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"dsarp/internal/store"
 )
 
 // stubWorker serves just enough of the dsarpd surface for health probes:
@@ -55,8 +57,11 @@ func TestDegradedWorkerDeprioritized(t *testing.T) {
 		t.Fatal("healthy worker misparsed as degraded")
 	}
 
+	// Degraded beats healthy on load and may even own the key: health
+	// still wins — ring affinity only ever reorders healthy workers.
+	key := store.KeyOf([]byte("degraded-test"))
 	for i := 0; i < 5; i++ {
-		w, err := o.pickWorker(ctx)
+		w, err := o.pickWorker(ctx, key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +75,7 @@ func TestDegradedWorkerDeprioritized(t *testing.T) {
 	wHealthy.mu.Lock()
 	wHealthy.alive = false
 	wHealthy.mu.Unlock()
-	w, err := o.pickWorker(ctx)
+	w, err := o.pickWorker(ctx, key)
 	if err != nil {
 		t.Fatal(err)
 	}

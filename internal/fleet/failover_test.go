@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/ring"
+	"dsarp/internal/serve"
+	"dsarp/internal/store"
+)
+
+// waitReplicated blocks until every key is present on all of its ring
+// owners — i.e. the cold run's asynchronous push fan-out has finished —
+// probing through the same GET /v1/results/{key} endpoint peers use.
+func waitReplicated(t *testing.T, urls []string, keys map[store.Key]bool, replicas int) {
+	t.Helper()
+	rg := ring.New(urls)
+	deadline := time.Now().Add(60 * time.Second)
+	for k := range keys {
+		for _, owner := range rg.Owners(k, replicas) {
+			for {
+				resp, err := http.Get(owner + "/v1/results/" + k.String())
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("key %s never replicated to owner %s", k, owner)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+}
+
+// TestShardFailoverSurvivesWorkerLoss pins the headline guarantee of the
+// replicated warm-store tier: with R=2 on three workers, permanently
+// killing any single worker after a cold run loses zero warm state — a
+// warm rerun on the two survivors computes ZERO simulations and
+// assembles a byte-identical table. The survivors cover every key either
+// locally (ring-affine dispatch placed it there) or by hedge-fetching
+// from the other survivor through the worker ring.
+func TestShardFailoverSurvivesWorkerLoss(t *testing.T) {
+	opts := tinyOpts()
+	golden, err := exp.NewRunner(opts).RunExperiment("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := startPeerWorkers(t, opts, 3, 2, nil)
+	urls := []string{workers[0].url(), workers[1].url(), workers[2].url()}
+
+	// Cold run across all three workers.
+	o := mustOrch(t, testConfig(urls...))
+	r := exp.NewRunner(opts) // enumeration/assembly only; runs nothing
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	table, err := o.RunExperiment(ctx, r, "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.String() != golden.String() {
+		t.Fatalf("cold fleet table diverged from single-node golden")
+	}
+	if o.Stats().Computed == 0 {
+		t.Fatal("cold run reported zero computed specs; the source decode is broken")
+	}
+
+	// Replication is asynchronous: wait until every key sits on both of
+	// its owners before pulling a worker out from under the fleet.
+	e, _ := exp.LookupExperiment("fig7")
+	keys := uniqueKeys(e.Specs(r))
+	waitReplicated(t, urls, keys, 2)
+
+	// Kill one worker permanently — no restart, its store is gone for
+	// good as far as the fleet can tell.
+	const victim = 1
+	workers[victim].kill()
+	survivors := []*testWorker{workers[0], workers[2]}
+	survivorURLs := []string{urls[0], urls[2]}
+
+	simsBefore := survivors[0].simsRun() + survivors[1].simsRun()
+	o2 := mustOrch(t, testConfig(survivorURLs...))
+	table2, err := o2.RunExperiment(ctx, exp.NewRunner(opts), "fig7")
+	if err != nil {
+		t.Fatalf("warm rerun on survivors: %v", err)
+	}
+	if table2.String() != golden.String() {
+		t.Errorf("survivor table diverged from golden:\ngot:\n%s\nwant:\n%s", table2, golden)
+	}
+	if c := o2.Stats().Computed; c != 0 {
+		t.Errorf("warm rerun computed %d specs; R=2 over 3 workers must survive one loss with 0", c)
+	}
+	// Belt and braces: the workers' own counters agree no simulation ran.
+	simsAfter := waitSimsQuiesce(t, survivors[0]) + waitSimsQuiesce(t, survivors[1])
+	if d := simsAfter - simsBefore; d != 0 {
+		t.Errorf("survivors executed %d simulations during the warm rerun, want 0", d)
+	}
+	if _, ok := o2.ReplicationSummary(context.Background()); !ok {
+		t.Error("survivors expose no replication stats; /v1/stats section missing")
+	}
+}
+
+// TestChaosPeerReplication drives the peer protocol through the same
+// chaos middleware as client traffic: every /v1/results fetch and push
+// is subject to spurious 500s, severed connections, and stalls on all
+// three ring members, while the fleet runs an experiment. Transient peer
+// faults must cost only retries and fetch-misses — zero lost specs, and
+// a byte-identical table.
+func TestChaosPeerReplication(t *testing.T) {
+	opts := tinyOpts()
+	golden, err := exp.NewRunner(opts).RunExperiment("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := startPeerWorkers(t, opts, 3, 2, func(i int) *serve.Chaos {
+		return &serve.Chaos{
+			FailProb:  0.15,
+			DropProb:  0.10,
+			StallProb: 0.10,
+			Stall:     50 * time.Millisecond,
+			Seed:      int64(1 + i),
+		}
+	})
+
+	cfg := testConfig(workers[0].url(), workers[1].url(), workers[2].url())
+	cfg.RequestTimeout = 30 * time.Second
+	o := mustOrch(t, cfg)
+	r := exp.NewRunner(opts)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	got, err := o.RunExperiment(ctx, r, "fig7")
+	if err != nil {
+		t.Fatalf("RunExperiment under peer-path chaos: %v", err)
+	}
+	if got.String() != golden.String() {
+		t.Errorf("table diverged from single-node golden under peer-path chaos:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+	if st := o.Stats(); st.Failed != 0 {
+		t.Errorf("lost %d specs to permanent failure; want 0", st.Failed)
+	}
+}

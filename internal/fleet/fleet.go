@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"dsarp/internal/exp"
+	"dsarp/internal/ring"
 	"dsarp/internal/sim"
 	"dsarp/internal/store"
 )
@@ -74,6 +75,13 @@ type Config struct {
 	// Concurrency bounds specs in flight across the fleet (default
 	// 4 × len(Workers)).
 	Concurrency int
+	// Replicas is the warm-store replication factor the workers were
+	// started with (default 2). Dispatch is ring-affine: each spec
+	// prefers its key's owners under rendezvous hashing over Workers, so
+	// warm state accumulates exactly where a future read-through will
+	// look. Purely a placement preference — correctness never depends on
+	// it, and any live worker still serves any spec.
+	Replicas int
 	// Journal, if non-empty, is the append-only run journal. An existing
 	// journal for the same run resumes it; one for a different run is
 	// refused.
@@ -92,6 +100,8 @@ type Config struct {
 type Stats struct {
 	LocalHits  int64 // specs satisfied by the local store, never dispatched
 	Dispatched int64 // specs satisfied by a worker round-trip
+	Computed   int64 // dispatched specs the worker actually simulated (source "computed")
+	Affine     int64 // dispatches that landed on one of the spec's ring owners
 	Retries    int64 // transient failures that led to a re-dispatch
 	Failed     int64 // specs that failed permanently
 }
@@ -134,6 +144,8 @@ type Orchestrator struct {
 	cfg     Config
 	client  *http.Client
 	workers []*worker
+	byURL   map[string]*worker
+	ring    *ring.Ring // placement over the normalized worker URLs
 	logf    func(string, ...any)
 
 	rngMu sync.Mutex
@@ -141,6 +153,8 @@ type Orchestrator struct {
 
 	localHits  atomic.Int64
 	dispatched atomic.Int64
+	computed   atomic.Int64
+	affine     atomic.Int64
 	retries    atomic.Int64
 	failedN    atomic.Int64
 }
@@ -168,6 +182,9 @@ func New(cfg Config) (*Orchestrator, error) {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 4 * len(cfg.Workers)
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
 	o := &Orchestrator{
 		cfg:    cfg,
 		client: cfg.Client,
@@ -180,9 +197,20 @@ func New(cfg Config) (*Orchestrator, error) {
 	if o.logf == nil {
 		o.logf = func(string, ...any) {}
 	}
+	o.byURL = make(map[string]*worker, len(cfg.Workers))
 	for _, u := range cfg.Workers {
-		o.workers = append(o.workers, &worker{url: strings.TrimRight(u, "/")})
+		w := &worker{url: strings.TrimRight(u, "/")}
+		o.workers = append(o.workers, w)
+		o.byURL[w.url] = w
 	}
+	urls := make([]string, 0, len(o.byURL))
+	for u := range o.byURL {
+		urls = append(urls, u)
+	}
+	// Normalized URLs double as ring member IDs, the same convention
+	// dsarpd -self/-peers uses, so orchestrator affinity and worker
+	// replication agree on placement without a separate naming scheme.
+	o.ring = ring.New(urls)
 	return o, nil
 }
 
@@ -191,6 +219,8 @@ func (o *Orchestrator) Stats() Stats {
 	return Stats{
 		LocalHits:  o.localHits.Load(),
 		Dispatched: o.dispatched.Load(),
+		Computed:   o.computed.Load(),
+		Affine:     o.affine.Load(),
 		Retries:    o.retries.Load(),
 		Failed:     o.failedN.Load(),
 	}
@@ -361,23 +391,26 @@ func (o *Orchestrator) RunExperiment(ctx context.Context, r *exp.Runner, name st
 }
 
 // runSpec drives one spec to a terminal state: retry transient failures
-// against whichever live worker is least loaded, give up only on
-// permanent errors (or MaxAttempts, or context cancellation).
+// against the spec's ring owners (falling back through the fleet), give
+// up only on permanent errors (or MaxAttempts, or context cancellation).
 func (o *Orchestrator) runSpec(ctx context.Context, j *runJournal, spec exp.SimSpec, key store.Key) (sim.Result, []byte, error) {
 	for attempt := 0; ; attempt++ {
-		w, err := o.pickWorker(ctx)
+		w, err := o.pickWorker(ctx, key)
 		if err != nil {
 			return sim.Result{}, nil, err
 		}
 		if j != nil {
 			j.dispatched(key, w.url)
 		}
-		res, raw, retryAfter, err := o.post(ctx, w, spec)
+		res, raw, src, retryAfter, err := o.post(ctx, w, spec)
 		if err == nil {
 			if j != nil {
 				j.done(key, w.url)
 			}
 			o.dispatched.Add(1)
+			if src == "computed" {
+				o.computed.Add(1)
+			}
 			return res, raw, nil
 		}
 		var perm *permanentError
@@ -427,7 +460,9 @@ func (e *permanentError) Unwrap() error { return e.err }
 //	anything else               transient — back off and re-dispatch
 //
 // A returned retryAfter > 0 is the worker's own wait estimate (429/503).
-func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (sim.Result, []byte, time.Duration, error) {
+// On success the worker-reported source ("computed", "store", "memory",
+// "peer") comes back too — the fleet's measure of cache effectiveness.
+func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (sim.Result, []byte, string, time.Duration, error) {
 	w.mu.Lock()
 	w.inflight++
 	w.mu.Unlock()
@@ -439,13 +474,13 @@ func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (s
 
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return sim.Result{}, nil, 0, &permanentError{fmt.Errorf("marshal spec: %w", err)}
+		return sim.Result{}, nil, "", 0, &permanentError{fmt.Errorf("marshal spec: %w", err)}
 	}
 	rctx, cancel := context.WithTimeout(ctx, o.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.url+"/v1/sim", strings.NewReader(string(body)))
 	if err != nil {
-		return sim.Result{}, nil, 0, &permanentError{err}
+		return sim.Result{}, nil, "", 0, &permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := o.client.Do(req)
@@ -453,7 +488,7 @@ func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (s
 		// Connection refused, reset, timeout: the worker is gone or
 		// wedged. Mark it dead now instead of waiting for the next probe.
 		o.markDead(w, err)
-		return sim.Result{}, nil, 0, fmt.Errorf("worker %s: %w", w.url, err)
+		return sim.Result{}, nil, "", 0, fmt.Errorf("worker %s: %w", w.url, err)
 	}
 	defer resp.Body.Close()
 
@@ -461,28 +496,29 @@ func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (s
 	case http.StatusOK:
 		var sr struct {
 			Key    string          `json:"key"`
+			Source string          `json:"source"`
 			Result json.RawMessage `json:"result"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-			return sim.Result{}, nil, 0, fmt.Errorf("worker %s: malformed response: %w", w.url, err)
+			return sim.Result{}, nil, "", 0, fmt.Errorf("worker %s: malformed response: %w", w.url, err)
 		}
 		res, err := exp.DecodeResult(sr.Result)
 		if err != nil {
-			return sim.Result{}, nil, 0, fmt.Errorf("worker %s: undecodable result: %w", w.url, err)
+			return sim.Result{}, nil, "", 0, fmt.Errorf("worker %s: undecodable result: %w", w.url, err)
 		}
-		return res, sr.Result, 0, nil
+		return res, sr.Result, sr.Source, 0, nil
 	case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
-		return sim.Result{}, nil, 0, &permanentError{fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))}
+		return sim.Result{}, nil, "", 0, &permanentError{fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))}
 	case http.StatusTooManyRequests:
 		// Backpressure: the worker is alive, just full. Honor its wait
 		// estimate and count its load so the next pick prefers a sibling.
-		return sim.Result{}, nil, retryAfterOf(resp), fmt.Errorf("worker %s: %s", w.url, resp.Status)
+		return sim.Result{}, nil, "", retryAfterOf(resp), fmt.Errorf("worker %s: %s", w.url, resp.Status)
 	case http.StatusServiceUnavailable:
 		// Draining: it will be gone shortly. Prefer survivors.
 		o.markDead(w, errors.New(resp.Status))
-		return sim.Result{}, nil, retryAfterOf(resp), fmt.Errorf("worker %s: %s", w.url, resp.Status)
+		return sim.Result{}, nil, "", retryAfterOf(resp), fmt.Errorf("worker %s: %s", w.url, resp.Status)
 	default:
-		return sim.Result{}, nil, 0, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))
+		return sim.Result{}, nil, "", 0, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))
 	}
 }
 
@@ -520,34 +556,25 @@ func (o *Orchestrator) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
-// pickWorker returns the least-loaded live worker, waiting (and
-// re-probing) while the whole fleet is down. Workers that self-report
-// degraded (read-only store, lost job journal) still compute correctly
-// but can't persist, so every result they serve is a cache miss for the
-// rest of the fleet: they are used only when no healthy worker is alive.
-func (o *Orchestrator) pickWorker(ctx context.Context) (*worker, error) {
+// pickWorker returns the best live worker for the key, waiting (and
+// re-probing) while the whole fleet is down. The order is ring-affine:
+//
+//  1. the key's owners (rendezvous order) that are alive and healthy —
+//     dispatching there lands the result exactly where the workers'
+//     own replication ring and any future read-through will look;
+//  2. the least-loaded live healthy non-owner (warm state still reaches
+//     the owners via the worker's async push);
+//  3. degraded owners, then the least-loaded degraded worker — they
+//     compute correctly but can't persist, so every result they serve
+//     is a future cache miss; last resort only.
+func (o *Orchestrator) pickWorker(ctx context.Context, key store.Key) (*worker, error) {
 	warned := false
 	for {
-		var best, bestDegraded *worker
-		for _, w := range o.workers {
-			if !w.isAlive() {
-				continue
+		if w := o.pickOnce(key); w != nil {
+			if o.ring.IsOwner(key, o.cfg.Replicas, w.url) {
+				o.affine.Add(1)
 			}
-			if w.isDegraded() {
-				if bestDegraded == nil || w.load() < bestDegraded.load() {
-					bestDegraded = w
-				}
-				continue
-			}
-			if best == nil || w.load() < best.load() {
-				best = w
-			}
-		}
-		if best == nil {
-			best = bestDegraded
-		}
-		if best != nil {
-			return best, nil
+			return w, nil
 		}
 		if !warned {
 			o.logf("fleet: all %d workers down; waiting for one to come back", len(o.workers))
@@ -560,6 +587,41 @@ func (o *Orchestrator) pickWorker(ctx context.Context) (*worker, error) {
 		}
 		o.probeAll(ctx)
 	}
+}
+
+// pickOnce applies the affinity order against the current health view;
+// nil means the whole fleet is down right now.
+func (o *Orchestrator) pickOnce(key store.Key) *worker {
+	owners := o.ring.Owners(key, o.cfg.Replicas)
+	for _, u := range owners {
+		if w := o.byURL[u]; w.isAlive() && !w.isDegraded() {
+			return w
+		}
+	}
+	var best, bestDegraded *worker
+	for _, w := range o.workers {
+		if !w.isAlive() {
+			continue
+		}
+		if w.isDegraded() {
+			if bestDegraded == nil || w.load() < bestDegraded.load() {
+				bestDegraded = w
+			}
+			continue
+		}
+		if best == nil || w.load() < best.load() {
+			best = w
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, u := range owners {
+		if w := o.byURL[u]; w.isAlive() {
+			return w
+		}
+	}
+	return bestDegraded
 }
 
 // healthLoop re-probes every worker at HealthInterval until ctx ends.
@@ -655,6 +717,47 @@ func (o *Orchestrator) getOK(ctx context.Context, url string, v any) bool {
 		return false
 	}
 	return true
+}
+
+// ReplicationSummary polls every reachable worker's /v1/stats and folds
+// the replication sections into one line ("" and false when no worker
+// reports one, i.e. the fleet runs without a peer tier). Best effort:
+// dead workers are skipped, since the numbers are observability, not
+// state.
+func (o *Orchestrator) ReplicationSummary(ctx context.Context) (string, bool) {
+	type repl struct {
+		FetchHits       int64 `json:"fetch_hits"`
+		FetchMisses     int64 `json:"fetch_misses"`
+		PushOK          int64 `json:"push_ok"`
+		PushFails       int64 `json:"push_fails"`
+		CorruptRejected int64 `json:"corrupt_rejected"`
+		Replicas        int   `json:"replicas"`
+	}
+	var agg repl
+	reporting := 0
+	for _, w := range o.workers {
+		var stats struct {
+			Replication *repl `json:"replication"`
+		}
+		pctx, cancel := context.WithTimeout(ctx, o.cfg.ProbeTimeout)
+		ok := o.getOK(pctx, w.url+"/v1/stats", &stats)
+		cancel()
+		if !ok || stats.Replication == nil {
+			continue
+		}
+		reporting++
+		agg.FetchHits += stats.Replication.FetchHits
+		agg.FetchMisses += stats.Replication.FetchMisses
+		agg.PushOK += stats.Replication.PushOK
+		agg.PushFails += stats.Replication.PushFails
+		agg.CorruptRejected += stats.Replication.CorruptRejected
+		agg.Replicas = stats.Replication.Replicas
+	}
+	if reporting == 0 {
+		return "", false
+	}
+	return fmt.Sprintf("replication: R=%d across %d/%d workers, peer fetch %d hit / %d miss, push %d ok / %d failed, %d corrupt rejected",
+		agg.Replicas, reporting, len(o.workers), agg.FetchHits, agg.FetchMisses, agg.PushOK, agg.PushFails, agg.CorruptRejected), true
 }
 
 // markDead records a dispatch-time discovery that a worker is gone; the

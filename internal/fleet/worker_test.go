@@ -39,9 +39,13 @@ type testWorker struct {
 	opts         exp.Options
 	serveWorkers int
 	maxQueue     int
+	// peer, when set, joins every incarnation of this worker to the
+	// replicated warm-store tier (startPeerWorkers fills it in).
+	peer *serve.PeerConfig
 
 	mu      sync.Mutex
 	addr    string
+	pending net.Listener // pre-bound listener for the next start (peer fleets)
 	httpSrv *http.Server
 	servers []*serve.Server
 	runners []*exp.Runner
@@ -59,6 +63,11 @@ func startWorkerQueue(t *testing.T, opts exp.Options, serveWorkers, maxQueue int
 	tw := &testWorker{t: t, dir: t.TempDir(), opts: opts,
 		serveWorkers: serveWorkers, maxQueue: maxQueue}
 	tw.start(nil)
+	registerWorkerCleanup(t, tw)
+	return tw
+}
+
+func registerWorkerCleanup(t *testing.T, tw *testWorker) {
 	t.Cleanup(func() {
 		tw.kill()
 		// Let background simulation goroutines drain so the race detector
@@ -72,7 +81,47 @@ func startWorkerQueue(t *testing.T, opts exp.Options, serveWorkers, maxQueue int
 			s.Drain(ctx)
 		}
 	})
-	return tw
+}
+
+// startPeerWorkers brings up n workers joined into one replication ring
+// with factor replicas. Listeners are bound before any server starts —
+// ring membership needs every member's URL up front — and each worker
+// gets the same flat member list, self included, the way a deployment
+// would template one -peers value for the whole fleet. chaosFor (nil for
+// none) supplies each worker's fault injection.
+func startPeerWorkers(t *testing.T, opts exp.Options, n, replicas int, chaosFor func(i int) *serve.Chaos) []*testWorker {
+	t.Helper()
+	workers := make([]*testWorker, n)
+	urls := make([]string, n)
+	for i := range workers {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = &testWorker{t: t, dir: t.TempDir(), opts: opts,
+			serveWorkers: 2, maxQueue: 64, pending: l}
+		workers[i].addr = l.Addr().String()
+		urls[i] = "http://" + workers[i].addr
+	}
+	for i, tw := range workers {
+		tw.peer = &serve.PeerConfig{
+			Self:     urls[i],
+			Peers:    urls,
+			Replicas: replicas,
+			// Test-speed push retries; chaos-injected failures must be
+			// ridden out well inside the test deadline.
+			PushBaseBackoff: 20 * time.Millisecond,
+			PushMaxBackoff:  200 * time.Millisecond,
+			Seed:            int64(i),
+		}
+		var chaos *serve.Chaos
+		if chaosFor != nil {
+			chaos = chaosFor(i)
+		}
+		tw.start(chaos)
+		registerWorkerCleanup(t, tw)
+	}
+	return workers
 }
 
 // start launches a fresh serve.Server over the worker's store directory,
@@ -81,25 +130,26 @@ func (tw *testWorker) start(chaos *serve.Chaos) {
 	tw.t.Helper()
 	tw.mu.Lock()
 	defer tw.mu.Unlock()
-	addr := tw.addr
-	if addr == "" {
-		addr = "127.0.0.1:0"
-	}
-	var (
-		l   net.Listener
-		err error
-	)
-	// The previous listener may linger for a beat after Close; retry
-	// briefly when rebinding the same port.
-	for deadline := time.Now().Add(5 * time.Second); ; {
-		l, err = net.Listen("tcp", addr)
-		if err == nil {
-			break
+	l := tw.pending
+	tw.pending = nil
+	if l == nil {
+		addr := tw.addr
+		if addr == "" {
+			addr = "127.0.0.1:0"
 		}
-		if time.Now().After(deadline) {
-			tw.t.Fatalf("rebind %s: %v", addr, err)
+		var err error
+		// The previous listener may linger for a beat after Close; retry
+		// briefly when rebinding the same port.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			l, err = net.Listen("tcp", addr)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				tw.t.Fatalf("rebind %s: %v", addr, err)
+			}
+			time.Sleep(50 * time.Millisecond)
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
 	tw.addr = l.Addr().String()
 
@@ -111,7 +161,7 @@ func (tw *testWorker) start(chaos *serve.Chaos) {
 	opts.Store = st
 	opts.EphemeralResults = true
 	r := exp.NewRunner(opts)
-	srv := serve.New(serve.Config{Runner: r, Workers: tw.serveWorkers, MaxQueue: tw.maxQueue, Chaos: chaos})
+	srv := serve.New(serve.Config{Runner: r, Workers: tw.serveWorkers, MaxQueue: tw.maxQueue, Chaos: chaos, Peer: tw.peer})
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(l)
 	tw.httpSrv = hs

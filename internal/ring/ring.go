@@ -1,0 +1,140 @@
+// Package ring maps content-addressed store keys to the fleet members
+// that own them, using rendezvous (highest-random-weight) hashing. It is
+// the placement function behind the sharded warm-store tier: every node —
+// dsarpd workers and fleet orchestrators alike — builds the same Ring
+// from the same member set and therefore agrees, with no coordination,
+// on which R workers own any given key.
+//
+// Rendezvous hashing was chosen over a token ring for its exact minimal-
+// movement property: each member's score for a key is independent of the
+// other members, so the per-key preference order of the surviving members
+// never changes when a member joins or leaves. Removing a member deletes
+// it from every preference list (promoting the next replica exactly where
+// it appeared); adding one inserts it. Only the expected 1/N fraction of
+// keys changes primary owner — there is no cascading reshuffle, which is
+// what lets the fleet repair lazily (read-through fetch + write push)
+// instead of eagerly rebalancing on every membership change.
+//
+// Determinism is load-bearing: scores are SHA-256 based, free of any
+// per-process state (no map iteration, no seeds), so two processes — or
+// the same process across restarts — always place keys identically.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"dsarp/internal/store"
+)
+
+// Ring is an immutable member set with a deterministic per-key ordering.
+// Members are opaque IDs; the fleet uses normalized worker base URLs so
+// orchestrators and workers agree without a separate naming scheme.
+type Ring struct {
+	members []string
+	// prefix caches sha256(member) per member: scoring a key then only
+	// hashes the 32-byte key against each precomputed member digest.
+	prefix [][sha256.Size]byte
+}
+
+// New builds a Ring over the given member IDs. Duplicates are dropped and
+// order is irrelevant: two Rings built from any permutation of the same
+// set behave identically.
+func New(members []string) *Ring {
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, prefix: make([][sha256.Size]byte, len(uniq))}
+	for i, m := range uniq {
+		r.prefix[i] = sha256.Sum256([]byte(m))
+	}
+	return r
+}
+
+// Members returns the deduplicated, sorted member set.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Contains reports whether id is a member.
+func (r *Ring) Contains(id string) bool {
+	i := sort.SearchStrings(r.members, id)
+	return i < len(r.members) && r.members[i] == id
+}
+
+// score is member i's highest-random-weight for key: the first 8 bytes of
+// sha256(sha256(member) || key), as a big-endian uint64. Hashing the
+// member's digest rather than its raw bytes makes the function immune to
+// length-extension-style collisions between member IDs ("ab"+"c" vs
+// "a"+"bc") and keeps the per-key work to one block of SHA-256.
+func (r *Ring) score(i int, k store.Key) uint64 {
+	h := sha256.New()
+	h.Write(r.prefix[i][:])
+	h.Write(k[:])
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Rank returns every member ordered by descending score for key: the
+// key's full preference order. Owners(k, n) is its length-n prefix. Ties
+// (astronomically unlikely with 64-bit scores) break toward the
+// lexically smaller member, keeping the order total and deterministic.
+func (r *Ring) Rank(k store.Key) []string {
+	type scored struct {
+		id string
+		s  uint64
+	}
+	sc := make([]scored, len(r.members))
+	for i, m := range r.members {
+		sc[i] = scored{id: m, s: r.score(i, k)}
+	}
+	sort.Slice(sc, func(a, b int) bool {
+		if sc[a].s != sc[b].s {
+			return sc[a].s > sc[b].s
+		}
+		return sc[a].id < sc[b].id
+	})
+	out := make([]string, len(sc))
+	for i, s := range sc {
+		out[i] = s.id
+	}
+	return out
+}
+
+// Owners returns the key's replica list: the replicas highest-scoring
+// members, in preference order. The first entry is the primary owner.
+// With replicas >= Len() every member is returned; replicas <= 0 returns
+// nil.
+func (r *Ring) Owners(k store.Key, replicas int) []string {
+	if replicas <= 0 || len(r.members) == 0 {
+		return nil
+	}
+	rank := r.Rank(k)
+	if replicas < len(rank) {
+		rank = rank[:replicas]
+	}
+	return rank
+}
+
+// IsOwner reports whether id is among the key's replicas owners.
+func (r *Ring) IsOwner(k store.Key, replicas int, id string) bool {
+	for _, m := range r.Owners(k, replicas) {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}

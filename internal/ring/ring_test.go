@@ -1,0 +1,226 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dsarp/internal/exp"
+	"dsarp/internal/store"
+)
+
+var fiveWorkers = []string{
+	"http://w1:8080", "http://w2:8080", "http://w3:8080", "http://w4:8080", "http://w5:8080",
+}
+
+// registryKeys enumerates every unique spec key the experiment registry
+// can produce at the default scale: the ring's real workload, not a
+// synthetic one. Balance and movement properties are asserted over these.
+func registryKeys(t *testing.T) []store.Key {
+	t.Helper()
+	r := exp.NewRunner(exp.Defaults())
+	seen := map[store.Key]bool{}
+	var keys []store.Key
+	for _, e := range exp.Experiments() {
+		for _, s := range e.Specs(r) {
+			if k := s.Key(); !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	if len(keys) < 100 {
+		t.Fatalf("registry enumerates only %d unique keys; balance statistics need more", len(keys))
+	}
+	return keys
+}
+
+// TestDeterminismAcrossProcesses pins the placement function itself: the
+// expected rankings below were computed by a separate process, so any
+// change to the hash construction — which would silently split a fleet's
+// warm state across incompatible placements during a rolling deploy —
+// fails here rather than in production. Per-process nondeterminism (map
+// iteration, seeds) would also fail: the pins cannot vary run to run.
+func TestDeterminismAcrossProcesses(t *testing.T) {
+	r := New(fiveWorkers)
+	want := map[string][]string{
+		"ring-golden-0": {"http://w4:8080", "http://w5:8080", "http://w1:8080", "http://w2:8080", "http://w3:8080"},
+		"ring-golden-1": {"http://w5:8080", "http://w1:8080", "http://w2:8080", "http://w4:8080", "http://w3:8080"},
+		"ring-golden-2": {"http://w4:8080", "http://w2:8080", "http://w1:8080", "http://w5:8080", "http://w3:8080"},
+	}
+	for seed, rank := range want {
+		if got := r.Rank(store.KeyOf([]byte(seed))); !reflect.DeepEqual(got, rank) {
+			t.Errorf("Rank(%s) = %q, want pinned %q", seed, got, rank)
+		}
+	}
+}
+
+// TestMemberOrderIrrelevant: every permutation (and duplication) of the
+// member list builds an identical ring — the property that lets each
+// worker pass the same flat -peers list without caring about order or
+// whether it includes itself.
+func TestMemberOrderIrrelevant(t *testing.T) {
+	base := New(fiveWorkers)
+	rng := rand.New(rand.NewSource(1))
+	keys := registryKeys(t)[:50]
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), fiveWorkers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Duplicates and empty entries are dropped, not double-counted.
+		shuffled = append(shuffled, shuffled[0], "")
+		r := New(shuffled)
+		if !reflect.DeepEqual(r.Members(), base.Members()) {
+			t.Fatalf("members diverged: %q vs %q", r.Members(), base.Members())
+		}
+		for _, k := range keys {
+			if !reflect.DeepEqual(r.Rank(k), base.Rank(k)) {
+				t.Fatalf("trial %d: ranking depends on member input order", trial)
+			}
+		}
+	}
+}
+
+// TestBalance: over the registry's real spec keys, no worker owns a
+// disproportionate share — primary ownership and R=2 replica ownership
+// both stay within ±50% of a perfectly even split. (The assignment is
+// deterministic, so this is a pin, not a flaky statistical test.)
+func TestBalance(t *testing.T) {
+	keys := registryKeys(t)
+	r := New(fiveWorkers)
+	for _, replicas := range []int{1, 2} {
+		counts := map[string]int{}
+		for _, k := range keys {
+			owners := r.Owners(k, replicas)
+			if len(owners) != replicas {
+				t.Fatalf("Owners(replicas=%d) returned %d members", replicas, len(owners))
+			}
+			for _, o := range owners {
+				counts[o]++
+			}
+		}
+		mean := float64(len(keys)*replicas) / float64(len(fiveWorkers))
+		for _, m := range fiveWorkers {
+			if c := float64(counts[m]); c < mean/1.5 || c > mean*1.5 {
+				t.Errorf("replicas=%d: %s owns %d keys, outside [%0.f, %0.f] around even split %0.f",
+					replicas, m, counts[m], mean/1.5, mean*1.5, mean)
+			}
+		}
+	}
+}
+
+// TestMinimalMovement pins the property the lazy-repair story rests on:
+// membership changes never reshuffle keys among survivors.
+//
+// Rendezvous scores are independent per member, so removing one member
+// must delete it from every key's preference order and change nothing
+// else — each key it owned promotes exactly the next replica, and keys it
+// did not own keep their replica list bit-identical. Joins are the same
+// property in reverse. The reassigned fraction is therefore exactly the
+// leaver's ownership share (~1/N), which balance already bounds.
+func TestMinimalMovement(t *testing.T) {
+	keys := registryKeys(t)
+	full := New(fiveWorkers)
+	leaver := fiveWorkers[2]
+	survivors := New(append(append([]string(nil), fiveWorkers[:2]...), fiveWorkers[3:]...))
+
+	const replicas = 2
+	movedPrimary := 0
+	for _, k := range keys {
+		before := full.Rank(k)
+		after := survivors.Rank(k)
+		// Exact minimal movement: the survivor order is the full order
+		// with the leaver deleted.
+		var want []string
+		for _, m := range before {
+			if m != leaver {
+				want = append(want, m)
+			}
+		}
+		if !reflect.DeepEqual(after, want) {
+			t.Fatalf("leave reshuffled survivors:\n full:  %q\n after: %q\n want:  %q", before, after, want)
+		}
+		// Keys the leaver did not own keep their replica list untouched.
+		if !full.IsOwner(k, replicas, leaver) {
+			if !reflect.DeepEqual(full.Owners(k, replicas), survivors.Owners(k, replicas)) {
+				t.Fatalf("key not owned by leaver changed owners: %q -> %q",
+					full.Owners(k, replicas), survivors.Owners(k, replicas))
+			}
+		}
+		if before[0] == leaver {
+			movedPrimary++
+		}
+	}
+	// The reassigned-primary fraction is the leaver's primary share:
+	// about 1/5 of keys, bounded by the same ±50% envelope as balance.
+	even := float64(len(keys)) / float64(len(fiveWorkers))
+	if f := float64(movedPrimary); f < even/1.5 || f > even*1.5 {
+		t.Errorf("leave moved %d primaries, outside [%0.f, %0.f] around even share %0.f",
+			movedPrimary, even/1.5, even*1.5, even)
+	}
+
+	// Join: adding a sixth member inserts it into some preference orders
+	// and must change nothing else.
+	joiner := "http://w6:8080"
+	grown := New(append(append([]string(nil), fiveWorkers...), joiner))
+	stolen := 0
+	for _, k := range keys {
+		after := grown.Rank(k)
+		var withoutJoiner []string
+		for _, m := range after {
+			if m != joiner {
+				withoutJoiner = append(withoutJoiner, m)
+			}
+		}
+		if !reflect.DeepEqual(withoutJoiner, full.Rank(k)) {
+			t.Fatalf("join reshuffled incumbents: %q vs %q", withoutJoiner, full.Rank(k))
+		}
+		if after[0] == joiner {
+			stolen++
+		}
+	}
+	evenSix := float64(len(keys)) / float64(len(fiveWorkers)+1)
+	if f := float64(stolen); f < evenSix/1.5 || f > evenSix*1.5 {
+		t.Errorf("join stole %d primaries, outside [%0.f, %0.f] around even share %0.f",
+			stolen, evenSix/1.5, evenSix*1.5, evenSix)
+	}
+}
+
+// TestOwnersEdgeCases pins degenerate inputs.
+func TestOwnersEdgeCases(t *testing.T) {
+	k := store.KeyOf([]byte("edge"))
+	if got := New(nil).Owners(k, 2); got != nil {
+		t.Errorf("empty ring Owners = %q, want nil", got)
+	}
+	one := New([]string{"http://only"})
+	if got := one.Owners(k, 2); len(got) != 1 || got[0] != "http://only" {
+		t.Errorf("single-member Owners = %q", got)
+	}
+	r := New(fiveWorkers)
+	if got := r.Owners(k, 0); got != nil {
+		t.Errorf("Owners(replicas=0) = %q, want nil", got)
+	}
+	if got := r.Owners(k, 99); len(got) != len(fiveWorkers) {
+		t.Errorf("Owners(replicas=99) returned %d members, want all %d", len(got), len(fiveWorkers))
+	}
+	if !r.Contains(fiveWorkers[0]) || r.Contains("http://stranger") {
+		t.Error("Contains misclassifies membership")
+	}
+	if r.IsOwner(k, len(fiveWorkers), "http://stranger") {
+		t.Error("IsOwner accepted a non-member")
+	}
+}
+
+// BenchmarkOwners keeps placement cheap enough to sit on the dispatch
+// path: one call per spec per pick.
+func BenchmarkOwners(b *testing.B) {
+	r := New(fiveWorkers)
+	keys := make([]store.Key, 64)
+	for i := range keys {
+		keys[i] = store.KeyOf([]byte(fmt.Sprintf("bench-%d", i)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owners(keys[i%len(keys)], 2)
+	}
+}

@@ -65,6 +65,12 @@ type Config struct {
 	// specs re-enqueued — when the next Server starts on the directory.
 	// Empty disables durability (jobs die with the process, as before).
 	JournalDir string
+	// Peer, if non-nil, joins this worker to the fleet's replicated
+	// warm-store tier: local store misses for keys the ring places on
+	// other members are hedge-fetched from them before simulating, and
+	// computed results are pushed to the key's other owners. Requires a
+	// store-backed Runner.
+	Peer *PeerConfig
 	// Logf receives operational messages (journal adoption, degradation).
 	// Nil discards them.
 	Logf func(format string, args ...any)
@@ -94,6 +100,7 @@ type Server struct {
 	workersN   int
 	journalDir string
 	logf       func(format string, args ...any)
+	peer       *peerNet // nil unless Config.Peer joined a replication tier
 
 	// halted simulates a crash for durability tests: once closed (halt),
 	// workers stop without draining the queue — queued tasks are abandoned
@@ -145,6 +152,16 @@ func New(cfg Config) *Server {
 			s.journalDir = ""
 		}
 	}
+	if cfg.Peer != nil {
+		if cfg.Runner.Options().Store == nil {
+			panic("serve: Config.Peer requires a store-backed Runner")
+		}
+		s.peer = newPeerNet(*cfg.Peer, func(format string, args ...any) { s.logf(format, args...) })
+		// The runner consults the peer tier inside its singleflight, after
+		// a local store miss and before a simulation starts — concurrent
+		// identical specs share one hedged fetch.
+		cfg.Runner.SetPeerFetch(s.peer.fetch)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -155,6 +172,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/table", s.handleJobTable)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultGet)
+	s.mux.HandleFunc("PUT /v1/results/{key}", s.handleResultPut)
 	// Degraded stays 200: the process is alive and completing work, it has
 	// just lost durable writes — orchestrators should deprioritize it, not
 	// restart-loop it.
@@ -217,6 +236,15 @@ func (s *Server) worker() {
 		res, src, err := s.runner.RunSpec(t.spec)
 		if err == nil && src == exp.SourceComputed {
 			s.noteSimDuration(time.Since(start))
+			// Replicate what only this worker has: freshly-computed results
+			// go to the key's other owners asynchronously. Store- and
+			// peer-served results are already replicated (or being repaired
+			// by the fetch path) — re-pushing them would only amplify load.
+			if s.peer != nil {
+				if data, encErr := exp.EncodeResult(res); encErr == nil {
+					s.peer.push(t.spec.Key(), data)
+				}
+			}
 		}
 		s.release(1)
 		if t.job != nil {
@@ -289,6 +317,11 @@ func (s *Server) Drain(ctx context.Context) error {
 			close(s.queue)
 		}
 		s.workers.Wait()
+		if s.peer != nil {
+			// Let in-flight replica pushes land (or exhaust their retries)
+			// so a drained worker leaves the tier fully repaired.
+			s.peer.pushes.Wait()
+		}
 		close(done)
 	}()
 	select {
@@ -311,8 +344,8 @@ type simResponse struct {
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	var spec exp.SimSpec
-	if err := decodeJSON(r, &spec); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decodeJSON(w, r, &spec); err != nil {
+		httpError(w, decodeStatus(err), err)
 		return
 	}
 	spec, err := s.runner.PrepareSpec(spec)
@@ -368,8 +401,8 @@ type sweepResponse struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
 		return
 	}
 	if len(req.Specs) == 0 {
@@ -622,18 +655,35 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if st := s.runner.Options().Store; st != nil {
 		stats["store"] = st.Stats()
 	}
+	if s.peer != nil {
+		stats["replication"] = s.peer.stats()
+	}
 	writeJSON(w, http.StatusOK, stats)
 }
 
 // --- plumbing ---
 
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	// MaxBytesReader needs the real ResponseWriter: on overflow net/http
+	// then sets Connection: close so the client stops streaming a body
+	// nobody will read.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResultBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("serve: bad request body: %w", err)
 	}
 	return nil
+}
+
+// decodeStatus maps a request-body read failure to its status: an
+// oversized body is 413 per the net/http MaxBytesReader contract,
+// anything else is a plain bad request.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
