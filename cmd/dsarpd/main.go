@@ -14,6 +14,8 @@
 //	       [-scale default|paper] [-percat N] [-sensitivity N]
 //	       [-self URL -peers URL,URL,... [-replicas R]]
 //	       [-chaos fail=P,drop=P,stall=P:D,kill=N,diskfail=P,seed=N]
+//	       [-debug-addr :6060] [-trace spans.jsonl]
+//	       [-log-format text|json] [-log-level info]
 //
 // -warmup/-measure/-engine only fill fields a submitted spec leaves unset;
 // fully-specified specs are served as sent. -scale/-percat/-sensitivity
@@ -47,6 +49,17 @@
 // key's other owners. With R=2 the fleet's warm state survives the
 // permanent loss of any single worker. Requires a store.
 //
+// Observability: GET /metrics on the API port renders the worker's
+// Prometheus exposition (queue, runner, store, replication, chaos
+// counters). -debug-addr starts a second listener serving the same
+// /metrics plus net/http/pprof under /debug/pprof/ — scrape and profile
+// traffic stays off the API port's queue accounting. -trace appends a
+// serve-side span (worker, status, source, wall time) to a JSONL flight
+// recorder for every request that carries an X-Dsarp-Trace header, the
+// worker-side half of cmd/fleet -trace. Logs are structured (log/slog);
+// -log-format json emits machine-parsable lines, -log-level gates
+// verbosity (debug|info|warn|error).
+//
 // SIGINT/SIGTERM drain gracefully: new submissions get 503, queued work
 // finishes and reaches the store, then the process exits.
 //
@@ -60,8 +73,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -73,6 +86,7 @@ import (
 	"dsarp/internal/serve"
 	"dsarp/internal/sim"
 	"dsarp/internal/store"
+	"dsarp/internal/telemetry"
 )
 
 func main() {
@@ -99,8 +113,18 @@ func mainImpl() int {
 		drainSecs  = flag.Int("drain-timeout", 60, "seconds to wait for in-flight work on shutdown")
 		simTimeout = flag.Duration("sim-timeout", 0, "wall-clock budget per simulation (0 = unlimited); exceeding it aborts the run with a retryable 504")
 		chaosSpec  = flag.String("chaos", "", "inject faults for orchestrator testing, e.g. 'fail=0.1,drop=0.05,stall=0.1:2s,kill=100,diskfail=0.2,seed=7'")
+		debugAddr  = flag.String("debug-addr", "", "side listener for /metrics and /debug/pprof ('' disables)")
+		tracePath  = flag.String("trace", "", "append serve-side spans for X-Dsarp-Trace requests to this JSONL file")
+		logFormat  = flag.String("log-format", "text", "log line format: text | json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
 
 	opts := exp.Defaults()
 	if *scale == "paper" {
@@ -139,10 +163,10 @@ func mainImpl() int {
 		// orchestrator must survive. 137 = 128+SIGKILL, the code a real
 		// OOM-kill or kill -9 would yield.
 		chaos.Kill = func() {
-			log.Printf("chaos: hard-killing worker (kill threshold reached)")
+			logger.Warn("chaos: hard-killing worker (kill threshold reached)")
 			os.Exit(137)
 		}
-		log.Printf("chaos enabled: %s", *chaosSpec)
+		logger.Info("chaos enabled", "spec", *chaosSpec)
 	}
 
 	journalDir := ""
@@ -164,11 +188,11 @@ func mainImpl() int {
 		// store directory means adopting its unfinished jobs too.
 		journalDir = filepath.Join(*storeDir, "jobs")
 		if s := st.Stats(); s.Expired > 0 {
-			log.Printf("store: swept %d old-schema entries (%d bytes reclaimed)", s.Expired, s.ExpiredBytes)
+			logger.Info("store: swept old-schema entries", "entries", s.Expired, "bytes", s.ExpiredBytes)
 		}
-		log.Printf("store: %s (%d entries)", st.Dir(), st.Len())
+		logger.Info("store open", "dir", st.Dir(), "entries", st.Len())
 	} else {
-		log.Printf("store: disabled (results and jobs die with the process)")
+		logger.Info("store disabled (results and jobs die with the process)")
 	}
 
 	var peerCfg *serve.PeerConfig
@@ -188,9 +212,21 @@ func mainImpl() int {
 			}
 		}
 		peerCfg = &serve.PeerConfig{Self: *self, Peers: peerList, Replicas: *replicas}
-		log.Printf("replication: self=%s peers=%v R=%d", *self, peerList, *replicas)
+		logger.Info("replication enabled", "self", *self, "peers", peerList, "replicas", *replicas)
 	}
 
+	var trace *telemetry.Recorder
+	if *tracePath != "" {
+		trace, err = telemetry.NewRecorder(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		defer trace.Close()
+		logger.Info("flight recorder open", "path", *tracePath)
+	}
+
+	reg := telemetry.NewRegistry()
 	srv := serve.New(serve.Config{
 		Runner:     exp.NewRunner(opts),
 		Workers:    *parallel,
@@ -198,13 +234,36 @@ func mainImpl() int {
 		Chaos:      chaos,
 		JournalDir: journalDir,
 		Peer:       peerCfg,
-		Logf:       log.Printf,
+		Log:        logger,
+		Metrics:    reg,
+		Trace:      trace,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("dsarpd listening on %s (schema %s)", *addr, exp.SchemaVersion)
+	logger.Info("dsarpd listening", "addr", *addr, "schema", exp.SchemaVersion)
+
+	// The debug listener shares the API port's registry but bypasses its
+	// chaos middleware and queue accounting: scrapes and profiles stay
+	// honest while the service is saturated or misbehaving on purpose.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("GET /metrics", reg.Handler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Warn("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener on", "addr", *debugAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -213,17 +272,25 @@ func mainImpl() int {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 1
 	case sig := <-sigc:
-		log.Printf("%v: draining (in-flight work finishes and reaches the store)", sig)
+		logger.Info("draining (in-flight work finishes and reaches the store)", "signal", sig.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
-		log.Printf("drain: %v (some queued work abandoned)", err)
+		logger.Warn("drain incomplete (some queued work abandoned)", "err", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
-	log.Printf("dsarpd stopped")
+	if debugSrv != nil {
+		debugSrv.Shutdown(ctx)
+	}
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			logger.Warn("flight recorder close", "err", err)
+		}
+	}
+	logger.Info("dsarpd stopped")
 	return 0
 }

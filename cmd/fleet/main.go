@@ -13,6 +13,9 @@
 //	      [-scale default|paper] [-percat N] [-sensitivity N]
 //	      [-warmup N] [-measure N] [-seed N] [-engine event|cycle]
 //	      [-timeout DUR] [-concurrency N] [-max-attempts N] [-replicas R]
+//	      [-trace run.jsonl] [-progress 10s]
+//	      [-log-format text|json] [-log-level info]
+//	fleet -trace-report run.jsonl
 //
 // -replicas mirrors the workers' own replication factor: dispatch is
 // ring-affine, preferring each spec's rendezvous owners among -addrs so
@@ -29,6 +32,18 @@
 // left off instead of starting over. -store keeps fetched results in a
 // local content-addressed store, so a resumed run re-dispatches nothing
 // that already landed.
+//
+// -trace appends the run's trace-of-record to a JSONL flight recorder:
+// a run header, then one span per dispatch attempt (worker, status or
+// retry cause, wall time) and one terminal span per spec (serving
+// source, or the permanent failure). The run's trace ID travels to the
+// workers as X-Dsarp-Trace, so a dsarpd started with its own -trace
+// records the server side of the same story. -trace-report replays a
+// recorded file into per-spec attempt-chain summaries and exits.
+//
+// -progress logs a heartbeat at the given period: dispatched/done/
+// retried/failed so far, the computed-vs-warm split, and an ETA from an
+// exponentially-weighted per-dispatch wall time.
 //
 // The table is written to stdout; progress and fault narration go to
 // stderr. Exit status: 0 on success, 1 when specs failed permanently or
@@ -50,6 +65,7 @@ import (
 	"dsarp/internal/fleet"
 	"dsarp/internal/sim"
 	"dsarp/internal/store"
+	"dsarp/internal/telemetry"
 )
 
 func main() {
@@ -74,13 +90,39 @@ func mainImpl() int {
 		concurrency = flag.Int("concurrency", 0, "specs in flight across the fleet (0 = 4 per worker)")
 		maxAttempts = flag.Int("max-attempts", 0, "transient retries per spec before giving up (0 = unlimited)")
 		replicas    = flag.Int("replicas", 2, "workers' warm-store replication factor (ring-affine dispatch)")
+		tracePath   = flag.String("trace", "", "append the run's trace-of-record (JSONL spans) to this file")
+		traceReport = flag.String("trace-report", "", "replay a recorded trace file into per-spec attempt chains and exit")
+		progress    = flag.Duration("progress", 0, "heartbeat period for progress lines on stderr (0 disables)")
+		logFormat   = flag.String("log-format", "text", "log line format: text | json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 
+	if *traceReport != "" {
+		spans, err := telemetry.ReadTrace(*traceReport)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		report, err := telemetry.BuildReport(spans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		fmt.Print(report.String())
+		return 0
+	}
+
 	if *addrs == "" || *experiment == "" {
 		fmt.Fprintln(os.Stderr, "fleet: -addrs and -experiment are required")
 		flag.Usage()
+		return 2
+	}
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
 	}
 
@@ -115,7 +157,17 @@ func mainImpl() int {
 		MaxAttempts:    *maxAttempts,
 		Replicas:       *replicas,
 		Journal:        *journal,
-		Logf:           log.Printf,
+		Log:            logger,
+		Progress:       *progress,
+	}
+	var trace *telemetry.Recorder
+	if *tracePath != "" {
+		trace, err = telemetry.NewRecorder(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		cfg.Trace = trace
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{
@@ -141,10 +193,21 @@ func mainImpl() int {
 	r := exp.NewRunner(opts) // enumeration and assembly only; runs no sims
 	table, err := o.RunExperiment(ctx, r, *experiment)
 	st := o.Stats()
+	// The summary and replication lines stay plain prints: scripts grep
+	// them regardless of -log-format.
 	log.Printf("fleet: %d dispatched (%d computed, %d affine), %d local hits, %d retries, %d failed",
 		st.Dispatched, st.Computed, st.Affine, st.LocalHits, st.Retries, st.Failed)
 	if line, ok := o.ReplicationSummary(context.Background()); ok {
 		log.Printf("fleet: %s", line)
+	}
+	if trace != nil {
+		if cerr := trace.Close(); cerr != nil {
+			logger.Warn("flight recorder close", "err", cerr)
+		} else if werr := trace.Err(); werr != nil {
+			logger.Warn("flight recorder dropped spans", "err", werr)
+		} else {
+			logger.Info("trace written", "path", *tracePath)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)

@@ -39,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -96,9 +97,7 @@ func fleet(workers []string, name string) error {
 	}
 	o, err := fleetpkg.New(fleetpkg.Config{
 		Workers: workers,
-		Logf: func(format string, args ...any) {
-			fmt.Printf("  "+format+"\n", args...)
-		},
+		Log:     slog.New(slog.NewTextHandler(os.Stdout, nil)),
 	})
 	if err != nil {
 		return err

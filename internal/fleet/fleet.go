@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -44,6 +45,7 @@ import (
 	"dsarp/internal/ring"
 	"dsarp/internal/sim"
 	"dsarp/internal/store"
+	"dsarp/internal/telemetry"
 )
 
 // Config assembles an Orchestrator.
@@ -92,8 +94,19 @@ type Config struct {
 	Store *store.Store
 	// Seed makes backoff jitter reproducible (tests).
 	Seed int64
-	// Logf, if non-nil, receives progress and fault-path narration.
-	Logf func(format string, args ...any)
+	// Log, if non-nil, receives progress and fault-path narration as
+	// structured records; every line carries run/trace plus the relevant
+	// spec-key and worker attrs.
+	Log *slog.Logger
+	// Trace, if non-nil, is the run's flight recorder: the orchestrator
+	// mints a trace ID, stamps every dispatch with it (the X-Dsarp-Trace
+	// header carries it to the workers), and appends one span per state
+	// transition — the file -trace-report replays.
+	Trace *telemetry.Recorder
+	// Progress, if positive, is the heartbeat period: a progress line
+	// (done/total, computed vs warm split, retries, failures, ETA) is
+	// logged at that interval instead of silence until the final summary.
+	Progress time.Duration
 }
 
 // Stats are the orchestrator's run counters.
@@ -104,6 +117,12 @@ type Stats struct {
 	Affine     int64 // dispatches that landed on one of the spec's ring owners
 	Retries    int64 // transient failures that led to a re-dispatch
 	Failed     int64 // specs that failed permanently
+	// Transitions counts worker health flips (up->down and down->up)
+	// observed by probes and dispatch-time death discoveries.
+	Transitions int64
+	// RetryCauses splits Retries by classified cause: conn, timeout,
+	// 429, 503, 5xx, malformed, http.
+	RetryCauses map[string]int64
 }
 
 // worker is the orchestrator's view of one dsarpd.
@@ -146,17 +165,26 @@ type Orchestrator struct {
 	workers []*worker
 	byURL   map[string]*worker
 	ring    *ring.Ring // placement over the normalized worker URLs
-	logf    func(string, ...any)
+	log     *slog.Logger
+	trace   *telemetry.Recorder
+	traceID string // minted per Run, sent as X-Dsarp-Trace on every dispatch
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	localHits  atomic.Int64
-	dispatched atomic.Int64
-	computed   atomic.Int64
-	affine     atomic.Int64
-	retries    atomic.Int64
-	failedN    atomic.Int64
+	localHits   atomic.Int64
+	dispatched  atomic.Int64
+	computed    atomic.Int64
+	affine      atomic.Int64
+	retries     atomic.Int64
+	failedN     atomic.Int64
+	transitions atomic.Int64
+
+	causeMu     sync.Mutex
+	retryCauses map[string]int64
+
+	ewmaMu       sync.Mutex
+	dispatchEWMA float64 // EWMA of one successful dispatch round-trip, seconds
 }
 
 // New validates the config and builds an Orchestrator.
@@ -186,16 +214,18 @@ func New(cfg Config) (*Orchestrator, error) {
 		cfg.Replicas = 2
 	}
 	o := &Orchestrator{
-		cfg:    cfg,
-		client: cfg.Client,
-		logf:   cfg.Logf,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		client:      cfg.Client,
+		log:         cfg.Log,
+		trace:       cfg.Trace,
+		retryCauses: map[string]int64{},
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if o.client == nil {
 		o.client = &http.Client{}
 	}
-	if o.logf == nil {
-		o.logf = func(string, ...any) {}
+	if o.log == nil {
+		o.log = telemetry.DiscardLogger()
 	}
 	o.byURL = make(map[string]*worker, len(cfg.Workers))
 	for _, u := range cfg.Workers {
@@ -216,14 +246,52 @@ func New(cfg Config) (*Orchestrator, error) {
 
 // Stats returns the orchestrator's counters.
 func (o *Orchestrator) Stats() Stats {
-	return Stats{
-		LocalHits:  o.localHits.Load(),
-		Dispatched: o.dispatched.Load(),
-		Computed:   o.computed.Load(),
-		Affine:     o.affine.Load(),
-		Retries:    o.retries.Load(),
-		Failed:     o.failedN.Load(),
+	o.causeMu.Lock()
+	causes := make(map[string]int64, len(o.retryCauses))
+	for k, v := range o.retryCauses {
+		causes[k] = v
 	}
+	o.causeMu.Unlock()
+	return Stats{
+		LocalHits:   o.localHits.Load(),
+		Dispatched:  o.dispatched.Load(),
+		Computed:    o.computed.Load(),
+		Affine:      o.affine.Load(),
+		Retries:     o.retries.Load(),
+		Failed:      o.failedN.Load(),
+		Transitions: o.transitions.Load(),
+		RetryCauses: causes,
+	}
+}
+
+// noteRetry books one transient failure under its classified cause.
+func (o *Orchestrator) noteRetry(cause string) {
+	o.retries.Add(1)
+	o.causeMu.Lock()
+	o.retryCauses[cause]++
+	o.causeMu.Unlock()
+}
+
+// noteDispatchSecs feeds one successful dispatch round-trip into the
+// EWMA behind the progress heartbeat's ETA.
+func (o *Orchestrator) noteDispatchSecs(secs float64) {
+	o.ewmaMu.Lock()
+	if o.dispatchEWMA == 0 {
+		o.dispatchEWMA = secs
+	} else {
+		o.dispatchEWMA = 0.7*o.dispatchEWMA + 0.3*secs
+	}
+	o.ewmaMu.Unlock()
+}
+
+// span stamps the run's trace ID onto s and records it; a no-op without
+// a flight recorder.
+func (o *Orchestrator) span(s telemetry.Span) {
+	if o.trace == nil {
+		return
+	}
+	s.Trace = o.traceID
+	o.trace.Record(s)
 }
 
 // SpecError is one spec's permanent failure.
@@ -258,6 +326,9 @@ func (e *RunError) Error() string {
 // context cancellation the error wraps ctx.Err() and the journal (if
 // configured) holds everything needed to resume.
 func (o *Orchestrator) Run(ctx context.Context, name string, specs []exp.SimSpec) (exp.Results, error) {
+	o.traceID = telemetry.NewTraceID()
+	o.log = o.log.With("run", name, "trace", o.traceID)
+	o.span(telemetry.Span{Kind: telemetry.SpanRun, Name: name, Schema: exp.SchemaVersion, Total: len(specs)})
 	keys := make([]store.Key, len(specs))
 	for i, s := range specs {
 		keys[i] = s.Key()
@@ -275,8 +346,9 @@ func (o *Orchestrator) Run(ctx context.Context, name string, specs []exp.SimSpec
 		}
 		defer j.Close()
 		if len(state.done)+len(state.failed) > 0 {
-			o.logf("fleet: resuming %s from journal: %d done, %d failed, %d pending",
-				name, len(state.done), len(state.failed), len(specs)-len(state.done)-len(state.failed))
+			o.log.Info("resuming from journal",
+				"done", len(state.done), "failed", len(state.failed),
+				"pending", len(specs)-len(state.done)-len(state.failed))
 		}
 	}
 
@@ -297,6 +369,8 @@ func (o *Orchestrator) Run(ctx context.Context, name string, specs []exp.SimSpec
 					results[keys[i]] = res
 					resMu.Unlock()
 					o.localHits.Add(1)
+					o.span(telemetry.Span{Kind: telemetry.SpanResult, Spec: keys[i].String(),
+						Label: specLabel(specs[i]), Source: "local-store"})
 					if j != nil && !state.done[keys[i]] {
 						j.done(keys[i], "local-store")
 					}
@@ -306,14 +380,16 @@ func (o *Orchestrator) Run(ctx context.Context, name string, specs []exp.SimSpec
 		}
 		pending = append(pending, i)
 	}
-	o.logf("fleet: run %s: %d specs (%d warm locally) across %d workers",
-		name, len(specs), len(specs)-len(pending), len(o.workers))
+	o.log.Info("run start", "specs", len(specs), "warm", len(specs)-len(pending), "workers", len(o.workers))
 
 	if len(pending) > 0 {
 		hctx, hcancel := context.WithCancel(ctx)
 		defer hcancel()
 		o.probeAll(hctx) // synchronous first probe so dispatch starts informed
 		go o.healthLoop(hctx)
+		if o.cfg.Progress > 0 {
+			go o.heartbeat(hctx, len(specs))
+		}
 
 		var (
 			wg      sync.WaitGroup
@@ -339,6 +415,7 @@ func (o *Orchestrator) Run(ctx context.Context, name string, specs []exp.SimSpec
 					case ctx.Err() != nil:
 						// Cancelled mid-spec: reported once, below.
 					default:
+						o.failedN.Add(1)
 						failMu.Lock()
 						failed = append(failed, SpecError{
 							Index: idx, Label: specLabel(specs[idx]), Key: keys[idx], Err: err,
@@ -368,7 +445,6 @@ func (o *Orchestrator) Run(ctx context.Context, name string, specs []exp.SimSpec
 		}
 		if len(failed) > 0 {
 			sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
-			o.failedN.Add(int64(len(failed)))
 			return results, &RunError{Failed: failed}
 		}
 	}
@@ -394,6 +470,7 @@ func (o *Orchestrator) RunExperiment(ctx context.Context, r *exp.Runner, name st
 // against the spec's ring owners (falling back through the fleet), give
 // up only on permanent errors (or MaxAttempts, or context cancellation).
 func (o *Orchestrator) runSpec(ctx context.Context, j *runJournal, spec exp.SimSpec, key store.Key) (sim.Result, []byte, error) {
+	label := specLabel(spec)
 	for attempt := 0; ; attempt++ {
 		w, err := o.pickWorker(ctx, key)
 		if err != nil {
@@ -402,20 +479,31 @@ func (o *Orchestrator) runSpec(ctx context.Context, j *runJournal, spec exp.SimS
 		if j != nil {
 			j.dispatched(key, w.url)
 		}
-		res, raw, src, retryAfter, err := o.post(ctx, w, spec)
+		start := time.Now()
+		res, raw, src, retryAfter, cause, err := o.post(ctx, w, spec)
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
 		if err == nil {
+			o.span(telemetry.Span{Kind: telemetry.SpanAttempt, Spec: key.String(), Label: label,
+				Attempt: attempt + 1, Worker: w.url, Status: "ok", Millis: ms})
+			o.span(telemetry.Span{Kind: telemetry.SpanResult, Spec: key.String(), Label: label,
+				Worker: w.url, Source: src})
 			if j != nil {
 				j.done(key, w.url)
 			}
+			o.noteDispatchSecs(time.Since(start).Seconds())
 			o.dispatched.Add(1)
 			if src == "computed" {
 				o.computed.Add(1)
 			}
 			return res, raw, nil
 		}
+		o.span(telemetry.Span{Kind: telemetry.SpanAttempt, Spec: key.String(), Label: label,
+			Attempt: attempt + 1, Worker: w.url, Status: cause, Millis: ms})
 		var perm *permanentError
 		if errors.As(err, &perm) {
-			o.logf("fleet: %s failed permanently on %s: %v", specLabel(spec), w.url, err)
+			o.log.Warn("spec failed permanently", "spec", label, "key", key.String(), "worker", w.url, "err", err)
+			o.span(telemetry.Span{Kind: telemetry.SpanResult, Spec: key.String(), Label: label,
+				Worker: w.url, Status: "failed", Error: err.Error()})
 			if j != nil {
 				j.failed(key, err.Error())
 			}
@@ -424,9 +512,11 @@ func (o *Orchestrator) runSpec(ctx context.Context, j *runJournal, spec exp.SimS
 		if ctx.Err() != nil {
 			return sim.Result{}, nil, ctx.Err()
 		}
-		o.retries.Add(1)
+		o.noteRetry(cause)
 		if o.cfg.MaxAttempts > 0 && attempt+1 >= o.cfg.MaxAttempts {
 			err = fmt.Errorf("fleet: gave up after %d attempts: %w", o.cfg.MaxAttempts, err)
+			o.span(telemetry.Span{Kind: telemetry.SpanResult, Spec: key.String(), Label: label,
+				Worker: w.url, Status: "failed", Error: err.Error()})
 			if j != nil {
 				j.failed(key, err.Error())
 			}
@@ -436,11 +526,46 @@ func (o *Orchestrator) runSpec(ctx context.Context, j *runJournal, spec exp.SimS
 		if retryAfter > delay {
 			delay = retryAfter
 		}
-		o.logf("fleet: %s on %s: %v; retrying in %v", specLabel(spec), w.url, err, delay.Round(time.Millisecond))
+		o.log.Info("retrying", "spec", label, "key", key.String(), "worker", w.url,
+			"cause", cause, "err", err, "delay", delay.Round(time.Millisecond))
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
 			return sim.Result{}, nil, ctx.Err()
+		}
+	}
+}
+
+// heartbeat logs a progress line every cfg.Progress until ctx ends:
+// done/total, the computed vs warm split, retry and failure counts, and
+// an ETA extrapolated from the per-dispatch round-trip EWMA across the
+// configured concurrency.
+func (o *Orchestrator) heartbeat(ctx context.Context, total int) {
+	t := time.NewTicker(o.cfg.Progress)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			warm := o.localHits.Load()
+			disp := o.dispatched.Load()
+			comp := o.computed.Load()
+			failed := o.failedN.Load()
+			done := warm + disp + failed
+			attrs := []any{
+				"done", done, "total", total,
+				"computed", comp, "warm", warm + disp - comp,
+				"retries", o.retries.Load(), "failed", failed,
+			}
+			o.ewmaMu.Lock()
+			perDispatch := o.dispatchEWMA
+			o.ewmaMu.Unlock()
+			if remaining := int64(total) - done; remaining > 0 && perDispatch > 0 {
+				eta := time.Duration(float64(remaining) * perDispatch / float64(o.cfg.Concurrency) * float64(time.Second))
+				attrs = append(attrs, "eta", eta.Round(time.Second))
+			}
+			o.log.Info("progress", attrs...)
 		}
 	}
 }
@@ -462,7 +587,9 @@ func (e *permanentError) Unwrap() error { return e.err }
 // A returned retryAfter > 0 is the worker's own wait estimate (429/503).
 // On success the worker-reported source ("computed", "store", "memory",
 // "peer") comes back too — the fleet's measure of cache effectiveness.
-func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (sim.Result, []byte, string, time.Duration, error) {
+// On failure, cause names the class for the retry tally and the trace:
+// conn, timeout, 429, 503, 5xx, http, malformed, or permanent.
+func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (_ sim.Result, _ []byte, src string, retryAfter time.Duration, cause string, _ error) {
 	w.mu.Lock()
 	w.inflight++
 	w.mu.Unlock()
@@ -474,21 +601,28 @@ func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (s
 
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return sim.Result{}, nil, "", 0, &permanentError{fmt.Errorf("marshal spec: %w", err)}
+		return sim.Result{}, nil, "", 0, "permanent", &permanentError{fmt.Errorf("marshal spec: %w", err)}
 	}
 	rctx, cancel := context.WithTimeout(ctx, o.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.url+"/v1/sim", strings.NewReader(string(body)))
 	if err != nil {
-		return sim.Result{}, nil, "", 0, &permanentError{err}
+		return sim.Result{}, nil, "", 0, "permanent", &permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if o.traceID != "" {
+		req.Header.Set(telemetry.TraceHeader, o.traceID)
+	}
 	resp, err := o.client.Do(req)
 	if err != nil {
 		// Connection refused, reset, timeout: the worker is gone or
 		// wedged. Mark it dead now instead of waiting for the next probe.
 		o.markDead(w, err)
-		return sim.Result{}, nil, "", 0, fmt.Errorf("worker %s: %w", w.url, err)
+		cause = "conn"
+		if errors.Is(err, context.DeadlineExceeded) {
+			cause = "timeout"
+		}
+		return sim.Result{}, nil, "", 0, cause, fmt.Errorf("worker %s: %w", w.url, err)
 	}
 	defer resp.Body.Close()
 
@@ -500,25 +634,29 @@ func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (s
 			Result json.RawMessage `json:"result"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-			return sim.Result{}, nil, "", 0, fmt.Errorf("worker %s: malformed response: %w", w.url, err)
+			return sim.Result{}, nil, "", 0, "malformed", fmt.Errorf("worker %s: malformed response: %w", w.url, err)
 		}
 		res, err := exp.DecodeResult(sr.Result)
 		if err != nil {
-			return sim.Result{}, nil, "", 0, fmt.Errorf("worker %s: undecodable result: %w", w.url, err)
+			return sim.Result{}, nil, "", 0, "malformed", fmt.Errorf("worker %s: undecodable result: %w", w.url, err)
 		}
-		return res, sr.Result, sr.Source, 0, nil
+		return res, sr.Result, sr.Source, 0, "", nil
 	case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
-		return sim.Result{}, nil, "", 0, &permanentError{fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))}
+		return sim.Result{}, nil, "", 0, "permanent", &permanentError{fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))}
 	case http.StatusTooManyRequests:
 		// Backpressure: the worker is alive, just full. Honor its wait
 		// estimate and count its load so the next pick prefers a sibling.
-		return sim.Result{}, nil, "", retryAfterOf(resp), fmt.Errorf("worker %s: %s", w.url, resp.Status)
+		return sim.Result{}, nil, "", retryAfterOf(resp), "429", fmt.Errorf("worker %s: %s", w.url, resp.Status)
 	case http.StatusServiceUnavailable:
 		// Draining: it will be gone shortly. Prefer survivors.
 		o.markDead(w, errors.New(resp.Status))
-		return sim.Result{}, nil, "", retryAfterOf(resp), fmt.Errorf("worker %s: %s", w.url, resp.Status)
+		return sim.Result{}, nil, "", retryAfterOf(resp), "503", fmt.Errorf("worker %s: %s", w.url, resp.Status)
 	default:
-		return sim.Result{}, nil, "", 0, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))
+		cause = "http"
+		if resp.StatusCode >= 500 {
+			cause = "5xx"
+		}
+		return sim.Result{}, nil, "", 0, cause, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))
 	}
 }
 
@@ -577,7 +715,7 @@ func (o *Orchestrator) pickWorker(ctx context.Context, key store.Key) (*worker, 
 			return w, nil
 		}
 		if !warned {
-			o.logf("fleet: all %d workers down; waiting for one to come back", len(o.workers))
+			o.log.Warn("all workers down; waiting for one to come back", "workers", len(o.workers))
 			warned = true
 		}
 		select {
@@ -683,17 +821,20 @@ func (o *Orchestrator) probe(ctx context.Context, w *worker) {
 	}
 	w.mu.Unlock()
 	if ok != wasAlive || !hadProbe {
+		if hadProbe {
+			o.transitions.Add(1)
+		}
 		if ok {
-			o.logf("fleet: worker %s is up", w.url)
+			o.log.Info("worker is up", "worker", w.url)
 		} else {
-			o.logf("fleet: worker %s is down", w.url)
+			o.log.Warn("worker is down", "worker", w.url)
 		}
 	}
 	if ok && degraded != wasDegraded {
 		if degraded {
-			o.logf("fleet: worker %s is degraded; deprioritizing", w.url)
+			o.log.Warn("worker is degraded; deprioritizing", "worker", w.url)
 		} else {
-			o.logf("fleet: worker %s recovered from degraded", w.url)
+			o.log.Info("worker recovered from degraded", "worker", w.url)
 		}
 	}
 }
@@ -768,7 +909,8 @@ func (o *Orchestrator) markDead(w *worker, err error) {
 	w.alive = false
 	w.mu.Unlock()
 	if was {
-		o.logf("fleet: worker %s marked down (%v)", w.url, err)
+		o.transitions.Add(1)
+		o.log.Warn("worker marked down", "worker", w.url, "err", err)
 	}
 }
 

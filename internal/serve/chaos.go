@@ -49,6 +49,11 @@ type Chaos struct {
 	DiskFailProb float64
 	// Seed makes the fault sequence reproducible.
 	Seed int64
+
+	// Injected-fault tallies, one per kind, exposed on /metrics as
+	// dsarp_chaos_faults_total so a smoke run can assert faults actually
+	// fired without parsing logs.
+	fails, drops, stalls, kills, diskFails atomic.Int64
 }
 
 // FailWrites returns a store.Options.FailWrites hook that fails each
@@ -66,6 +71,7 @@ func (c *Chaos) FailWrites() func() error {
 		f := rng.Float64()
 		mu.Unlock()
 		if f < c.DiskFailProb {
+			c.diskFails.Add(1)
 			return fmt.Errorf("chaos: injected disk write failure")
 		}
 		return nil
@@ -91,6 +97,7 @@ func (c *Chaos) wrap(next http.Handler) http.Handler {
 		}
 		if c.KillAfter > 0 && seen.Add(1) >= c.KillAfter && c.Kill != nil &&
 			killed.CompareAndSwap(false, true) {
+			c.kills.Add(1)
 			c.Kill()
 		}
 		mu.Lock()
@@ -102,12 +109,15 @@ func (c *Chaos) wrap(next http.Handler) http.Handler {
 			// closes the client connection when a handler panics with
 			// ErrAbortHandler, which is exactly a "worker vanished
 			// mid-request" from the caller's side.
+			c.drops.Add(1)
 			panic(http.ErrAbortHandler)
 		case f < c.DropProb+c.FailProb:
+			c.fails.Add(1)
 			httpError(w, http.StatusInternalServerError,
 				errChaos)
 			return
 		case f < c.DropProb+c.FailProb+c.StallProb:
+			c.stalls.Add(1)
 			time.Sleep(stall)
 		}
 		next.ServeHTTP(w, r)

@@ -82,11 +82,11 @@ func TestParseChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Chaos{FailProb: 0.1, DropProb: 0.05, StallProb: 0.2, Stall: 500 * time.Millisecond, KillAfter: 100, Seed: 7}
+	want := &Chaos{FailProb: 0.1, DropProb: 0.05, StallProb: 0.2, Stall: 500 * time.Millisecond, KillAfter: 100, Seed: 7}
 	if c.FailProb != want.FailProb || c.DropProb != want.DropProb ||
 		c.StallProb != want.StallProb || c.Stall != want.Stall ||
 		c.KillAfter != want.KillAfter || c.Seed != want.Seed {
-		t.Errorf("ParseChaos = %+v, want %+v", *c, want)
+		t.Errorf("ParseChaos = %+v, want %+v", c, want)
 	}
 
 	if c, err := ParseChaos(""); c != nil || err != nil {

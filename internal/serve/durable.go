@@ -94,7 +94,7 @@ func (s *Server) adoptJobs() []task {
 	}
 	entries, err := os.ReadDir(s.journalDir)
 	if err != nil {
-		s.logf("serve: cannot read job journals in %s: %v", s.journalDir, err)
+		s.log.Warn("cannot read job journals", "dir", s.journalDir, "err", err)
 		return nil
 	}
 	var adopted []task
@@ -119,7 +119,7 @@ func (s *Server) adoptJobs() []task {
 func (s *Server) adoptJob(path string) []task {
 	lines, err := journal.Read(path)
 	if err != nil {
-		s.logf("serve: job journal %s: %v; not adopting", path, err)
+		s.log.Warn("unreadable job journal; not adopting", "path", path, "err", err)
 		return nil
 	}
 	if len(lines) == 0 {
@@ -128,12 +128,12 @@ func (s *Server) adoptJob(path string) []task {
 	var head jobHeader
 	if err := json.Unmarshal(lines[0], &head); err != nil ||
 		head.Type != headerType || head.ID == "" {
-		s.logf("serve: %s does not start with a job header; not adopting", path)
+		s.log.Warn("journal does not start with a job header; not adopting", "path", path)
 		return nil
 	}
 	if head.Schema != exp.SchemaVersion {
 		os.Remove(path)
-		s.logf("serve: dropped job %s (schema %s, current %s)", head.ID, head.Schema, exp.SchemaVersion)
+		s.log.Info("dropped job journal from old schema", "job", head.ID, "schema", head.Schema, "current", exp.SchemaVersion)
 		return nil
 	}
 
@@ -214,7 +214,7 @@ func (s *Server) adoptJob(path string) []task {
 		j.mu.Lock()
 		j.finishLocked()
 		j.mu.Unlock()
-		s.logf("serve: adopted job %s (%d tasks, complete)", j.id, j.total)
+		s.log.Info("adopted job (complete)", "job", j.id, "total", j.total)
 		return nil
 	}
 	var pending []task
@@ -223,8 +223,7 @@ func (s *Server) adoptJob(path string) []task {
 			pending = append(pending, task{spec: sp, job: j, index: i})
 		}
 	}
-	s.logf("serve: adopted job %s: %d/%d done, re-enqueueing %d specs (%d lost to store GC)",
-		j.id, j.done, j.total, len(pending), gced)
+	s.log.Info("adopted job", "job", j.id, "done", j.done, "total", j.total, "reenqueued", len(pending), "gced", gced)
 	return pending
 }
 
@@ -239,7 +238,7 @@ func (s *Server) noteJournalErr(err error) {
 	}
 	s.mu.Unlock()
 	if first {
-		s.logf("serve: job journal failure (serving degraded): %v", err)
+		s.log.Warn("job journal failure; serving degraded", "err", err)
 	}
 }
 

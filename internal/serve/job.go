@@ -326,3 +326,23 @@ func (r jobRegistry) count() int {
 	defer r.mu.Unlock()
 	return len(r.jobs)
 }
+
+// stateCounts tallies retained jobs by state for the metrics layer.
+func (r jobRegistry) stateCounts() (running, done int) {
+	r.mu.Lock()
+	jobs := make([]*job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		jobs = append(jobs, j)
+	}
+	r.mu.Unlock()
+	// Job locks are taken outside the registry lock: status() is cheap,
+	// but complete() holds a job lock while it journals.
+	for _, j := range jobs {
+		if j.status().State == "done" {
+			done++
+		} else {
+			running++
+		}
+	}
+	return running, done
+}

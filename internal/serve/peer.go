@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strings"
@@ -87,7 +88,7 @@ type peerNet struct {
 	pushBase     time.Duration
 	pushMax      time.Duration
 	client       *http.Client
-	logf         func(string, ...any)
+	log          *slog.Logger
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -107,7 +108,7 @@ type peerNet struct {
 // header's hash, surfaced on the wire.
 const payloadHashHeader = "X-Dsarp-Payload-Sha256"
 
-func newPeerNet(cfg PeerConfig, logf func(string, ...any)) *peerNet {
+func newPeerNet(cfg PeerConfig, log *slog.Logger) *peerNet {
 	if cfg.Self == "" {
 		panic("serve: PeerConfig.Self is required")
 	}
@@ -143,7 +144,7 @@ func newPeerNet(cfg PeerConfig, logf func(string, ...any)) *peerNet {
 		pushBase:     cfg.PushBaseBackoff,
 		pushMax:      cfg.PushMaxBackoff,
 		client:       cfg.Client,
-		logf:         logf,
+		log:          log,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
@@ -196,7 +197,7 @@ func (p *peerNet) fetch(k store.Key) ([]byte, bool) {
 			if err != nil {
 				if isCorrupt(err) {
 					p.corrupt.Add(1)
-					p.logf("serve: peer %s served a corrupt payload for %s: %v", target, k, err)
+					p.log.Warn("peer served a corrupt payload", "peer", target, "key", k.String(), "err", err)
 				}
 				results <- nil
 				return
@@ -301,7 +302,7 @@ func (p *peerNet) push(k store.Key, payload []byte) {
 				}
 			}
 			p.pushFails.Add(1)
-			p.logf("serve: push %s to %s failed after %d attempts: %v", k, target, p.pushAttempts, lastErr)
+			p.log.Warn("replica push failed", "key", k.String(), "peer", target, "attempts", p.pushAttempts, "err", lastErr)
 		}(t)
 	}
 }

@@ -35,16 +35,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dsarp/internal/exp"
 	"dsarp/internal/sim"
+	"dsarp/internal/telemetry"
 )
 
 // Config assembles a Server.
@@ -71,18 +74,27 @@ type Config struct {
 	// computed results are pushed to the key's other owners. Requires a
 	// store-backed Runner.
 	Peer *PeerConfig
-	// Logf receives operational messages (journal adoption, degradation).
-	// Nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives operational messages (journal adoption, degradation,
+	// replication failures) as structured records. Nil discards them.
+	Log *slog.Logger
+	// Metrics is the registry GET /metrics renders; the server registers
+	// its queue, runner, store, replication, and chaos series into it.
+	// Nil gets a private registry — /metrics is always served.
+	Metrics *telemetry.Registry
+	// Trace, if non-nil, receives a serve-side span for every task whose
+	// request carried an X-Dsarp-Trace header (see telemetry.Span).
+	Trace *telemetry.Recorder
 }
 
 // task is one unit of queued work: a prepared spec, plus either a job slot
-// (sweep) or a reply channel (synchronous /v1/sim).
+// (sweep) or a reply channel (synchronous /v1/sim). trace is the run's
+// X-Dsarp-Trace header value, empty when the submitter sent none.
 type task struct {
 	spec  exp.SimSpec
 	job   *job
 	index int
 	reply chan taskReply
+	trace string
 }
 
 type taskReply struct {
@@ -99,8 +111,14 @@ type Server struct {
 	queue      chan task
 	workersN   int
 	journalDir string
-	logf       func(format string, args ...any)
+	log        *slog.Logger
 	peer       *peerNet // nil unless Config.Peer joined a replication tier
+
+	reg     *telemetry.Registry
+	metrics *serverMetrics
+	trace   *telemetry.Recorder
+	selfID  string       // this worker's fleet identity (Peer.Self), for spans
+	sseSubs atomic.Int64 // open /events streams
 
 	// halted simulates a crash for durability tests: once closed (halt),
 	// workers stop without draining the queue — queued tasks are abandoned
@@ -137,14 +155,15 @@ func New(cfg Config) *Server {
 		queue:      make(chan task, cfg.MaxQueue),
 		workersN:   cfg.Workers,
 		journalDir: cfg.JournalDir,
-		logf:       cfg.Logf,
+		log:        cfg.Log,
+		trace:      cfg.Trace,
 		halted:     make(chan struct{}),
 		free:       cfg.MaxQueue,
 		maxQueue:   cfg.MaxQueue,
 		jobs:       newJobRegistry(),
 	}
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	if s.log == nil {
+		s.log = telemetry.DiscardLogger()
 	}
 	if s.journalDir != "" {
 		if err := os.MkdirAll(s.journalDir, 0o755); err != nil {
@@ -156,13 +175,20 @@ func New(cfg Config) *Server {
 		if cfg.Runner.Options().Store == nil {
 			panic("serve: Config.Peer requires a store-backed Runner")
 		}
-		s.peer = newPeerNet(*cfg.Peer, func(format string, args ...any) { s.logf(format, args...) })
+		s.peer = newPeerNet(*cfg.Peer, s.log)
+		s.selfID = s.peer.self
 		// The runner consults the peer tier inside its singleflight, after
 		// a local store miss and before a simulation starts — concurrent
 		// identical specs share one hedged fetch.
 		cfg.Runner.SetPeerFetch(s.peer.fetch)
 	}
+	s.reg = cfg.Metrics
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.metrics = s.registerMetrics(s.reg, cfg.Chaos)
 	s.mux = http.NewServeMux()
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
@@ -234,8 +260,12 @@ func (s *Server) worker() {
 		}
 		start := time.Now()
 		res, src, err := s.runner.RunSpec(t.spec)
+		dur := time.Since(start)
+		if err == nil {
+			s.metrics.simSeconds.With(src.String()).Observe(dur.Seconds())
+		}
 		if err == nil && src == exp.SourceComputed {
-			s.noteSimDuration(time.Since(start))
+			s.noteSimDuration(dur)
 			// Replicate what only this worker has: freshly-computed results
 			// go to the key's other owners asynchronously. Store- and
 			// peer-served results are already replicated (or being repaired
@@ -245,6 +275,22 @@ func (s *Server) worker() {
 					s.peer.push(t.spec.Key(), data)
 				}
 			}
+		}
+		if s.trace != nil && t.trace != "" {
+			sp := telemetry.Span{
+				Trace:  t.trace,
+				Kind:   telemetry.SpanServe,
+				Spec:   t.spec.Key().String(),
+				Label:  t.spec.Name + " " + t.spec.Mechanism,
+				Worker: s.selfID,
+				Millis: float64(dur) / float64(time.Millisecond),
+			}
+			if err != nil {
+				sp.Status, sp.Error = "failed", err.Error()
+			} else {
+				sp.Status, sp.Source = "ok", src.String()
+			}
+			s.trace.Record(sp)
 		}
 		s.release(1)
 		if t.job != nil {
@@ -358,7 +404,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reply := make(chan taskReply, 1)
-	s.queue <- task{spec: spec, reply: reply}
+	s.queue <- task{spec: spec, reply: reply, trace: r.Header.Get(telemetry.TraceHeader)}
 	rep := <-reply
 	if rep.err != nil {
 		// A watchdog abort is retryable elsewhere or with a bigger budget:
@@ -433,7 +479,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.createJob(req.Name, prepared, "", nil)
 	for i, spec := range prepared {
-		s.queue <- task{spec: spec, job: j, index: i}
+		s.queue <- task{spec: spec, job: j, index: i, trace: r.Header.Get(telemetry.TraceHeader)}
 	}
 	writeJSON(w, http.StatusAccepted, sweepResponse{
 		ID:         j.id,
@@ -502,7 +548,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.createJob(name, specs, name, s.assembler(e, specs))
 	for i, spec := range specs {
-		s.queue <- task{spec: spec, job: j, index: i}
+		s.queue <- task{spec: spec, job: j, index: i, trace: r.Header.Get(telemetry.TraceHeader)}
 	}
 	writeJSON(w, http.StatusAccepted, sweepResponse{
 		ID:         j.id,
@@ -605,6 +651,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	s.sseSubs.Add(1)
+	defer s.sseSubs.Add(-1)
 	replay, live := j.subscribe()
 	defer j.unsubscribe(live)
 	emit := func(ev jobEvent) bool {
@@ -738,9 +786,11 @@ func (s *Server) retryAfterSecs() int {
 func (s *Server) refuse(w http.ResponseWriter, err error) {
 	switch err {
 	case errQueueFull:
+		s.metrics.refused.With("queue_full").Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		httpError(w, http.StatusTooManyRequests, err)
 	case errDraining:
+		s.metrics.refused.With("draining").Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		httpError(w, http.StatusServiceUnavailable, err)
 	default:

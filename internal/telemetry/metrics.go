@@ -1,0 +1,400 @@
+// Package telemetry is the repo's dependency-free observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms; all
+// atomic and race-safe) with Prometheus text exposition, a JSONL trace
+// flight recorder built on internal/journal, and small log/slog helpers
+// shared by the daemons and CLIs.
+//
+// The registry deliberately implements only what this repo scrapes:
+//
+//   - Counter / CounterVec — monotone int64 counts, incremented on the
+//     serving and orchestration paths (never per simulated cycle);
+//   - CounterFunc / GaugeFunc / GaugeVec — read-at-scrape callbacks over
+//     counters that already exist elsewhere (runner, store, peer tier),
+//     so exposition never double-books state;
+//   - Histogram / HistogramVec — fixed upper-bound buckets chosen at
+//     registration; Observe is a binary search plus two atomic adds.
+//
+// Exposition (WritePrometheus / Handler) is the Prometheus text format,
+// version 0.0.4: families sorted by name, series in registration order,
+// histograms rendered as cumulative _bucket/_sum/_count. The output is
+// deterministic for a fixed sequence of updates, which is what lets a
+// golden test pin the entire format.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically-increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram counts observations into fixed buckets. Buckets are the
+// inclusive upper bounds chosen at registration; an implicit +Inf bucket
+// catches the rest. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64  // math.Float64bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v: Prometheus buckets are inclusive upper bounds.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// series is one label combination of a family: exactly one of the value
+// holders is set, matching the family kind.
+type series struct {
+	labelValues []string
+	c           *Counter
+	h           *Histogram
+	fn          func() float64
+}
+
+// family is one exposition block: a name, a type, and its series.
+type family struct {
+	name, help, kind string // kind: "counter" | "gauge" | "histogram"
+	labels           []string
+	buckets          []float64
+
+	mu    sync.Mutex
+	order []*series
+	index map[string]*series
+}
+
+// get returns (creating if needed) the series for the given label values.
+func (f *family) get(values []string, mk func() *series) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %s: %d label values for %d labels", f.name, len(values), len(f.labels)))
+	}
+	key := strings.Join(values, "\x1f")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.index[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labelValues = append([]string(nil), values...)
+	f.index[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+func (f *family) snapshot() []*series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*series(nil), f.order...)
+}
+
+// Registry holds metric families and renders them. All methods are safe
+// for concurrent use; registration methods panic on programmer errors
+// (duplicate or invalid names, label arity mismatches) exactly once, at
+// wiring time.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help, kind string, buckets []float64, labelNames []string) *family {
+	if !validName(name) {
+		panic("telemetry: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) {
+			panic("telemetry: invalid label name " + strconv.Quote(l))
+		}
+	}
+	if kind == "histogram" {
+		if len(buckets) == 0 {
+			panic("telemetry: histogram " + name + " needs at least one bucket")
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic("telemetry: histogram " + name + " buckets not strictly increasing")
+			}
+		}
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:  append([]string(nil), labelNames...),
+		buckets: append([]float64(nil), buckets...),
+		index:   map[string]*series{},
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("telemetry: duplicate metric " + name)
+	}
+	r.families[name] = f
+	return f
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", nil, nil)
+	return f.get(nil, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// CounterVec is a counter family with labels; With returns (creating on
+// first use) the child for one label-value combination.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, "counter", nil, labels)}
+}
+
+// With returns the counter for the given label values (one per label).
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// Func registers one labeled series whose count is read at scrape time —
+// for counters maintained elsewhere (see CounterFunc).
+func (v *CounterVec) Func(fn func() float64, values ...string) {
+	v.f.get(values, func() *series { return &series{fn: fn} })
+}
+
+// CounterFunc registers a counter whose value is read at scrape time.
+// Use it to expose a count maintained elsewhere without double-booking.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "counter", nil, nil)
+	f.get(nil, func() *series { return &series{fn: fn} })
+}
+
+// GaugeFunc registers a gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge", nil, nil)
+	f.get(nil, func() *series { return &series{fn: fn} })
+}
+
+// GaugeVec is a gauge family with labels whose series are callbacks.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, "gauge", nil, labels)}
+}
+
+// Func registers one labeled series read at scrape time.
+func (v *GaugeVec) Func(fn func() float64, values ...string) {
+	v.f.get(values, func() *series { return &series{fn: fn} })
+}
+
+// Histogram registers and returns an unlabeled fixed-bucket histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, "histogram", buckets, nil)
+	return f.get(nil, func() *series { return &series{h: newHistogram(f.buckets)} }).h
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled fixed-bucket histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, "histogram", buckets, labels)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values, func() *series { return &series{h: newHistogram(v.f.buckets)} }).h
+}
+
+// SimSecondsBuckets are the fixed upper bounds used for per-simulation
+// wall-time histograms: store and peer hits land in the millisecond
+// buckets, computed simulations in the seconds-to-minutes range.
+var SimSecondsBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.snapshot() {
+			if f.kind == "histogram" {
+				writeHistogram(w, f, s)
+				continue
+			}
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.labelValues, "", ""), s.render())
+		}
+	}
+}
+
+// render formats a counter/gauge series value.
+func (s *series) render() string {
+	if s.fn != nil {
+		return formatFloat(s.fn())
+	}
+	return strconv.FormatInt(s.c.Value(), 10)
+}
+
+func writeHistogram(w io.Writer, f *family, s *series) {
+	var cum int64
+	for i, bound := range s.h.bounds {
+		cum += s.h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(f.labels, s.labelValues, "le", formatFloat(bound)), cum)
+	}
+	cum += s.h.counts[len(s.h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labelValues, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labelValues, "", ""), formatFloat(s.h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.labelValues, "", ""), cum)
+}
+
+// labelString renders {k="v",...}, optionally with one extra pair (le),
+// or "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at scrape time as text/plain exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

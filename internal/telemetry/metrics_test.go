@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGoldenExposition pins the entire Prometheus text format for a
+// registry exercising every metric kind: HELP/TYPE lines, family sort
+// order, series registration order, label rendering and escaping,
+// cumulative histogram buckets with +Inf/_sum/_count, and float/int
+// value formatting.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+
+	reqs := r.Counter("dsarp_requests_total", "Total requests.")
+	reqs.Add(41)
+	reqs.Inc()
+
+	refused := r.CounterVec("dsarp_refused_total", "Refused requests by reason.", "reason")
+	refused.With("queue_full").Add(3)
+	refused.With("draining").Inc()
+
+	r.CounterFunc("dsarp_sims_computed_total", "Simulations computed.", func() float64 { return 7 })
+	r.GaugeFunc("dsarp_queue_free", "Free queue slots.", func() float64 { return 14.5 })
+
+	jobs := r.GaugeVec("dsarp_jobs", "Jobs by state.", "state")
+	jobs.Func(func() float64 { return 2 }, "running")
+	jobs.Func(func() float64 { return 5 }, "done")
+
+	h := r.HistogramVec("dsarp_sim_seconds", "Per-simulation wall time.", []float64{0.1, 1, 10}, "source")
+	comp := h.With("computed")
+	comp.Observe(0.05) // le=0.1
+	comp.Observe(0.1)  // boundary: inclusive upper bound, still le=0.1
+	comp.Observe(5)    // le=10
+	comp.Observe(60)   // +Inf
+	h.With("store").Observe(0.02)
+
+	esc := r.CounterVec("dsarp_escape_total", "Weird \\ help\nwith newline.", "path")
+	esc.With("a\"b\\c\nd").Inc()
+
+	got := new(strings.Builder)
+	r.WritePrometheus(got)
+
+	want := `# HELP dsarp_escape_total Weird \\ help\nwith newline.
+# TYPE dsarp_escape_total counter
+dsarp_escape_total{path="a\"b\\c\nd"} 1
+# HELP dsarp_jobs Jobs by state.
+# TYPE dsarp_jobs gauge
+dsarp_jobs{state="running"} 2
+dsarp_jobs{state="done"} 5
+# HELP dsarp_queue_free Free queue slots.
+# TYPE dsarp_queue_free gauge
+dsarp_queue_free 14.5
+# HELP dsarp_refused_total Refused requests by reason.
+# TYPE dsarp_refused_total counter
+dsarp_refused_total{reason="queue_full"} 3
+dsarp_refused_total{reason="draining"} 1
+# HELP dsarp_requests_total Total requests.
+# TYPE dsarp_requests_total counter
+dsarp_requests_total 42
+# HELP dsarp_sim_seconds Per-simulation wall time.
+# TYPE dsarp_sim_seconds histogram
+dsarp_sim_seconds_bucket{source="computed",le="0.1"} 2
+dsarp_sim_seconds_bucket{source="computed",le="1"} 2
+dsarp_sim_seconds_bucket{source="computed",le="10"} 3
+dsarp_sim_seconds_bucket{source="computed",le="+Inf"} 4
+dsarp_sim_seconds_sum{source="computed"} 65.15
+dsarp_sim_seconds_count{source="computed"} 4
+dsarp_sim_seconds_bucket{source="store",le="0.1"} 1
+dsarp_sim_seconds_bucket{source="store",le="1"} 1
+dsarp_sim_seconds_bucket{source="store",le="10"} 1
+dsarp_sim_seconds_bucket{source="store",le="+Inf"} 1
+dsarp_sim_seconds_sum{source="store"} 0.02
+dsarp_sim_seconds_count{source="store"} 1
+# HELP dsarp_sims_computed_total Simulations computed.
+# TYPE dsarp_sims_computed_total counter
+dsarp_sims_computed_total 7
+`
+	if got.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+	}
+}
+
+// TestHistogramBuckets checks bucket assignment at and around every
+// boundary: Prometheus buckets are inclusive upper bounds.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0, 0.5, 1} { // -> bucket le=1
+		h.Observe(v)
+	}
+	h.Observe(1.001) // -> le=2
+	h.Observe(2)     // -> le=2
+	h.Observe(4.999) // -> le=5
+	h.Observe(5)     // -> le=5
+	h.Observe(5.001) // -> +Inf
+	h.Observe(1e9)   // -> +Inf
+
+	want := []int64{3, 2, 2, 2}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d: got %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 9 {
+		t.Errorf("Count() = %d, want 9", h.Count())
+	}
+}
+
+// TestConcurrentUpdates hammers counters and histograms from many
+// goroutines (run under -race in CI) and checks totals are exact.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	vec := r.CounterVec("v_total", "", "who")
+	h := r.Histogram("h_seconds", "", []float64{0.5})
+
+	const workers, iters = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w%4))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				vec.With(name).Inc()
+				h.Observe(0.25)
+				if i%100 == 0 { // scrape concurrently with updates
+					r.WritePrometheus(new(strings.Builder))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	var vecTotal int64
+	for _, name := range []string{"a", "b", "c", "d"} {
+		vecTotal += vec.With(name).Value()
+	}
+	if vecTotal != workers*iters {
+		t.Errorf("vec total = %d, want %d", vecTotal, workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if got, want := h.Sum(), 0.25*workers*iters; got != want {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want 0.0.4 exposition", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"duplicate", func(r *Registry) { r.Counter("dup_total", ""); r.Counter("dup_total", "") }},
+		{"bad name", func(r *Registry) { r.Counter("9starts_with_digit", "") }},
+		{"bad label", func(r *Registry) { r.CounterVec("ok_total", "", "bad-label") }},
+		{"no buckets", func(r *Registry) { r.Histogram("h", "", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("h", "", []float64{2, 1}) }},
+		{"arity", func(r *Registry) { r.CounterVec("v_total", "", "a", "b").With("only-one") }},
+		{"negative add", func(r *Registry) { r.Counter("neg_total", "").Add(-1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
