@@ -11,6 +11,7 @@
 //	dsarpd [-addr :8080] [-store .dsarp-store] [-store-max-mb N]
 //	       [-parallel N] [-max-queue N] [-engine event|cycle]
 //	       [-warmup N] [-measure N] [-seed N] [-sim-timeout D]
+//	       [-checkpoint-every N]
 //	       [-scale default|paper] [-percat N] [-sensitivity N]
 //	       [-self URL -peers URL,URL,... [-replicas R]]
 //	       [-chaos fail=P,drop=P,stall=P:D,kill=N,diskfail=P,seed=N]
@@ -38,6 +39,16 @@
 // -sim-timeout bounds each simulation's wall clock: a run that exceeds
 // it is aborted, its queue slot freed, and the client told 504 (retry
 // elsewhere, or resubmit with a bigger budget).
+//
+// -checkpoint-every N makes simulations resumable (requires a store):
+// every run persists its machine state at the warmup boundary and every
+// N DRAM cycles of the measurement window, content-addressed under the
+// spec's prefix key, and every run first probes the store for the
+// deepest usable snapshot to resume from. A watchdog-aborted, killed, or
+// re-enqueued run then re-simulates at most N cycles of tail instead of
+// the whole window, and extending a spec's measurement window skips the
+// entire shared prefix. With -peers, snapshots replicate like results,
+// so the retry can land on a different worker.
 //
 // -peers joins the worker to a replicated warm-store tier: every member
 // builds the same rendezvous ring over the member URLs (-self plus
@@ -112,6 +123,7 @@ func mainImpl() int {
 		replicas   = flag.Int("replicas", 2, "warm-store replication factor R (with -peers)")
 		drainSecs  = flag.Int("drain-timeout", 60, "seconds to wait for in-flight work on shutdown")
 		simTimeout = flag.Duration("sim-timeout", 0, "wall-clock budget per simulation (0 = unlimited); exceeding it aborts the run with a retryable 504")
+		ckptEvery  = flag.Int64("checkpoint-every", 0, "persist resumable machine-state snapshots every N measure cycles plus the warmup boundary (0 disables; requires -store)")
 		chaosSpec  = flag.String("chaos", "", "inject faults for orchestrator testing, e.g. 'fail=0.1,drop=0.05,stall=0.1:2s,kill=100,diskfail=0.2,seed=7'")
 		debugAddr  = flag.String("debug-addr", "", "side listener for /metrics and /debug/pprof ('' disables)")
 		tracePath  = flag.String("trace", "", "append serve-side spans for X-Dsarp-Trace requests to this JSONL file")
@@ -193,6 +205,16 @@ func mainImpl() int {
 		logger.Info("store open", "dir", st.Dir(), "entries", st.Len())
 	} else {
 		logger.Info("store disabled (results and jobs die with the process)")
+	}
+
+	if *ckptEvery > 0 {
+		if opts.Store == nil {
+			fmt.Fprintln(os.Stderr, "dsarpd: -checkpoint-every requires a -store (snapshots are store entries)")
+			return 2
+		}
+		opts.Checkpoints = true
+		opts.CheckpointEvery = *ckptEvery
+		logger.Info("checkpoints enabled", "every", *ckptEvery)
 	}
 
 	var peerCfg *serve.PeerConfig

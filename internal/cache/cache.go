@@ -43,8 +43,16 @@ type line struct {
 	used  int64 // LRU timestamp
 }
 
+// waiter is one access awaiting an outstanding fill. tag identifies the
+// requesting load at the core (its instruction position) so a restored
+// snapshot can re-link fn, which does not serialize.
+type waiter struct {
+	tag uint64
+	fn  func(now int64)
+}
+
 type mshrEntry struct {
-	waiters  []func(now int64)
+	waiters  []waiter
 	dirty    bool   // a store merged into the pending fill
 	lineAddr uint64 // line being filled
 	next     *mshrEntry
@@ -86,6 +94,7 @@ type Slice struct {
 
 type hitDelivery struct {
 	at     int64
+	tag    uint64 // requesting load's core-side identity (see waiter)
 	onDone func(now int64)
 }
 
@@ -132,14 +141,15 @@ func NewSlice(cfg Config, backend Backend) *Slice {
 func (s *Slice) Stats() Stats { return s.stats }
 
 // Access performs a load or store against the slice at DRAM cycle now.
-// onDone (may be nil for stores) fires when the data is available. Access
-// returns false if the miss could not be admitted (DRAM read queue full);
-// the caller must retry.
-func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64)) bool {
+// onDone (may be nil for stores) fires when the data is available; tag is
+// the caller's identity for onDone (cpu.Memory semantics). Access returns
+// false if the miss could not be admitted (DRAM read queue full); the
+// caller must retry.
+func (s *Slice) Access(now int64, addr uint64, write bool, tag uint64, onDone func(now int64)) bool {
 	lineAddr := addr / uint64(s.cfg.LineBytes)
-	// The full line address serves as the tag (set bits included): simplest
-	// and unambiguous.
-	tag := lineAddr
+	// The full line address serves as the cache tag (set bits included):
+	// simplest and unambiguous.
+	ltag := lineAddr
 	si := lineAddr & s.setMask
 	set := s.sets[si]
 
@@ -147,10 +157,10 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 	// Probe the set's most recently hit way first (tags are unique within a
 	// set, so probe order cannot change the outcome), then scan.
 	way := int(s.mru[si])
-	if !(set[way].valid && set[way].tag == tag) {
+	if !(set[way].valid && set[way].tag == ltag) {
 		way = -1
 		for i := range set {
-			if set[i].valid && set[i].tag == tag {
+			if set[i].valid && set[i].tag == ltag {
 				way = i
 				break
 			}
@@ -166,7 +176,7 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 		s.stats.Hits++
 		if onDone != nil {
 			at := now + int64(s.cfg.HitLatency)
-			s.hits = append(s.hits, hitDelivery{at: at, onDone: onDone})
+			s.hits = append(s.hits, hitDelivery{at: at, tag: tag, onDone: onDone})
 			if at < s.nextHitAt {
 				s.nextHitAt = at
 			}
@@ -186,7 +196,7 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 			e.dirty = true
 		}
 		if onDone != nil {
-			e.waiters = append(e.waiters, onDone)
+			e.waiters = append(e.waiters, waiter{tag: tag, fn: onDone})
 		}
 		return true
 	}
@@ -205,7 +215,7 @@ func (s *Slice) Access(now int64, addr uint64, write bool, onDone func(now int64
 	}
 	e.lineAddr = lineAddr
 	if onDone != nil {
-		e.waiters = append(e.waiters, onDone)
+		e.waiters = append(e.waiters, waiter{tag: tag, fn: onDone})
 	}
 	missAddr := lineAddr * uint64(s.cfg.LineBytes)
 	if !s.backend.ReadLine(missAddr, e.onFill) {
@@ -255,7 +265,7 @@ func (s *Slice) fill(now int64, e *mshrEntry) {
 	set[victim] = line{tag: lineAddr, valid: true, dirty: e.dirty, used: s.tick}
 
 	for _, w := range e.waiters {
-		w(now)
+		w.fn(now)
 	}
 	s.free = append(s.free, e)
 }

@@ -49,7 +49,7 @@ func newSlice() (*Slice, *fakeBackend) {
 func TestMissThenHit(t *testing.T) {
 	s, b := newSlice()
 	var fills int
-	if !s.Access(0, 0x1000, false, func(int64) { fills++ }) {
+	if !s.Access(0, 0x1000, false, 0, func(int64) { fills++ }) {
 		t.Fatal("miss not admitted")
 	}
 	if len(b.reads) != 1 || b.reads[0] != 0x1000 {
@@ -61,7 +61,7 @@ func TestMissThenHit(t *testing.T) {
 	}
 	// Second access: hit, delivered after HitLatency.
 	var hitAt int64 = -1
-	s.Access(100, 0x1000, false, func(now int64) { hitAt = now })
+	s.Access(100, 0x1000, false, 0, func(now int64) { hitAt = now })
 	if len(b.reads) != 1 {
 		t.Error("hit went to DRAM")
 	}
@@ -82,8 +82,8 @@ func TestMissThenHit(t *testing.T) {
 func TestMSHRMerge(t *testing.T) {
 	s, b := newSlice()
 	n := 0
-	s.Access(0, 0x1000, false, func(int64) { n++ })
-	s.Access(1, 0x1000, false, func(int64) { n++ })
+	s.Access(0, 0x1000, false, 0, func(int64) { n++ })
+	s.Access(1, 0x1000, false, 0, func(int64) { n++ })
 	if len(b.reads) != 1 {
 		t.Fatalf("merged miss fetched twice: %v", b.reads)
 	}
@@ -99,12 +99,12 @@ func TestMSHRMerge(t *testing.T) {
 func TestDirtyEvictionWritesBack(t *testing.T) {
 	s, b := newSlice()
 	// Store to line A: write-allocate, dirty after fill.
-	s.Access(0, 0x0000, true, nil)
+	s.Access(0, 0x0000, true, 0, nil)
 	b.completeAll(1)
 	// Fill two more lines mapping to set 0 (set stride = 4 sets * 64B = 256B).
-	s.Access(2, 0x0100, false, nil)
+	s.Access(2, 0x0100, false, 0, nil)
 	b.completeAll(3)
-	s.Access(4, 0x0200, false, nil) // evicts LRU = dirty line A
+	s.Access(4, 0x0200, false, 0, nil) // evicts LRU = dirty line A
 	b.completeAll(5)
 	if len(b.writes) != 1 || b.writes[0] != 0x0000 {
 		t.Fatalf("dirty eviction writebacks: %v", b.writes)
@@ -116,11 +116,11 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 
 func TestCleanEvictionSilent(t *testing.T) {
 	s, b := newSlice()
-	s.Access(0, 0x0000, false, nil)
+	s.Access(0, 0x0000, false, 0, nil)
 	b.completeAll(1)
-	s.Access(2, 0x0100, false, nil)
+	s.Access(2, 0x0100, false, 0, nil)
 	b.completeAll(3)
-	s.Access(4, 0x0200, false, nil)
+	s.Access(4, 0x0200, false, 0, nil)
 	b.completeAll(5)
 	if len(b.writes) != 0 {
 		t.Fatalf("clean eviction wrote back: %v", b.writes)
@@ -129,15 +129,15 @@ func TestCleanEvictionSilent(t *testing.T) {
 
 func TestLRUVictimSelection(t *testing.T) {
 	s, b := newSlice()
-	s.Access(0, 0x0000, false, nil) // A
-	s.Access(1, 0x0100, false, nil) // B
+	s.Access(0, 0x0000, false, 0, nil) // A
+	s.Access(1, 0x0100, false, 0, nil) // B
 	b.completeAll(2)
-	s.Access(3, 0x0000, false, nil) // touch A: B becomes LRU
-	s.Access(4, 0x0200, false, nil) // C evicts B
+	s.Access(3, 0x0000, false, 0, nil) // touch A: B becomes LRU
+	s.Access(4, 0x0200, false, 0, nil) // C evicts B
 	b.completeAll(5)
 	// A must still hit.
 	hits := s.Stats().Hits
-	s.Access(6, 0x0000, false, nil)
+	s.Access(6, 0x0000, false, 0, nil)
 	if s.Stats().Hits != hits+1 {
 		t.Error("LRU evicted the recently used line")
 	}
@@ -146,28 +146,28 @@ func TestLRUVictimSelection(t *testing.T) {
 func TestBackpressurePropagates(t *testing.T) {
 	s, b := newSlice()
 	b.reject = true
-	if s.Access(0, 0x1000, false, nil) {
+	if s.Access(0, 0x1000, false, 0, nil) {
 		t.Error("miss admitted while backend rejects")
 	}
 	if s.Stats().Accesses != 0 {
 		t.Error("rejected access counted")
 	}
 	b.reject = false
-	if !s.Access(1, 0x1000, false, nil) {
+	if !s.Access(1, 0x1000, false, 0, nil) {
 		t.Error("retry failed after backend recovered")
 	}
 }
 
 func TestRejectedWritebackRetriedOnTick(t *testing.T) {
 	s, b := newSlice()
-	s.Access(0, 0x0000, true, nil)
+	s.Access(0, 0x0000, true, 0, nil)
 	b.completeAll(1)
-	s.Access(2, 0x0100, false, nil)
+	s.Access(2, 0x0100, false, 0, nil)
 	b.completeAll(3)
 	b.reject = true
-	s.Access(4, 0x0200, false, nil) // admitted? no - reject... read rejected too
+	s.Access(4, 0x0200, false, 0, nil) // admitted? no - reject... read rejected too
 	b.reject = false
-	s.Access(5, 0x0200, false, nil)
+	s.Access(5, 0x0200, false, 0, nil)
 	b.reject = true
 	b.completeAll(6) // fill evicts dirty line; writeback rejected and parked
 	if s.PendingWritebacks() != 1 {
@@ -182,13 +182,13 @@ func TestRejectedWritebackRetriedOnTick(t *testing.T) {
 
 func TestStoreMergesIntoPendingFill(t *testing.T) {
 	s, b := newSlice()
-	s.Access(0, 0x1000, false, nil)
-	s.Access(1, 0x1000, true, nil) // store merges into the fill, marks dirty
+	s.Access(0, 0x1000, false, 0, nil)
+	s.Access(1, 0x1000, true, 0, nil) // store merges into the fill, marks dirty
 	b.completeAll(2)
 	// Evict it: two more lines in the same set.
-	s.Access(3, 0x1100, false, nil)
+	s.Access(3, 0x1100, false, 0, nil)
 	b.completeAll(4)
-	s.Access(5, 0x1200, false, nil)
+	s.Access(5, 0x1200, false, 0, nil)
 	b.completeAll(6)
 	if len(b.writes) != 1 {
 		t.Errorf("merged store lost its dirty bit: writes=%v", b.writes)
@@ -197,9 +197,9 @@ func TestStoreMergesIntoPendingFill(t *testing.T) {
 
 func TestMissRate(t *testing.T) {
 	s, b := newSlice()
-	s.Access(0, 0x1000, false, nil)
+	s.Access(0, 0x1000, false, 0, nil)
 	b.completeAll(1)
-	s.Access(2, 0x1000, false, nil)
+	s.Access(2, 0x1000, false, 0, nil)
 	if got := s.Stats().MissRate(); got != 0.5 {
 		t.Errorf("MissRate = %v, want 0.5", got)
 	}

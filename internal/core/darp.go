@@ -2,10 +2,10 @@ package core
 
 import (
 	"math"
-	"math/rand"
 
 	"dsarp/internal/dram"
 	"dsarp/internal/sched"
+	"dsarp/internal/snap"
 )
 
 // DARP implements Dynamic Access Refresh Parallelization (paper §4.2), the
@@ -33,7 +33,7 @@ type DARP struct {
 	// through the interface.
 	ctl    *sched.Controller
 	opts   DARPOptions
-	rng    *rand.Rand
+	rng    *snap.Rand // counts its draws so snapshots can replay the stream
 	scheds []*bankSchedule
 	forced [][]bool // rank x bank: refresh overdue, demand held
 	slotAt []int64  // per rank: start of the next unobserved tREFIpb slot
@@ -95,7 +95,7 @@ func NewDARP(v sched.View, opts DARPOptions, seed int64) *DARP {
 		slab:   v.PendingDemandSlab(),
 		ctl:    ctl,
 		opts:   opts,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    snap.NewRand(seed),
 		scheds: make([]*bankSchedule, g.Ranks),
 		forced: make([][]bool, g.Ranks),
 		slotAt: make([]int64, g.Ranks),

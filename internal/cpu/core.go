@@ -31,8 +31,11 @@ func DefaultConfig() Config {
 
 // Memory is the core's load/store port (the LLC slice). Access returns
 // false when the access cannot be admitted this cycle; the core retries.
+// tag identifies the requesting load (its instruction position) so a
+// restored snapshot can re-link pending completion callbacks to the
+// right load entry; stores pass 0.
 type Memory interface {
-	Access(now int64, addr uint64, write bool, onDone func(now int64)) bool
+	Access(now int64, addr uint64, write bool, tag uint64, onDone func(now int64)) bool
 }
 
 type loadEntry struct {
@@ -429,7 +432,7 @@ func (c *Core) cpuTick(now int64) {
 		// Memory instruction.
 		addr := c.base + c.next.Addr
 		if c.next.Write {
-			if !c.mem.Access(now, addr, true, nil) {
+			if !c.mem.Access(now, addr, true, 0, nil) {
 				c.stats.MemStallBeat++
 				break
 			}
@@ -452,7 +455,7 @@ func (c *Core) cpuTick(now int64) {
 					c.evValid = false
 				}
 			}
-			if !c.mem.Access(now, addr, false, ld.onDone) {
+			if !c.mem.Access(now, addr, false, uint64(ld.pos), ld.onDone) {
 				c.freeLoads = append(c.freeLoads, ld)
 				c.stats.MemStallBeat++
 				break

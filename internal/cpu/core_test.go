@@ -32,7 +32,7 @@ type fakeMem struct {
 	stores  int
 }
 
-func (m *fakeMem) Access(now int64, addr uint64, write bool, onDone func(int64)) bool {
+func (m *fakeMem) Access(now int64, addr uint64, write bool, tag uint64, onDone func(int64)) bool {
 	if m.reject {
 		return false
 	}
@@ -206,9 +206,9 @@ type capturingMem struct {
 	addr  *uint64
 }
 
-func (m *capturingMem) Access(now int64, addr uint64, write bool, onDone func(int64)) bool {
+func (m *capturingMem) Access(now int64, addr uint64, write bool, tag uint64, onDone func(int64)) bool {
 	*m.addr = addr
-	return m.inner.Access(now, addr, write, onDone)
+	return m.inner.Access(now, addr, write, tag, onDone)
 }
 
 func TestDefaultConfigMatchesPaper(t *testing.T) {

@@ -68,6 +68,23 @@ type Options struct {
 	// simulations are deterministic, so a timeout usually signals an
 	// over-ambitious spec or a starved machine rather than a hang).
 	SimTimeout time.Duration
+	// Checkpoints makes computed simulations resumable when a Store is
+	// configured: before simulating, the runner probes the store's
+	// snapshot namespace for the deepest usable checkpoint of the spec's
+	// prefix (see SimSpec.PrefixKey) and resumes from it; cold runs write
+	// a warmup-boundary snapshot so any later run sharing the prefix —
+	// the same spec, a measure-extension rerun, or a retry after a crash
+	// or watchdog abort — skips the warmup entirely. Snapshots are pure
+	// accelerators: a missing, corrupt, or version-mismatched one falls
+	// back to a cold run, never to an error, and results are bit-identical
+	// either way. Ignored without a Store.
+	Checkpoints bool
+	// CheckpointEvery, if positive (and Checkpoints is on), additionally
+	// writes periodic snapshots every N DRAM cycles inside the measurement
+	// window, bounding how much work an interrupted run loses to the tail
+	// since its last checkpoint. Zero writes only the warmup-boundary
+	// snapshot.
+	CheckpointEvery int64
 	// EphemeralResults bounds the runner's memory when a Store is
 	// configured: completed results are NOT retained in the in-memory
 	// cache once they are safely on disk — later hits re-read and decode
@@ -128,6 +145,11 @@ type Runner struct {
 	storeHits atomic.Int64 // results served from the on-disk store
 	storeErrs atomic.Int64 // store writes that failed (results still returned)
 
+	ckptWritten       atomic.Int64 // snapshots persisted to the store
+	ckptWrittenBytes  atomic.Int64
+	ckptRestored      atomic.Int64 // simulations started from a stored snapshot
+	ckptRestoredBytes atomic.Int64
+
 	// interrupted stops the worker pool from starting new simulations;
 	// in-flight ones finish (and reach the store). See Interrupt.
 	interrupted atomic.Bool
@@ -135,6 +157,9 @@ type Runner struct {
 	// peerFetch, when set, is consulted on a local store miss before a
 	// simulation starts. See SetPeerFetch.
 	peerFetch atomic.Pointer[func(store.Key) ([]byte, bool)]
+	// snapPublish, when set, receives every snapshot after it is
+	// persisted locally. See SetSnapshotPublish.
+	snapPublish atomic.Pointer[func(store.Key, []byte)]
 
 	progressMu sync.Mutex // serializes the Progress callback
 }
@@ -297,7 +322,7 @@ func (r *Runner) SensitivityMixes() []workload.Workload { return r.sensitive }
 // configurations; mod applies them. Concurrent calls with the same key
 // share a single execution: the first caller computes, the rest wait.
 func (r *Runner) run(wl workload.Workload, k core.Kind, d timing.Density, variant string, mod func(*sim.Config)) sim.Result {
-	res, _ := r.runSpec(r.specFor(wl, k, d, variant), mod)
+	res, _, _ := r.runSpec(r.specFor(wl, k, d, variant), mod)
 	return res
 }
 
@@ -343,19 +368,36 @@ func (s RunSource) Cached() bool { return s != SourceComputed }
 // it to a retryable status and fleet orchestrators re-dispatch.
 var ErrSimTimeout = errors.New("exp: simulation exceeded its wall-clock budget")
 
+// RunInfo describes how a RunSpecInfo call was satisfied.
+type RunInfo struct {
+	// Source says where the result came from.
+	Source RunSource
+	// ResumedFrom is the snapshot cycle the computation restarted from
+	// when checkpoint reuse kicked in, 0 for a cold run (and for results
+	// served without simulating).
+	ResumedFrom int64
+}
+
 // RunSpec executes (or recalls) the simulation an external spec describes:
 // the serving layer's entry point. The spec is normalized and validated
 // first; config modifiers come from the variant registry only. Unlike the
 // internal run path, failures surface as errors, not panics; a watchdog
 // abort surfaces as an error wrapping ErrSimTimeout.
-func (r *Runner) RunSpec(spec SimSpec) (res sim.Result, src RunSource, err error) {
+func (r *Runner) RunSpec(spec SimSpec) (sim.Result, RunSource, error) {
+	res, info, err := r.RunSpecInfo(spec)
+	return res, info.Source, err
+}
+
+// RunSpecInfo is RunSpec with run provenance: where the result came from
+// and, for computed runs, the checkpoint cycle it resumed from.
+func (r *Runner) RunSpecInfo(spec SimSpec) (res sim.Result, info RunInfo, err error) {
 	spec, err = r.PrepareSpec(spec)
 	if err != nil {
-		return sim.Result{}, SourceComputed, err
+		return sim.Result{}, RunInfo{}, err
 	}
 	mod, err := VariantMod(spec.Variant)
 	if err != nil {
-		return sim.Result{}, SourceComputed, err
+		return sim.Result{}, RunInfo{}, err
 	}
 	defer func() {
 		if v := recover(); v != nil {
@@ -366,17 +408,18 @@ func (r *Runner) RunSpec(spec SimSpec) (res sim.Result, src RunSource, err error
 			err = fmt.Errorf("exp: run %s: %v", spec.label(), v)
 		}
 	}()
-	res, src = r.runSpec(spec, mod)
-	return res, src, nil
+	res, src, from := r.runSpec(spec, mod)
+	return res, RunInfo{Source: src, ResumedFrom: from}, nil
 }
 
 // runSpec is the shared cached-execution path: in-memory cache and
 // in-flight dedup first, then the on-disk store, then a real simulation
 // whose result is published to both. Panics on simulation errors (the
 // historical contract of run; RunSpec converts them back to errors).
-func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSource) {
+func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSource, int64) {
 	key := spec.Key()
 	src := SourceMemory
+	var resumedFrom int64
 	var done int
 	res, computed := singleflight(r, r.cache, r.running, key, func() (sim.Result, bool) {
 		if data, ok := r.storeGet(key); ok {
@@ -415,7 +458,8 @@ func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSo
 			cfg.Stop = stop
 			watchdog = time.AfterFunc(r.opts.SimTimeout, func() { stop.Store(true) })
 		}
-		res, err := sim.Run(cfg)
+		res, from, err := r.simulate(spec, cfg)
+		resumedFrom = from
 		if watchdog != nil {
 			watchdog.Stop()
 		}
@@ -439,7 +483,81 @@ func (r *Runner) runSpec(spec SimSpec, mod func(*sim.Config)) (sim.Result, RunSo
 	if computed {
 		r.progress(done, spec.label())
 	}
-	return res, src
+	return res, src, resumedFrom
+}
+
+// checkpointing reports whether the compute path should read and write
+// snapshots.
+func (r *Runner) checkpointing() bool {
+	return r.opts.Checkpoints && r.opts.Store != nil
+}
+
+// checkpointCycles enumerates the snapshot cycles worth probing for a
+// spec, deepest first: the periodic checkpoints strictly inside this run's
+// measurement window (possibly written by an earlier run with a shorter —
+// or longer — Measure; the prefix key is Measure-agnostic), then the
+// warmup boundary.
+func checkpointCycles(spec SimSpec, every int64) []int64 {
+	var cycles []int64
+	if every > 0 {
+		end := spec.Warmup + spec.Measure
+		for k := (end - 1 - spec.Warmup) / every; k >= 1; k-- {
+			cycles = append(cycles, spec.Warmup+k*every)
+		}
+	}
+	return append(cycles, spec.Warmup)
+}
+
+// simulate runs one simulation, resuming from the deepest stored snapshot
+// of the spec's prefix when checkpointing is on. It returns the cycle the
+// run resumed from (0 for a cold run). Any unusable snapshot — corrupt,
+// version-mismatched, wrong shape — falls back to a shallower one and
+// finally to a cold run; the result is bit-identical regardless of entry
+// point, which the resume tests in internal/sim pin.
+func (r *Runner) simulate(spec SimSpec, cfg sim.Config) (sim.Result, int64, error) {
+	if !r.checkpointing() {
+		res, err := sim.Run(cfg)
+		return res, 0, err
+	}
+	every := r.opts.CheckpointEvery
+	sink := func(cycle int64, data []byte) {
+		pkey := spec.PrefixKey(cycle)
+		if err := r.opts.Store.PutKind(pkey, store.KindSnapshot, data); err != nil {
+			r.storeErrs.Add(1)
+			return
+		}
+		r.ckptWritten.Add(1)
+		r.ckptWrittenBytes.Add(int64(len(data)))
+		if publish := r.snapPublish.Load(); publish != nil {
+			(*publish)(pkey, data)
+		}
+	}
+	for _, cycle := range checkpointCycles(spec, every) {
+		pkey := spec.PrefixKey(cycle)
+		data, ok := r.opts.Store.GetKind(pkey, store.KindSnapshot)
+		if !ok {
+			if fetch := r.peerFetch.Load(); fetch != nil {
+				data, ok = (*fetch)(pkey)
+			}
+		}
+		if !ok {
+			continue
+		}
+		res, err := sim.ResumeRun(cfg, data, every, sink)
+		if errors.Is(err, sim.ErrInterrupted) {
+			return sim.Result{}, cycle, err
+		}
+		if err != nil {
+			// Unusable snapshot (stale layout, corruption the container
+			// caught, a shape mismatch): try a shallower entry point.
+			continue
+		}
+		r.ckptRestored.Add(1)
+		r.ckptRestoredBytes.Add(int64(len(data)))
+		return res, cycle, nil
+	}
+	res, err := sim.RunWithCheckpoints(cfg, every, sink)
+	return res, 0, err
 }
 
 // ephemeral reports whether completed results should be dropped from RAM
@@ -469,7 +587,7 @@ func (r *Runner) RunAll(specs []SimSpec) (res Results, ok bool) {
 	}
 	out := make([]sim.Result, len(specs))
 	r.forEach(len(specs), func(i int) {
-		out[i], _ = r.runSpec(specs[i], mods[i])
+		out[i], _, _ = r.runSpec(specs[i], mods[i])
 	})
 	if r.Interrupted() {
 		return nil, false
@@ -536,6 +654,21 @@ func (r *Runner) SetPeerFetch(fetch func(store.Key) ([]byte, bool)) {
 	r.peerFetch.Store(&fetch)
 }
 
+// SetSnapshotPublish installs (or, with nil, removes) the runner's
+// snapshot-publish hook: every checkpoint is handed to it (prefix key +
+// container bytes) right after it is persisted locally. The serving
+// layer installs the replica-push path here, so snapshots reach the
+// prefix key's ring owners the same way computed results do and a retry
+// on a different fleet worker can hedge-fetch them. The hook must not
+// block: publication is replication, never part of the simulation path.
+func (r *Runner) SetSnapshotPublish(publish func(store.Key, []byte)) {
+	if publish == nil {
+		r.snapPublish.Store(nil)
+		return
+	}
+	r.snapPublish.Store(&publish)
+}
+
 // SimsRun returns how many simulations this runner actually executed
 // (cache and store hits excluded).
 func (r *Runner) SimsRun() int64 { return r.simsRun.Load() }
@@ -545,6 +678,19 @@ func (r *Runner) StoreHits() int64 { return r.storeHits.Load() }
 
 // StoreErrs returns how many store writes failed.
 func (r *Runner) StoreErrs() int64 { return r.storeErrs.Load() }
+
+// CheckpointsWritten returns how many snapshots this runner persisted.
+func (r *Runner) CheckpointsWritten() int64 { return r.ckptWritten.Load() }
+
+// CheckpointBytesWritten returns the total snapshot bytes persisted.
+func (r *Runner) CheckpointBytesWritten() int64 { return r.ckptWrittenBytes.Load() }
+
+// CheckpointsRestored returns how many simulations started from a stored
+// snapshot instead of cycle 0.
+func (r *Runner) CheckpointsRestored() int64 { return r.ckptRestored.Load() }
+
+// CheckpointBytesRestored returns the total snapshot bytes restored.
+func (r *Runner) CheckpointBytesRestored() int64 { return r.ckptRestoredBytes.Load() }
 
 // Interrupt makes the runner stop starting new simulations: worker pools
 // drain after their current task, so every completed result has already
@@ -573,7 +719,7 @@ func (r *Runner) progress(done int, label string) {
 // other simulation, so they are deduplicated, persisted to the store, and
 // warmable over the serving layer like any other run.
 func (r *Runner) aloneIPC(prof trace.Profile) float64 {
-	res, _ := r.runSpec(r.AloneSpec(prof), nil)
+	res, _, _ := r.runSpec(r.AloneSpec(prof), nil)
 	return res.IPC[0]
 }
 

@@ -2,6 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dsarp/internal/core"
 	"dsarp/internal/metrics"
@@ -128,15 +131,46 @@ func Experiments() []Experiment {
 // WarmCount reports how many of the specs already have an entry in the
 // store — the shared definition of "warm" behind cmd/experiments -list
 // and GET /v1/experiments. Existence probes only; no payloads are read
-// and LRU state is untouched.
+// and LRU state is untouched. The dominant cost is Key() — a SHA-256
+// over each spec's full benchmark profiles — so the probes fan out over
+// a worker pool; enumerating a whole registry of experiments against a
+// large store stays interactive.
 func WarmCount(st *store.Store, specs []SimSpec) int {
-	warm := 0
-	for _, s := range specs {
-		if st.Contains(s.Key()) {
-			warm++
-		}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
 	}
-	return warm
+	if workers <= 1 {
+		warm := 0
+		for _, s := range specs {
+			if st.Contains(s.Key()) {
+				warm++
+			}
+		}
+		return warm
+	}
+	var (
+		next atomic.Int64
+		warm atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				if st.Contains(specs[i].Key()) {
+					warm.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(warm.Load())
 }
 
 // LookupExperiment finds a registry entry by name.

@@ -9,6 +9,7 @@ import (
 
 	"dsarp/internal/core"
 	"dsarp/internal/sim"
+	"dsarp/internal/snap"
 	"dsarp/internal/store"
 	"dsarp/internal/timing"
 	"dsarp/internal/trace"
@@ -137,6 +138,32 @@ func (s SimSpec) Key() store.Key {
 	if err != nil {
 		// SimSpec is plain data; Marshal cannot fail on it.
 		panic(fmt.Sprintf("exp: marshal spec: %v", err))
+	}
+	return store.KeyOf(payload)
+}
+
+// PrefixKey is the content address of the spec's simulation *prefix* at a
+// given snapshot cycle: the key checkpoints are stored and found under.
+// It hashes the schema version, the snapshot layout version, the canonical
+// spec with Measure zeroed, and the cycle. Zeroing Measure is what makes
+// measure-extension reuse work — a run's state at cycle C is independent
+// of how long the measurement window will eventually be — while every
+// other field (mechanism, density, variant, seed, warmup, engine,
+// benchmarks) shapes the machine state from cycle 0 and stays in the hash.
+// Folding snap.Version in (unlike Key) retires stale-layout snapshots at
+// the key level; folding "snap" into the payload keeps the checkpoint key
+// space disjoint from result keys even within the same store namespace.
+func (s SimSpec) PrefixKey(cycle int64) store.Key {
+	s.Measure = 0
+	payload, err := json.Marshal(struct {
+		Schema string  `json:"schema"`
+		Snap   string  `json:"snap"`
+		Spec   SimSpec `json:"spec"`
+		Cycle  int64   `json:"cycle"`
+	}{SchemaVersion, snap.Version, s, cycle})
+	if err != nil {
+		// SimSpec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("exp: marshal prefix spec: %v", err))
 	}
 	return store.KeyOf(payload)
 }

@@ -480,13 +480,13 @@ func (o *Orchestrator) runSpec(ctx context.Context, j *runJournal, spec exp.SimS
 			j.dispatched(key, w.url)
 		}
 		start := time.Now()
-		res, raw, src, retryAfter, cause, err := o.post(ctx, w, spec)
+		res, raw, src, resumedFrom, retryAfter, cause, err := o.post(ctx, w, spec)
 		ms := float64(time.Since(start)) / float64(time.Millisecond)
 		if err == nil {
 			o.span(telemetry.Span{Kind: telemetry.SpanAttempt, Spec: key.String(), Label: label,
 				Attempt: attempt + 1, Worker: w.url, Status: "ok", Millis: ms})
 			o.span(telemetry.Span{Kind: telemetry.SpanResult, Spec: key.String(), Label: label,
-				Worker: w.url, Source: src})
+				Worker: w.url, Source: src, ResumedFrom: resumedFrom})
 			if j != nil {
 				j.done(key, w.url)
 			}
@@ -589,7 +589,7 @@ func (e *permanentError) Unwrap() error { return e.err }
 // "peer") comes back too — the fleet's measure of cache effectiveness.
 // On failure, cause names the class for the retry tally and the trace:
 // conn, timeout, 429, 503, 5xx, http, malformed, or permanent.
-func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (_ sim.Result, _ []byte, src string, retryAfter time.Duration, cause string, _ error) {
+func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (_ sim.Result, _ []byte, src string, resumedFrom int64, retryAfter time.Duration, cause string, _ error) {
 	w.mu.Lock()
 	w.inflight++
 	w.mu.Unlock()
@@ -601,13 +601,13 @@ func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (_
 
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return sim.Result{}, nil, "", 0, "permanent", &permanentError{fmt.Errorf("marshal spec: %w", err)}
+		return sim.Result{}, nil, "", 0, 0, "permanent", &permanentError{fmt.Errorf("marshal spec: %w", err)}
 	}
 	rctx, cancel := context.WithTimeout(ctx, o.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.url+"/v1/sim", strings.NewReader(string(body)))
 	if err != nil {
-		return sim.Result{}, nil, "", 0, "permanent", &permanentError{err}
+		return sim.Result{}, nil, "", 0, 0, "permanent", &permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if o.traceID != "" {
@@ -622,41 +622,42 @@ func (o *Orchestrator) post(ctx context.Context, w *worker, spec exp.SimSpec) (_
 		if errors.Is(err, context.DeadlineExceeded) {
 			cause = "timeout"
 		}
-		return sim.Result{}, nil, "", 0, cause, fmt.Errorf("worker %s: %w", w.url, err)
+		return sim.Result{}, nil, "", 0, 0, cause, fmt.Errorf("worker %s: %w", w.url, err)
 	}
 	defer resp.Body.Close()
 
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var sr struct {
-			Key    string          `json:"key"`
-			Source string          `json:"source"`
-			Result json.RawMessage `json:"result"`
+			Key         string          `json:"key"`
+			Source      string          `json:"source"`
+			ResumedFrom int64           `json:"resumed_from"`
+			Result      json.RawMessage `json:"result"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-			return sim.Result{}, nil, "", 0, "malformed", fmt.Errorf("worker %s: malformed response: %w", w.url, err)
+			return sim.Result{}, nil, "", 0, 0, "malformed", fmt.Errorf("worker %s: malformed response: %w", w.url, err)
 		}
 		res, err := exp.DecodeResult(sr.Result)
 		if err != nil {
-			return sim.Result{}, nil, "", 0, "malformed", fmt.Errorf("worker %s: undecodable result: %w", w.url, err)
+			return sim.Result{}, nil, "", 0, 0, "malformed", fmt.Errorf("worker %s: undecodable result: %w", w.url, err)
 		}
-		return res, sr.Result, sr.Source, 0, "", nil
+		return res, sr.Result, sr.Source, sr.ResumedFrom, 0, "", nil
 	case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
-		return sim.Result{}, nil, "", 0, "permanent", &permanentError{fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))}
+		return sim.Result{}, nil, "", 0, 0, "permanent", &permanentError{fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))}
 	case http.StatusTooManyRequests:
 		// Backpressure: the worker is alive, just full. Honor its wait
 		// estimate and count its load so the next pick prefers a sibling.
-		return sim.Result{}, nil, "", retryAfterOf(resp), "429", fmt.Errorf("worker %s: %s", w.url, resp.Status)
+		return sim.Result{}, nil, "", 0, retryAfterOf(resp), "429", fmt.Errorf("worker %s: %s", w.url, resp.Status)
 	case http.StatusServiceUnavailable:
 		// Draining: it will be gone shortly. Prefer survivors.
 		o.markDead(w, errors.New(resp.Status))
-		return sim.Result{}, nil, "", retryAfterOf(resp), "503", fmt.Errorf("worker %s: %s", w.url, resp.Status)
+		return sim.Result{}, nil, "", 0, retryAfterOf(resp), "503", fmt.Errorf("worker %s: %s", w.url, resp.Status)
 	default:
 		cause = "http"
 		if resp.StatusCode >= 500 {
 			cause = "5xx"
 		}
-		return sim.Result{}, nil, "", 0, cause, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))
+		return sim.Result{}, nil, "", 0, 0, cause, fmt.Errorf("worker %s: %s: %s", w.url, resp.Status, errorBody(resp))
 	}
 }
 

@@ -11,7 +11,11 @@
 // the row index arithmetically.
 package refresh
 
-import "fmt"
+import (
+	"fmt"
+
+	"dsarp/internal/snap"
+)
 
 // Unit is the refresh bookkeeping for one rank.
 type Unit struct {
@@ -93,6 +97,35 @@ func (u *Unit) advance(bank, rows int) Op {
 	u.nextRow[bank] = (start + n) % u.rowsPerBank
 	u.issued[bank]++
 	return Op{Bank: bank, StartRow: start, Rows: n, Subarray: start / u.rowsPerSub}
+}
+
+// AppendState writes the unit's mutable counters: the round-robin bank
+// pointer, the per-bank row counters, and the per-bank issued totals.
+// Geometry is construction-derived and omitted.
+func (u *Unit) AppendState(w *snap.Writer) {
+	w.Int(u.rrBank)
+	for _, v := range u.nextRow {
+		w.Int(v)
+	}
+	for _, v := range u.issued {
+		w.I64(v)
+	}
+}
+
+// LoadState restores the counters written by AppendState onto a unit of
+// the same geometry.
+func (u *Unit) LoadState(r *snap.Reader) error {
+	u.rrBank = r.Int()
+	for b := range u.nextRow {
+		u.nextRow[b] = r.Int()
+	}
+	for b := range u.issued {
+		u.issued[b] = r.I64()
+	}
+	if u.rrBank < 0 || u.rrBank >= u.banks {
+		return fmt.Errorf("refresh: snapshot rrBank %d out of range [0,%d)", u.rrBank, u.banks)
+	}
+	return r.Err()
 }
 
 // AdvanceRR moves the round-robin pointer past the given bank; used when a

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"dsarp/internal/dram"
+	"dsarp/internal/snap"
 	"dsarp/internal/timing"
 )
 
@@ -119,3 +120,9 @@ func (NoRefresh) NextDeadline(int64) int64 { return math.MaxInt64 }
 
 // Skip implements RefreshPolicy.
 func (NoRefresh) Skip(int64, int64) {}
+
+// AppendState implements snap.Codec: NoRefresh has no state.
+func (NoRefresh) AppendState(*snap.Writer) {}
+
+// LoadState implements snap.Codec.
+func (NoRefresh) LoadState(*snap.Reader) error { return nil }

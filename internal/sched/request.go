@@ -26,6 +26,12 @@ type Request struct {
 	// the cache/CPU to unblock the miss). Writes complete silently.
 	OnComplete func(now int64)
 
+	// Tag is the requester's identity for OnComplete — the pre-mapping byte
+	// address of the line being filled. Callbacks do not serialize, so a
+	// restored snapshot re-links OnComplete by asking the owning core's
+	// cache slice for the outstanding fill on Tag's line.
+	Tag uint64
+
 	// seq is the controller-assigned admission order. FR-FCFS age comparisons
 	// across per-bank buckets use it to recover the flat queue order the seed
 	// controller scanned in.

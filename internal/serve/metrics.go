@@ -13,6 +13,16 @@ import (
 type serverMetrics struct {
 	refused    *telemetry.CounterVec   // reason: queue_full | draining
 	simSeconds *telemetry.HistogramVec // source: computed | store | memory | peer
+	// resumeCycle records the checkpoint cycle each resumed computation
+	// restarted from (cold runs are not observed).
+	resumeCycle *telemetry.Histogram
+}
+
+// resumeCycleBuckets span the checkpoint-cycle scale: the smoke-test
+// warmups (tens of thousands of DRAM cycles) up through paper-scale
+// windows (200k warmup + 2M measure).
+var resumeCycleBuckets = []float64{
+	1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7,
 }
 
 // registerMetrics wires the server's observable state into reg and
@@ -25,6 +35,9 @@ func (s *Server) registerMetrics(reg *telemetry.Registry, chaos *Chaos) *serverM
 		simSeconds: reg.HistogramVec("dsarp_sim_seconds",
 			"Per-simulation wall time by result source.",
 			telemetry.SimSecondsBuckets, "source"),
+		resumeCycle: reg.Histogram("dsarp_resume_cycle",
+			"Checkpoint cycle resumed computations restored from.",
+			resumeCycleBuckets),
 	}
 	// Pre-create the label combinations so every scrape exposes the full
 	// catalog at zero, not just the series that happened to fire.
@@ -74,14 +87,38 @@ func (s *Server) registerMetrics(reg *telemetry.Registry, chaos *Chaos) *serverM
 		"Store read/write errors observed by the runner.", func() float64 {
 			return float64(s.runner.StoreErrs())
 		})
+	reg.CounterFunc("dsarp_checkpoints_written_total",
+		"Simulation snapshots persisted to the store.", func() float64 {
+			return float64(s.runner.CheckpointsWritten())
+		})
+	reg.CounterFunc("dsarp_checkpoint_written_bytes_total",
+		"Snapshot bytes persisted to the store.", func() float64 {
+			return float64(s.runner.CheckpointBytesWritten())
+		})
+	reg.CounterFunc("dsarp_checkpoints_restored_total",
+		"Simulations resumed from a stored snapshot.", func() float64 {
+			return float64(s.runner.CheckpointsRestored())
+		})
+	reg.CounterFunc("dsarp_checkpoint_restored_bytes_total",
+		"Snapshot bytes restored into resumed simulations.", func() float64 {
+			return float64(s.runner.CheckpointBytesRestored())
+		})
 
 	if st := s.runner.Options().Store; st != nil {
-		reg.GaugeFunc("dsarp_store_entries", "Results held by the local store.", func() float64 {
+		reg.GaugeFunc("dsarp_store_entries", "Entries held by the local store (all kinds).", func() float64 {
 			return float64(st.Stats().Entries)
 		})
-		reg.GaugeFunc("dsarp_store_bytes", "Bytes held by the local store.", func() float64 {
+		reg.GaugeFunc("dsarp_store_bytes", "Bytes held by the local store (all kinds).", func() float64 {
 			return float64(st.Stats().Bytes)
 		})
+		kindEntries := reg.GaugeVec("dsarp_store_kind_entries",
+			"Entries held by the local store, by namespace kind.", "kind")
+		kindEntries.Func(func() float64 { return float64(st.Stats().ResultEntries) }, "result")
+		kindEntries.Func(func() float64 { return float64(st.Stats().SnapshotEntries) }, "snapshot")
+		kindBytes := reg.GaugeVec("dsarp_store_kind_bytes",
+			"Bytes held by the local store, by namespace kind.", "kind")
+		kindBytes.Func(func() float64 { return float64(st.Stats().ResultBytes) }, "result")
+		kindBytes.Func(func() float64 { return float64(st.Stats().SnapshotBytes) }, "snapshot")
 		reg.CounterFunc("dsarp_store_evicted_total", "Entries removed by the byte cap.", func() float64 {
 			return float64(st.Stats().Evicted)
 		})

@@ -18,6 +18,7 @@ import (
 
 	"dsarp/internal/exp"
 	"dsarp/internal/ring"
+	"dsarp/internal/snap"
 	"dsarp/internal/store"
 )
 
@@ -255,11 +256,10 @@ func (p *peerNet) fetchOne(ctx context.Context, target string, k store.Key) ([]b
 	return data, nil
 }
 
-// verifyPayload checks result bytes against their declared hash and
-// decodes them: the two-layer gate every peer payload passes before it
-// is persisted or served. A missing declaration is rejected too — an
-// unverifiable payload is as useless as a corrupt one.
-func verifyPayload(data []byte, declaredHex string) error {
+// verifyDeclaredHash checks payload bytes against their declared hash —
+// the first gate every peer payload passes. A missing declaration is
+// rejected too: an unverifiable payload is as useless as a corrupt one.
+func verifyDeclaredHash(data []byte, declaredHex string) error {
 	if declaredHex == "" {
 		return &corruptError{fmt.Errorf("peer response lacks %s", payloadHashHeader)}
 	}
@@ -267,10 +267,39 @@ func verifyPayload(data []byte, declaredHex string) error {
 	if !strings.EqualFold(hex.EncodeToString(sum[:]), declaredHex) {
 		return &corruptError{fmt.Errorf("payload hash %x does not match declared %s", sum, declaredHex)}
 	}
-	if _, err := exp.DecodeResult(data); err != nil {
-		return &corruptError{fmt.Errorf("payload does not decode: %w", err)}
-	}
 	return nil
+}
+
+// classifyPayload decides which store namespace peer-delivered bytes
+// belong to by decoding them: a result payload (exp.EncodeResult bytes)
+// or a checkpoint container (internal/snap bytes, whose own header +
+// payload SHA-256 are the integrity check). The two formats are
+// structurally disjoint, so classification is unambiguous; bytes that
+// are neither are corrupt. A snapshot with a stale layout version is
+// reported as ErrVersion (not corrupt): it is well-formed, just useless
+// to this generation of the code.
+func classifyPayload(data []byte) (store.Kind, error) {
+	if _, err := exp.DecodeResult(data); err == nil {
+		return store.KindResult, nil
+	}
+	if _, err := snap.NewReader(data); err == nil {
+		return store.KindSnapshot, nil
+	} else if errors.Is(err, snap.ErrVersion) {
+		return store.KindSnapshot, err
+	}
+	return store.KindResult, &corruptError{fmt.Errorf("payload decodes as neither result nor snapshot")}
+}
+
+// verifyPayload checks peer-delivered bytes against their declared hash
+// and decodes them: the two-layer gate every peer payload passes before
+// it is persisted or served. The decode layer accepts both payload kinds
+// the /v1/results wire carries — results and snapshot containers.
+func verifyPayload(data []byte, declaredHex string) error {
+	if err := verifyDeclaredHash(data, declaredHex); err != nil {
+		return err
+	}
+	_, err := classifyPayload(data)
+	return err
 }
 
 // push replicates a freshly-computed payload to the key's other owners,
@@ -351,10 +380,15 @@ const maxResultBytes = 8 << 20
 // configured: the GET side is also a useful raw-result export) ---
 
 // handleResultGet serves the raw stored payload for a key — the exact
-// EncodeResult bytes, with their SHA-256 declared in a header so the
-// fetching peer can verify before trusting. Reads work even when the
-// store is degraded (read-only): a worker with a dead disk keeps serving
-// every result it already holds.
+// EncodeResult bytes for a result, or the snap container bytes for a
+// checkpoint — with their SHA-256 declared in a header so the fetching
+// peer can verify before trusting. Result and snapshot key spaces are
+// disjoint by construction (exp.SimSpec.Key vs PrefixKey), so one
+// endpoint serves both namespaces: a result miss falls through to the
+// snapshot namespace, which is how checkpoints travel to ring peers for
+// cross-worker resume. Reads work even when the store is degraded
+// (read-only): a worker with a dead disk keeps serving every payload it
+// already holds.
 func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
 	st := s.runner.Options().Store
 	if st == nil {
@@ -368,7 +402,10 @@ func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
 	}
 	data, ok := st.Get(key)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no result for key %s", key))
+		data, ok = st.GetKind(key, store.KindSnapshot)
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no payload for key %s", key))
 		return
 	}
 	sum := sha256.Sum256(data)
@@ -382,9 +419,11 @@ func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
 // handleResultPut ingests a replica payload pushed by a peer. The body
 // is verified — declared hash against the received bytes, then a full
 // decode — before it touches the store, so a corrupt or truncated push
-// can never poison the warm tier; rejects are counted. A degraded
-// (read-only) store refuses with 503: the pusher counts a failure and
-// the payload stays wherever it already is.
+// can never poison the warm tier; rejects are counted. The decode also
+// classifies the payload, routing it to the matching store namespace:
+// results and snapshots replicate over the same wire but never mix on
+// disk. A degraded (read-only) store refuses with 503: the pusher counts
+// a failure and the payload stays wherever it already is.
 func (s *Server) handleResultPut(w http.ResponseWriter, r *http.Request) {
 	st := s.runner.Options().Store
 	if st == nil {
@@ -401,20 +440,28 @@ func (s *Server) handleResultPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, decodeStatus(err), fmt.Errorf("serve: read payload: %w", err))
 		return
 	}
-	if err := verifyPayload(data, r.Header.Get(payloadHashHeader)); err != nil {
+	if err := verifyDeclaredHash(data, r.Header.Get(payloadHashHeader)); err != nil {
+		if s.peer != nil {
+			s.peer.corrupt.Add(1)
+		}
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	kind, err := classifyPayload(data)
+	if err != nil {
 		if s.peer != nil && isCorrupt(err) {
 			s.peer.corrupt.Add(1)
 		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if st.Contains(key) {
+	if st.ContainsKind(key, kind) {
 		// Already replicated (a concurrent push, or read-through repair
 		// beat us): nothing to write.
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	if err := st.Put(key, data); err != nil {
+	if err := st.PutKind(key, kind, data); err != nil {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}

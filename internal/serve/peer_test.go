@@ -8,6 +8,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 
@@ -329,5 +330,115 @@ func TestResultGetSurvivesDegradedStore(t *testing.T) {
 	payload := body // a valid result payload, offered under a new key
 	if resp := putResult(t, s.ts.URL, other, payload, hexOf(payload)); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("PUT to a degraded store: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestCheckpointTravelsToPeer: a ring member that misses a snapshot
+// locally hedge-fetches it from the member that computed it — over the
+// same GET /v1/results/{key} verified path results use — so a retry (or
+// a measure-extension) landing on a different worker resumes mid-run
+// instead of cold-starting. Worker a computes with checkpoints on;
+// worker b, with an empty store and a as its only ring sibling, is asked
+// a longer-measure variant of the same spec and must resume from a's
+// deepest snapshot.
+func TestCheckpointTravelsToPeer(t *testing.T) {
+	opts := tinyOpts()
+	opts.Checkpoints = true
+	opts.CheckpointEvery = 2_000
+
+	a := newService(t, opts, Config{Workers: 2}, nil)
+	spec := tinySpec("ckpt-travel")
+	if resp, body := a.post(t, "/v1/sim", spec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim on a: %d %s", resp.StatusCode, body)
+	}
+	if a.runner.CheckpointsWritten() == 0 {
+		t.Fatal("a wrote no snapshots")
+	}
+
+	ext := spec
+	ext.Measure = opts.Measure + 4_000
+	// Cold checkpoint-free reference for the extended window.
+	coldOpts := tinyOpts()
+	cold := exp.NewRunner(coldOpts)
+	preparedCold, err := cold.PrepareSpec(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cold.RunSpec(preparedCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := peerService(t, opts, "http://b.invalid", []string{a.ts.URL}, nil)
+	resp, body := b.post(t, "/v1/sim", ext)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim on b: %d %s", resp.StatusCode, body)
+	}
+	var sr simResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Source != "computed" {
+		t.Fatalf("source = %q, want computed (a holds no result for the extended window)", sr.Source)
+	}
+	// a's snapshots cover the shared prefix up to its own measure end.
+	deepest := opts.Warmup + 3*opts.CheckpointEvery
+	if sr.ResumedFrom != deepest {
+		t.Errorf("resumed_from = %d, want a's deepest snapshot %d", sr.ResumedFrom, deepest)
+	}
+	if n := b.runner.CheckpointsRestored(); n != 1 {
+		t.Errorf("b restored %d checkpoints, want 1", n)
+	}
+	got, err := exp.DecodeResult(sr.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("peer-resumed result diverged from a cold run")
+	}
+}
+
+// TestSnapshotPutLandsInSnapshotNamespace: a pushed snapshot container
+// is classified by its bytes and persisted under the snapshot namespace,
+// never mixed into the result namespace — and garbage that is neither a
+// result nor a snapshot still bounces.
+func TestSnapshotPutLandsInSnapshotNamespace(t *testing.T) {
+	opts := tinyOpts()
+	opts.Checkpoints = true
+	opts.CheckpointEvery = 2_000
+	a := newService(t, opts, Config{Workers: 2}, nil)
+	spec := tinySpec("ckpt-put")
+	if resp, body := a.post(t, "/v1/sim", spec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim: %d %s", resp.StatusCode, body)
+	}
+	prepared, err := a.runner.PrepareSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkey := prepared.PrefixKey(prepared.Warmup)
+	payload, ok := a.store.GetKind(pkey, store.KindSnapshot)
+	if !ok {
+		t.Fatal("warmup-boundary snapshot missing from a's store")
+	}
+
+	dst := peerService(t, tinyOpts(), "http://self.invalid", nil, nil)
+	if resp := putResult(t, dst.ts.URL, pkey, payload, hexOf(payload)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("snapshot PUT: %d, want 204", resp.StatusCode)
+	}
+	got, ok := dst.store.GetKind(pkey, store.KindSnapshot)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("pushed snapshot not persisted byte-identically in the snapshot namespace")
+	}
+	if dst.store.Contains(pkey) {
+		t.Error("snapshot payload leaked into the result namespace")
+	}
+
+	// And GET serves it back from the snapshot namespace, hash declared.
+	resp, body := dst.get(t, "/v1/results/"+pkey.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET snapshot: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, payload) || resp.Header.Get(payloadHashHeader) != hexOf(payload) {
+		t.Error("GET did not serve the snapshot bytes with their declared hash")
 	}
 }

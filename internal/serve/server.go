@@ -100,7 +100,10 @@ type task struct {
 type taskReply struct {
 	res sim.Result
 	src exp.RunSource
-	err error
+	// resumedFrom is the checkpoint cycle the computation was restored
+	// from, 0 for a cold (or cache/store-served) run.
+	resumedFrom int64
+	err         error
 }
 
 // Server owns the worker pool, the queue, and the job registry.
@@ -181,6 +184,10 @@ func New(cfg Config) *Server {
 		// a local store miss and before a simulation starts — concurrent
 		// identical specs share one hedged fetch.
 		cfg.Runner.SetPeerFetch(s.peer.fetch)
+		// Checkpoints replicate the same way computed results do: every
+		// snapshot the runner persists is pushed to its prefix key's other
+		// ring owners, so a retry landing on a different worker can resume.
+		cfg.Runner.SetSnapshotPublish(s.peer.push)
 	}
 	s.reg = cfg.Metrics
 	if s.reg == nil {
@@ -259,10 +266,16 @@ func (s *Server) worker() {
 			t = tt
 		}
 		start := time.Now()
-		res, src, err := s.runner.RunSpec(t.spec)
+		res, info, err := s.runner.RunSpecInfo(t.spec)
+		src := info.Source
 		dur := time.Since(start)
 		if err == nil {
 			s.metrics.simSeconds.With(src.String()).Observe(dur.Seconds())
+			if info.ResumedFrom > 0 {
+				s.metrics.resumeCycle.Observe(float64(info.ResumedFrom))
+				s.log.Info("resumed from checkpoint",
+					"spec", t.spec.Key().String(), "cycle", info.ResumedFrom)
+			}
 		}
 		if err == nil && src == exp.SourceComputed {
 			s.noteSimDuration(dur)
@@ -278,12 +291,13 @@ func (s *Server) worker() {
 		}
 		if s.trace != nil && t.trace != "" {
 			sp := telemetry.Span{
-				Trace:  t.trace,
-				Kind:   telemetry.SpanServe,
-				Spec:   t.spec.Key().String(),
-				Label:  t.spec.Name + " " + t.spec.Mechanism,
-				Worker: s.selfID,
-				Millis: float64(dur) / float64(time.Millisecond),
+				Trace:       t.trace,
+				Kind:        telemetry.SpanServe,
+				Spec:        t.spec.Key().String(),
+				Label:       t.spec.Name + " " + t.spec.Mechanism,
+				Worker:      s.selfID,
+				ResumedFrom: info.ResumedFrom,
+				Millis:      float64(dur) / float64(time.Millisecond),
 			}
 			if err != nil {
 				sp.Status, sp.Error = "failed", err.Error()
@@ -297,7 +311,7 @@ func (s *Server) worker() {
 			t.job.complete(t.index, t.spec, res, src, err)
 		}
 		if t.reply != nil {
-			t.reply <- taskReply{res: res, src: src, err: err}
+			t.reply <- taskReply{res: res, src: src, resumedFrom: info.ResumedFrom, err: err}
 		}
 		s.tasks.Done()
 	}
@@ -382,10 +396,13 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // simResponse is the POST /v1/sim reply.
 type simResponse struct {
-	Key    string          `json:"key"`
-	Source string          `json:"source"`
-	Cached bool            `json:"cached"`
-	Result json.RawMessage `json:"result"`
+	Key    string `json:"key"`
+	Source string `json:"source"`
+	Cached bool   `json:"cached"`
+	// ResumedFrom is the checkpoint cycle a computed simulation was
+	// restored from; 0/absent for cold or cache-served runs.
+	ResumedFrom int64           `json:"resumed_from,omitempty"`
+	Result      json.RawMessage `json:"result"`
 }
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
@@ -422,10 +439,11 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, simResponse{
-		Key:    spec.Key().String(),
-		Source: rep.src.String(),
-		Cached: rep.src.Cached(),
-		Result: data,
+		Key:         spec.Key().String(),
+		Source:      rep.src.String(),
+		Cached:      rep.src.Cached(),
+		ResumedFrom: rep.resumedFrom,
+		Result:      data,
 	})
 }
 

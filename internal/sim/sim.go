@@ -207,6 +207,27 @@ type System struct {
 	// interface so the per-cycle probe is a direct call.
 	hotKind int8 // hotNone, or the component list hotIdx indexes
 	hotIdx  int
+
+	// Event-loop saturation state. These live on the System rather than as
+	// RunTo locals so a snapshot captures them and a resumed run's engine
+	// makes the same step-vs-skip decisions as the uninterrupted run — the
+	// SteppedCycles accounting is part of the bit-exactness contract.
+	loopSat   int  // consecutive-stepped saturation counter
+	loopBlind int  // plain Steps remaining in the current blind window
+	keepLoop  bool // one-shot: next RunTo keeps loopSat/loopBlind (set by restore)
+
+	// Checkpoint schedule, armed by RunWithCheckpoints/ResumeRun: a snapshot
+	// is captured whenever the clock reaches ckptNext.
+	ckptEvery  int64
+	ckptNext   int64
+	ckptSink   Checkpointer
+	measureEnd int64
+
+	// Measurement baseline (beginMeasure). Carried in snapshots so a resumed
+	// run windows its Result identically to the cold run.
+	inMeasure    bool
+	start        snapshot
+	startStepped int64
 }
 
 // hot-component kinds (System.hotKind).
@@ -284,6 +305,7 @@ func (p *memPort) ReadLine(addr uint64, onDone func(now int64)) bool {
 	s.nextID++
 	req := s.ctrls[ch].NewRequest()
 	req.ID, req.Core, req.Addr, req.OnComplete = s.nextID, p.core, da, onDone
+	req.Tag = addr // pre-mapping address: snapshots re-link onDone through it
 	return s.ctrls[ch].EnqueueRead(req, s.now)
 }
 
@@ -465,8 +487,17 @@ func (s *System) stopped() bool {
 }
 
 // RunTo advances the system to cycle end under the configured engine,
-// returning early (with s.now < end) if Config.Stop flips true.
+// returning early (with s.now < end) if Config.Stop flips true. The
+// saturation state lives on the System (loopSat/loopBlind): it is zeroed
+// on entry — matching the old per-call locals — unless a snapshot restore
+// armed keepLoop, in which case the restored values carry the interrupted
+// run's engine position forward.
 func (s *System) RunTo(end int64) {
+	if s.keepLoop {
+		s.keepLoop = false
+	} else {
+		s.loopSat, s.loopBlind = 0, 0
+	}
 	poll := 0
 	checkStop := func() bool {
 		if poll++; poll < stopPollEvery {
@@ -477,6 +508,7 @@ func (s *System) RunTo(end int64) {
 	}
 	if s.cfg.Engine == EngineCycle {
 		for s.now < end {
+			s.maybeCheckpoint()
 			s.Step()
 			if checkStop() {
 				return
@@ -484,35 +516,82 @@ func (s *System) RunTo(end int64) {
 		}
 		return
 	}
-	saturated := 0
 	for s.now < end {
 		if checkStop() {
 			return
 		}
-		if t := s.NextEvent(end); t > s.now {
-			if t-s.now >= worthwhileSkip {
-				saturated = 0
+		if s.loopBlind > 0 {
+			// Saturation fallback: run the rest of the blind window as plain
+			// Steps with no scanning. Resumable — a snapshot mid-window
+			// restores loopBlind and re-enters here.
+			for s.loopBlind > 0 && s.now < end {
+				s.maybeCheckpoint()
+				s.Step()
+				s.loopBlind--
 			}
-			s.SkipTo(t)
+			continue
+		}
+		if t := s.NextEvent(end); t > s.now {
+			// The saturation reset is decided on the full skip length BEFORE
+			// skipTo splits it at checkpoint boundaries: a checkpointed run
+			// and its plain twin must make identical saturation decisions.
+			if t-s.now >= worthwhileSkip {
+				s.loopSat = 0
+			}
+			s.skipTo(t)
 			if s.now < end {
 				// The skip landed on the window's bounding event; step it
 				// without paying for a scan that would just confirm it.
+				s.maybeCheckpoint()
 				s.stepSelective()
 			}
 			continue
 		}
+		s.maybeCheckpoint()
 		if s.stepSelective() == 0 {
-			saturated += 4 // nothing avoided at all: saturate faster
+			s.loopSat += 4 // nothing avoided at all: saturate faster
 		} else {
-			saturated++
+			s.loopSat++
 		}
-		if saturated >= saturatedAfter {
-			for i := 0; i < blindWindow && s.now < end; i++ {
-				s.Step()
-			}
-			saturated = saturatedAfter / 2 // stay wary until a real skip lands
+		if s.loopSat >= saturatedAfter {
+			// Arm the blind window; stay wary until a real skip lands. The
+			// counter is set before the window runs (it is not consulted
+			// inside it), so a snapshot taken mid-window carries the value
+			// the old post-window assignment would have produced.
+			s.loopSat = saturatedAfter / 2
+			s.loopBlind = blindWindow
 		}
 	}
+}
+
+// maybeCheckpoint captures a snapshot when the clock sits exactly on the
+// next scheduled checkpoint boundary. Callers invoke it immediately before
+// every clock advance, so the snapshot always reflects the state at the
+// top of cycle ckptNext. Two compares when no schedule is armed.
+func (s *System) maybeCheckpoint() {
+	if s.ckptSink == nil || s.now != s.ckptNext {
+		return
+	}
+	s.ckptSink(s.now, s.Snapshot())
+	s.ckptNext += s.ckptEvery
+	if s.ckptNext >= s.measureEnd {
+		s.ckptSink = nil
+	}
+}
+
+// skipTo is SkipTo with checkpoint-boundary splitting: a skip that would
+// jump over a scheduled checkpoint cycle is split so the snapshot is
+// captured with the clock exactly on the boundary. The split is invisible
+// to the machine (SkipTo composes) and to the engine (RunTo decides the
+// saturation reset on the unsplit length).
+func (s *System) skipTo(t int64) {
+	for s.ckptSink != nil && s.ckptNext < t && s.ckptNext >= s.now {
+		if s.ckptNext > s.now {
+			s.SkipTo(s.ckptNext)
+		}
+		s.maybeCheckpoint()
+	}
+	s.SkipTo(t)
 }
 
 // Now returns the current DRAM cycle.
@@ -552,52 +631,45 @@ func (s *System) snap() snapshot {
 	return sn
 }
 
-// Run executes warmup + measurement and returns the windowed result. If
-// Config.Stop flips true before the measurement window completes, Run
-// returns ErrInterrupted and no Result.
-func Run(cfg Config) (Result, error) {
-	cfg = cfg.WithDefaults()
-	s, err := NewSystem(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	s.RunTo(cfg.Warmup)
-	if s.now < cfg.Warmup {
-		return Result{}, ErrInterrupted
-	}
-	start := s.snap()
-	startStepped := s.stepped
-	s.RunTo(cfg.Warmup + cfg.Measure)
-	if s.now < cfg.Warmup+cfg.Measure {
-		return Result{}, ErrInterrupted
-	}
-	end := s.snap()
+// beginMeasure records the measurement baseline at the warmup boundary;
+// result() subtracts it. The baseline travels inside snapshots so a
+// resumed run windows its Result identically to the cold run.
+func (s *System) beginMeasure() {
+	s.start = s.snap()
+	s.startStepped = s.stepped
+	s.inMeasure = true
+}
 
+// result assembles the windowed Result; beginMeasure must have run and the
+// clock must stand at the end of the measurement window.
+func (s *System) result() Result {
+	cfg := s.cfg
+	end := s.snap()
 	res := Result{
 		Mechanism:      s.ctrls[0].Policy().Name(),
 		Workload:       cfg.Workload.Name,
-		DRAM:           end.dram.Sub(start.dram),
-		Sched:          end.sched.Sub(start.sched),
+		DRAM:           end.dram.Sub(s.start.dram),
+		Sched:          end.sched.Sub(s.start.sched),
 		MeasuredCycles: cfg.Measure,
-		SteppedCycles:  s.stepped - startStepped,
+		SteppedCycles:  s.stepped - s.startStepped,
 	}
 	for i := range s.cores {
 		cs := cpu.Stats{
-			Retired:      end.cores[i].Retired - start.cores[i].Retired,
-			CPUCycles:    end.cores[i].CPUCycles - start.cores[i].CPUCycles,
-			Loads:        end.cores[i].Loads - start.cores[i].Loads,
-			Stores:       end.cores[i].Stores - start.cores[i].Stores,
-			MemStallBeat: end.cores[i].MemStallBeat - start.cores[i].MemStallBeat,
+			Retired:      end.cores[i].Retired - s.start.cores[i].Retired,
+			CPUCycles:    end.cores[i].CPUCycles - s.start.cores[i].CPUCycles,
+			Loads:        end.cores[i].Loads - s.start.cores[i].Loads,
+			Stores:       end.cores[i].Stores - s.start.cores[i].Stores,
+			MemStallBeat: end.cores[i].MemStallBeat - s.start.cores[i].MemStallBeat,
 		}
 		res.Cores = append(res.Cores, cs)
 		res.IPC = append(res.IPC, cs.IPC())
 
 		cc := cache.Stats{
-			Accesses:   end.cache[i].Accesses - start.cache[i].Accesses,
-			Hits:       end.cache[i].Hits - start.cache[i].Hits,
-			Misses:     end.cache[i].Misses - start.cache[i].Misses,
-			MSHRMerges: end.cache[i].MSHRMerges - start.cache[i].MSHRMerges,
-			Writebacks: end.cache[i].Writebacks - start.cache[i].Writebacks,
+			Accesses:   end.cache[i].Accesses - s.start.cache[i].Accesses,
+			Hits:       end.cache[i].Hits - s.start.cache[i].Hits,
+			Misses:     end.cache[i].Misses - s.start.cache[i].Misses,
+			MSHRMerges: end.cache[i].MSHRMerges - s.start.cache[i].MSHRMerges,
+			Writebacks: end.cache[i].Writebacks - s.start.cache[i].Writebacks,
 		}
 		res.Cache = append(res.Cache, cc)
 		mpki := 0.0
@@ -616,5 +688,94 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 	}
-	return res, nil
+	return res
+}
+
+// Run executes warmup + measurement and returns the windowed result. If
+// Config.Stop flips true before the measurement window completes, Run
+// returns ErrInterrupted and no Result.
+func Run(cfg Config) (Result, error) {
+	return RunWithCheckpoints(cfg, 0, nil)
+}
+
+// Checkpointer receives snapshots as a run crosses checkpoint boundaries.
+// The data is a self-contained snap container (see System.Snapshot); cycle
+// is the DRAM cycle the snapshot's clock stands at.
+type Checkpointer func(cycle int64, data []byte)
+
+// RunWithCheckpoints is Run with resumable checkpoints: after a cold
+// warmup it hands sink the warmup-boundary snapshot, then — if every > 0 —
+// further snapshots at cycles Warmup + k*every strictly inside the
+// measurement window. A checkpointed run's Result is bit-identical to the
+// plain run's, SteppedCycles included. Configurations whose state cannot
+// serialize (protocol checker attached, non-serializable custom policy)
+// silently run without checkpoints.
+func RunWithCheckpoints(cfg Config, every int64, sink Checkpointer) (Result, error) {
+	cfg = cfg.WithDefaults()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.RunTo(cfg.Warmup)
+	if s.now < cfg.Warmup {
+		return Result{}, ErrInterrupted
+	}
+	s.beginMeasure()
+	if sink != nil && s.CanSnapshot() {
+		// The warmup-boundary snapshot. Saturation state is zeroed exactly
+		// as the measurement RunTo below zeroes it on entry, so a run
+		// resumed from this snapshot replays the same engine decisions.
+		s.loopSat, s.loopBlind = 0, 0
+		sink(s.now, s.Snapshot())
+		s.armCheckpoints(every, sink)
+	}
+	s.RunTo(cfg.Warmup + cfg.Measure)
+	if s.now < cfg.Warmup+cfg.Measure {
+		return Result{}, ErrInterrupted
+	}
+	return s.result(), nil
+}
+
+// ResumeRun continues a run from a snapshot taken by a checkpointed run of
+// a config identical up to Measure (the snapshot is agnostic to the
+// measurement length, enabling measure-extension reuse). The resumed run's
+// Result is bit-identical to an uninterrupted run's. every/sink arm
+// further checkpoints exactly as RunWithCheckpoints would.
+func ResumeRun(cfg Config, data []byte, every int64, sink Checkpointer) (Result, error) {
+	cfg = cfg.WithDefaults()
+	s, err := RestoreSystem(cfg, data)
+	if err != nil {
+		return Result{}, err
+	}
+	end := cfg.Warmup + cfg.Measure
+	if !s.inMeasure || s.now < cfg.Warmup || s.now >= end {
+		return Result{}, fmt.Errorf("sim: snapshot at cycle %d outside measurement window [%d, %d)",
+			s.now, cfg.Warmup, end)
+	}
+	if sink != nil && s.CanSnapshot() {
+		s.armCheckpoints(every, sink)
+	}
+	s.RunTo(end)
+	if s.now < end {
+		return Result{}, ErrInterrupted
+	}
+	return s.result(), nil
+}
+
+// armCheckpoints schedules periodic snapshots at cycles Warmup + k*every
+// for k >= 1, strictly inside the measurement window, starting after the
+// current clock. The schedule is identical whether armed at the warmup
+// boundary or on resume from any checkpoint, so cold and resumed runs
+// write the same snapshot set.
+func (s *System) armCheckpoints(every int64, sink Checkpointer) {
+	if sink == nil || every <= 0 {
+		return
+	}
+	end := s.cfg.Warmup + s.cfg.Measure
+	k := (s.now-s.cfg.Warmup)/every + 1
+	next := s.cfg.Warmup + k*every
+	if next >= end {
+		return
+	}
+	s.ckptEvery, s.ckptNext, s.ckptSink, s.measureEnd = every, next, sink, end
 }

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"dsarp/internal/cache"
+	"dsarp/internal/cpu"
+	"dsarp/internal/snap"
+)
+
+// CanSnapshot reports whether this system's configuration supports
+// snapshotting: every attached refresh policy must serialize (all the
+// stock mechanisms do; ad-hoc Config.Policy closures may not) and the
+// protocol checker must be off — checker state does not round-trip, and a
+// resumed checked run would verify against a hole.
+func (s *System) CanSnapshot() bool {
+	if s.cfg.Check {
+		return false
+	}
+	for _, ctrl := range s.ctrls {
+		if _, ok := ctrl.Policy().(snap.Codec); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot serializes the complete mutable machine state — cores (trace
+// generator rng included), cache slices (MSHR chains), DRAM devices,
+// controllers (queues and in-flight FIFOs), refresh policies, the engine's
+// saturation counters, and the measurement baseline — into a versioned,
+// hash-framed snap container. Restoring it with RestoreSystem under the
+// same Config (Measure aside) yields a machine that produces bit-identical
+// results to one that never stopped. Panics if CanSnapshot is false.
+func (s *System) Snapshot() []byte {
+	w := snap.NewWriter()
+	w.Section("meta")
+	w.I64(s.now)
+	w.I64(s.stepped)
+	w.I64(s.nextID)
+	w.Int(s.loopSat)
+	w.Int(s.loopBlind)
+	w.Int(len(s.devs))
+	w.Int(len(s.cores))
+	w.Bool(s.inMeasure)
+	w.I64(s.startStepped)
+	if s.inMeasure {
+		w.Section("run")
+		appendWindow(w, &s.start)
+	}
+	for ch, d := range s.devs {
+		w.Section(fmt.Sprintf("dev%d", ch))
+		d.AppendState(w)
+	}
+	for i, c := range s.cores {
+		w.Section(fmt.Sprintf("core%d", i))
+		c.AppendState(w)
+	}
+	for i, sl := range s.slices {
+		w.Section(fmt.Sprintf("slice%d", i))
+		sl.AppendState(w)
+	}
+	for ch, ctrl := range s.ctrls {
+		w.Section(fmt.Sprintf("ctrl%d", ch))
+		ctrl.AppendState(w)
+	}
+	for ch, ctrl := range s.ctrls {
+		pol, ok := ctrl.Policy().(snap.Codec)
+		if !ok {
+			panic(fmt.Sprintf("sim: policy %T does not serialize; check CanSnapshot before Snapshot", ctrl.Policy()))
+		}
+		w.Section(fmt.Sprintf("policy%d", ch))
+		pol.AppendState(w)
+	}
+	return w.Finish()
+}
+
+// RestoreSystem rebuilds a system from cfg exactly as NewSystem would,
+// then overwrites its mutable state from a snapshot taken by a system of
+// the same configuration. Restore order matters: devices first (the
+// controllers' queue replay reads their open rows), then cores, slices
+// (waiter callbacks resolve against the cores), controllers (completion
+// callbacks resolve against the slices), and finally the policies. A
+// version-mismatched snapshot fails with snap.ErrVersion; a checked config
+// is refused outright.
+func RestoreSystem(cfg Config, data []byte) (*System, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.Check {
+		return nil, errors.New("sim: cannot restore into a checked run: checker state is not serialized")
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := snap.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Section("meta"); err != nil {
+		return nil, err
+	}
+	s.now = r.I64()
+	s.stepped = r.I64()
+	s.nextID = r.I64()
+	s.loopSat = r.Int()
+	s.loopBlind = r.Int()
+	nDevs := r.Int()
+	nCores := r.Int()
+	s.inMeasure = r.Bool()
+	s.startStepped = r.I64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nDevs != len(s.devs) || nCores != len(s.cores) {
+		return nil, fmt.Errorf("sim: snapshot shape %d channels / %d cores, config builds %d / %d",
+			nDevs, nCores, len(s.devs), len(s.cores))
+	}
+	if s.inMeasure {
+		if err := r.Section("run"); err != nil {
+			return nil, err
+		}
+		loadWindow(r, &s.start, nCores)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for ch, d := range s.devs {
+		if err := r.Section(fmt.Sprintf("dev%d", ch)); err != nil {
+			return nil, err
+		}
+		if err := d.LoadState(r); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range s.cores {
+		if err := r.Section(fmt.Sprintf("core%d", i)); err != nil {
+			return nil, err
+		}
+		if err := c.LoadState(r); err != nil {
+			return nil, err
+		}
+	}
+	for i, sl := range s.slices {
+		if err := r.Section(fmt.Sprintf("slice%d", i)); err != nil {
+			return nil, err
+		}
+		if err := sl.LoadState(r, s.cores[i].CompletionFor); err != nil {
+			return nil, err
+		}
+	}
+	lineBytes := uint64(s.cfg.Cache.LineBytes)
+	resolve := func(coreID int, tag uint64) (func(now int64), error) {
+		if coreID < 0 || coreID >= len(s.slices) {
+			return nil, fmt.Errorf("sim: request names core %d of %d", coreID, len(s.slices))
+		}
+		return s.slices[coreID].FillCallback(tag / lineBytes)
+	}
+	for ch, ctrl := range s.ctrls {
+		if err := r.Section(fmt.Sprintf("ctrl%d", ch)); err != nil {
+			return nil, err
+		}
+		if err := ctrl.LoadState(r, resolve); err != nil {
+			return nil, err
+		}
+	}
+	for ch, ctrl := range s.ctrls {
+		pol, ok := ctrl.Policy().(snap.Codec)
+		if !ok {
+			return nil, fmt.Errorf("sim: policy %T does not serialize", ctrl.Policy())
+		}
+		if err := r.Section(fmt.Sprintf("policy%d", ch)); err != nil {
+			return nil, err
+		}
+		if err := pol.LoadState(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	s.keepLoop = true
+	return s, nil
+}
+
+// appendWindow serializes the measurement baseline captured at the warmup
+// boundary: the cumulative per-core, per-slice, DRAM, and controller
+// counters result() subtracts from the end-of-run totals.
+func appendWindow(w *snap.Writer, sn *snapshot) {
+	for _, cs := range sn.cores {
+		for _, v := range []int64{cs.Retired, cs.CPUCycles, cs.Loads, cs.Stores, cs.MemStallBeat} {
+			w.I64(v)
+		}
+	}
+	for _, cc := range sn.cache {
+		for _, v := range []int64{cc.Accesses, cc.Hits, cc.Misses, cc.MSHRMerges, cc.Writebacks} {
+			w.I64(v)
+		}
+	}
+	d := &sn.dram
+	for _, v := range []int64{d.Commands, d.Acts, d.Pres, d.Reads, d.Writes, d.RefABs, d.RefPBs} {
+		w.I64(v)
+	}
+	q := &sn.sched
+	for _, v := range []int64{
+		q.ReadsServed, q.WritesServed, q.ReadLatencySum, q.WriteLatencySum,
+		q.DemandSlots, q.RefreshSlots, q.ForwardedReads, q.MergedWrites,
+		q.ReadQueueFullStalls, q.WriteQueueFullStalls,
+		q.WriteModeEntries, q.WriteModeCycles, q.OpportunisticDrain,
+	} {
+		w.I64(v)
+	}
+}
+
+func loadWindow(r *snap.Reader, sn *snapshot, nCores int) {
+	sn.cores = make([]cpu.Stats, nCores)
+	for i := range sn.cores {
+		cs := &sn.cores[i]
+		for _, p := range []*int64{&cs.Retired, &cs.CPUCycles, &cs.Loads, &cs.Stores, &cs.MemStallBeat} {
+			*p = r.I64()
+		}
+	}
+	sn.cache = make([]cache.Stats, nCores)
+	for i := range sn.cache {
+		cc := &sn.cache[i]
+		for _, p := range []*int64{&cc.Accesses, &cc.Hits, &cc.Misses, &cc.MSHRMerges, &cc.Writebacks} {
+			*p = r.I64()
+		}
+	}
+	d := &sn.dram
+	for _, p := range []*int64{&d.Commands, &d.Acts, &d.Pres, &d.Reads, &d.Writes, &d.RefABs, &d.RefPBs} {
+		*p = r.I64()
+	}
+	q := &sn.sched
+	for _, p := range []*int64{
+		&q.ReadsServed, &q.WritesServed, &q.ReadLatencySum, &q.WriteLatencySum,
+		&q.DemandSlots, &q.RefreshSlots, &q.ForwardedReads, &q.MergedWrites,
+		&q.ReadQueueFullStalls, &q.WriteQueueFullStalls,
+		&q.WriteModeEntries, &q.WriteModeCycles, &q.OpportunisticDrain,
+	} {
+		*p = r.I64()
+	}
+}

@@ -1,0 +1,57 @@
+package snap
+
+import "math/rand"
+
+// countingSource wraps the standard rngSource and counts raw draws. Both
+// Int63 and Uint64 advance the generator's feedback register by exactly
+// one step, so replaying N Uint64 calls from the seed reproduces the
+// stream position regardless of which mix of calls consumed it.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// Rand is a deterministic math/rand generator whose stream position is
+// serializable: the position is the count of raw source draws since the
+// seed, and Restore fast-forwards a fresh source to that count. The
+// embedded *rand.Rand pointer is stable across Restore, so derived
+// samplers (rand.Zipf) built over it keep working after a restore.
+type Rand struct {
+	*rand.Rand
+	seed int64
+	cs   *countingSource
+}
+
+// NewRand returns a counted generator seeded like rand.New(rand.NewSource(seed)).
+func NewRand(seed int64) *Rand {
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Rand{Rand: rand.New(cs), seed: seed, cs: cs}
+}
+
+// Draws reports the number of raw source draws consumed so far.
+func (r *Rand) Draws() uint64 { return r.cs.n }
+
+// Restore rewinds to the seed and fast-forwards the source by draws raw
+// steps, in place.
+func (r *Rand) Restore(draws uint64) {
+	r.cs.src = rand.NewSource(r.seed).(rand.Source64)
+	for i := uint64(0); i < draws; i++ {
+		r.cs.src.Uint64()
+	}
+	r.cs.n = draws
+}

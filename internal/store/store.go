@@ -63,6 +63,34 @@ func ParseKey(s string) (Key, error) {
 // foreign files.
 const magic = "dsarpstore1"
 
+// Kind partitions the store into namespaces with different retention
+// priorities. The two kinds never collide even under the same Key: they
+// live in separate directory trees.
+type Kind int
+
+const (
+	// KindResult entries are completed computation outputs — the store's
+	// primary cargo, evicted last.
+	KindResult Kind = iota
+	// KindSnapshot entries are resumable mid-computation checkpoints. They
+	// are pure accelerators (losing one costs recompute time, never
+	// correctness), so the byte cap evicts every snapshot before it touches
+	// a single result.
+	KindSnapshot
+)
+
+// snapDir is the subdirectory holding KindSnapshot entries; KindResult
+// entries keep the historical two-level layout at the store root, so
+// existing stores are read unchanged.
+const snapDir = "snap"
+
+func (k Kind) String() string {
+	if k == KindSnapshot {
+		return "snapshot"
+	}
+	return "result"
+}
+
 // Options configure a store.
 type Options struct {
 	// MaxBytes caps the store's total payload+header size; 0 means
@@ -92,9 +120,15 @@ type Options struct {
 // Stats describe the store's state and activity since Open. The JSON tags
 // are part of the serving layer's /v1/stats wire format.
 type Stats struct {
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	Hits      int64 `json:"hits"`
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Per-kind splits of Entries/Bytes: results are the durable cargo,
+	// snapshots the evict-first checkpoint namespace.
+	ResultEntries   int   `json:"result_entries"`
+	ResultBytes     int64 `json:"result_bytes"`
+	SnapshotEntries int   `json:"snapshot_entries"`
+	SnapshotBytes   int64 `json:"snapshot_bytes"`
+	Hits            int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Puts      int64 `json:"puts"`
 	Corrupt   int64 `json:"corrupt"` // entries deleted because verification failed
@@ -116,6 +150,13 @@ type entry struct {
 	stamp int64 // logical LRU clock; higher = more recently used
 }
 
+// entryKey indexes one entry: the same Key may exist under both kinds
+// (they are separate namespaces on disk).
+type entryKey struct {
+	key  Key
+	kind Kind
+}
+
 // Store is a content-addressed cache rooted at one directory. All methods
 // are safe for concurrent use.
 type Store struct {
@@ -123,8 +164,12 @@ type Store struct {
 	opts Options
 
 	mu       sync.Mutex
-	entries  map[Key]*entry
+	entries  map[entryKey]*entry
 	bytes    int64
+	// kindEntries/kindBytes split the totals by namespace for Stats and
+	// for the snapshot-first eviction order.
+	kindEntries [2]int
+	kindBytes   [2]int64
 	clock    int64
 	stats    Stats
 	degraded string // non-empty = read-only, value is the reason
@@ -138,7 +183,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, entries: map[Key]*entry{}}
+	s := &Store{dir: dir, opts: opts, entries: map[entryKey]*entry{}}
 	// sweepHorizon is taken before the manifest is read: during a rolling
 	// generation bump across processes sharing the directory, a sibling
 	// that already published the new manifest may be writing
@@ -152,7 +197,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	type found struct {
-		key   Key
+		key   entryKey
 		size  int64
 		mtime int64
 	}
@@ -175,6 +220,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err != nil {
 			return nil // foreign file (the manifest included); leave it alone
 		}
+		kind := KindResult
+		if rel, rerr := filepath.Rel(dir, path); rerr == nil &&
+			strings.HasPrefix(rel, snapDir+string(filepath.Separator)) {
+			kind = KindSnapshot
+		}
 		info, err := d.Info()
 		if err != nil {
 			return nil
@@ -186,7 +236,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			s.stats.ExpiredBytes += info.Size()
 			return nil
 		}
-		idx = append(idx, found{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		idx = append(idx, found{key: entryKey{key, kind}, size: info.Size(), mtime: info.ModTime().UnixNano()})
 		return nil
 	})
 	if err != nil {
@@ -198,6 +248,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.clock++
 		s.entries[f.key] = &entry{size: f.size, stamp: s.clock}
 		s.bytes += f.size
+		s.kindEntries[f.key.kind]++
+		s.kindBytes[f.key.kind] += f.size
 	}
 	// The manifest is published only after a completed sweep: a crash
 	// mid-sweep leaves the old manifest in place, so the next Open sweeps
@@ -271,37 +323,46 @@ func (s *Store) Dir() string { return s.dir }
 const tmpPrefix = ".tmp-"
 
 // path returns the entry file for a key: two-level fan-out on the first
-// hex byte (dir/ab/cdef...).
-func (s *Store) path(k Key) string {
-	hexk := k.String()
+// hex byte (dir/ab/cdef... for results, dir/snap/ab/cdef... for
+// snapshots).
+func (s *Store) path(ek entryKey) string {
+	hexk := ek.key.String()
+	if ek.kind == KindSnapshot {
+		return filepath.Join(s.dir, snapDir, hexk[:2], hexk[2:])
+	}
 	return filepath.Join(s.dir, hexk[:2], hexk[2:])
 }
 
-// EntryPath reports where an entry for key is (or would be) stored.
+// EntryPath reports where a result entry for key is (or would be) stored.
 // Diagnostic only; the file format is private to this package.
-func (s *Store) EntryPath(k Key) string { return s.path(k) }
+func (s *Store) EntryPath(k Key) string { return s.path(entryKey{k, KindResult}) }
 
-// Get returns the payload stored under key. A missing, truncated, or
-// corrupted entry is a miss; corrupt files are deleted so the next Put can
-// heal the slot. The disk is probed even for keys absent from the
-// Open-time index, so entries written by another process sharing the
-// directory are found; file I/O and hashing happen outside the store
-// lock, so concurrent reads do not serialize on each other.
-func (s *Store) Get(k Key) ([]byte, bool) {
-	path := s.path(k)
+// Get returns the result payload stored under key; see GetKind.
+func (s *Store) Get(k Key) ([]byte, bool) { return s.GetKind(k, KindResult) }
+
+// GetKind returns the payload stored under key in the given namespace. A
+// missing, truncated, or corrupted entry is a miss; corrupt files are
+// deleted so the next Put can heal the slot. The disk is probed even for
+// keys absent from the Open-time index, so entries written by another
+// process sharing the directory are found; file I/O and hashing happen
+// outside the store lock, so concurrent reads do not serialize on each
+// other.
+func (s *Store) GetKind(k Key, kind Kind) ([]byte, bool) {
+	ek := entryKey{k, kind}
+	path := s.path(ek)
 	s.mu.Lock()
-	e, indexed := s.entries[k]
+	e, indexed := s.entries[ek]
 	s.mu.Unlock()
 
 	payload, err := readEntry(path)
 	if err != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		cur, ok := s.entries[k]
+		cur, ok := s.entries[ek]
 		switch {
 		case ok && indexed && cur == e:
 			// The entry we indexed is corrupt: drop index and file.
-			s.dropLocked(k, cur)
+			s.dropLocked(ek, cur)
 			s.stats.Corrupt++
 		case ok:
 			// A concurrent in-process Put healed the slot since we looked;
@@ -324,12 +385,14 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	}
 	s.mu.Lock()
 	s.clock++
-	if cur, ok := s.entries[k]; ok {
+	if cur, ok := s.entries[ek]; ok {
 		cur.stamp = s.clock
 	} else {
 		// Found on disk but not in the index: another process wrote it.
-		s.entries[k] = &entry{size: size, stamp: s.clock}
+		s.entries[ek] = &entry{size: size, stamp: s.clock}
 		s.bytes += size
+		s.kindEntries[ek.kind]++
+		s.kindBytes[ek.kind] += size
 	}
 	s.stats.Hits++
 	s.mu.Unlock()
@@ -381,16 +444,19 @@ func readEntry(path string) ([]byte, error) {
 	return payload, nil
 }
 
-// Put stores payload under key, atomically replacing any existing entry,
-// then applies the byte cap. Like Get, the file I/O happens outside the
-// store lock; only the index update takes it.
+// Put stores a result payload under key; see PutKind.
+func (s *Store) Put(k Key, payload []byte) error { return s.PutKind(k, KindResult, payload) }
+
+// PutKind stores payload under key in the given namespace, atomically
+// replacing any existing entry, then applies the byte cap. Like Get, the
+// file I/O happens outside the store lock; only the index update takes it.
 //
 // A write failure flips the store into a sticky read-only degraded state:
 // this Put and every later one return an error without touching the disk,
 // while Gets keep serving whatever is already durable. Callers that treat
 // Put errors as "result stays in memory" (the runner does) thereby keep
 // completing work at full correctness on a dead disk.
-func (s *Store) Put(k Key, payload []byte) error {
+func (s *Store) PutKind(k Key, kind Kind, payload []byte) error {
 	s.mu.Lock()
 	if s.degraded != "" {
 		reason := s.degraded
@@ -405,7 +471,8 @@ func (s *Store) Put(k Key, payload []byte) error {
 	fmt.Fprintf(&buf, "%s %s %d\n", magic, hex.EncodeToString(h[:]), len(payload))
 	buf.Write(payload)
 
-	path := s.path(k)
+	ek := entryKey{k, kind}
+	path := s.path(ek)
 	err := func() error {
 		if fail := s.opts.FailWrites; fail != nil {
 			if err := fail(); err != nil {
@@ -445,33 +512,48 @@ func (s *Store) Put(k Key, payload []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	size := int64(buf.Len())
-	if old, ok := s.entries[k]; ok {
+	if old, ok := s.entries[ek]; ok {
 		s.bytes -= old.size
+		s.kindEntries[kind]--
+		s.kindBytes[kind] -= old.size
 	}
 	s.clock++
-	s.entries[k] = &entry{size: size, stamp: s.clock}
+	s.entries[ek] = &entry{size: size, stamp: s.clock}
 	s.bytes += size
+	s.kindEntries[kind]++
+	s.kindBytes[kind] += size
 	s.stats.Puts++
-	s.pruneLocked(k)
+	s.pruneLocked(ek)
 	return nil
 }
 
-// pruneLocked evicts least-recently-used entries until the store fits
-// MaxBytes, sparing keep (the entry the caller just wrote).
-func (s *Store) pruneLocked(keep Key) {
+// pruneLocked evicts entries until the store fits MaxBytes, sparing keep
+// (the entry the caller just wrote). Snapshots go first — every snapshot
+// is merely a recompute accelerator, so all of them are sacrificed (in LRU
+// order) before the first result is; only then does the LRU sweep touch
+// results.
+func (s *Store) pruneLocked(keep entryKey) {
 	if s.opts.MaxBytes <= 0 {
 		return
 	}
 	for s.bytes > s.opts.MaxBytes && len(s.entries) > 1 {
-		var victim Key
+		var victim entryKey
 		var victimE *entry
 		for k, e := range s.entries {
 			if k == keep {
 				continue
 			}
-			if victimE == nil || e.stamp < victimE.stamp {
-				victim, victimE = k, e
+			switch {
+			case victimE == nil:
+			case k.kind != victim.kind:
+				// Prefer the snapshot regardless of recency.
+				if k.kind != KindSnapshot {
+					continue
+				}
+			case e.stamp >= victimE.stamp:
+				continue
 			}
+			victim, victimE = k, e
 		}
 		if victimE == nil {
 			return
@@ -482,25 +564,32 @@ func (s *Store) pruneLocked(keep Key) {
 }
 
 // dropLocked removes an entry from the index and disk.
-func (s *Store) dropLocked(k Key, e *entry) {
-	os.Remove(s.path(k))
-	delete(s.entries, k)
+func (s *Store) dropLocked(ek entryKey, e *entry) {
+	os.Remove(s.path(ek))
+	delete(s.entries, ek)
 	s.bytes -= e.size
+	s.kindEntries[ek.kind]--
+	s.kindBytes[ek.kind] -= e.size
 }
 
-// Contains reports whether an entry exists for key, without reading its
-// payload, verifying it, or touching LRU state: a cheap existence probe
-// for warm-status displays. The disk is consulted when the index misses,
-// so entries written by other processes sharing the directory count. A
-// corrupt entry may report true here and still miss on Get.
-func (s *Store) Contains(k Key) bool {
+// Contains reports whether a result entry exists for key; see ContainsKind.
+func (s *Store) Contains(k Key) bool { return s.ContainsKind(k, KindResult) }
+
+// ContainsKind reports whether an entry exists for key in the given
+// namespace, without reading its payload, verifying it, or touching LRU
+// state: a cheap existence probe for warm-status displays. The disk is
+// consulted when the index misses, so entries written by other processes
+// sharing the directory count. A corrupt entry may report true here and
+// still miss on Get.
+func (s *Store) ContainsKind(k Key, kind Kind) bool {
+	ek := entryKey{k, kind}
 	s.mu.Lock()
-	_, ok := s.entries[k]
+	_, ok := s.entries[ek]
 	s.mu.Unlock()
 	if ok {
 		return true
 	}
-	_, err := os.Stat(s.path(k))
+	_, err := os.Stat(s.path(ek))
 	return err == nil
 }
 
@@ -527,6 +616,10 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Entries = len(s.entries)
 	st.Bytes = s.bytes
+	st.ResultEntries = s.kindEntries[KindResult]
+	st.ResultBytes = s.kindBytes[KindResult]
+	st.SnapshotEntries = s.kindEntries[KindSnapshot]
+	st.SnapshotBytes = s.kindBytes[KindSnapshot]
 	st.Degraded = s.degraded != ""
 	st.DegradedReason = s.degraded
 	return st

@@ -415,3 +415,103 @@ func TestDegradedMode(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestKindNamespacesAreDisjoint(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	key := KeyOf([]byte("shared"))
+	if err := s.PutKind(key, KindResult, []byte("result-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutKind(key, KindSnapshot, []byte("snapshot-payload")); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := s.GetKind(key, KindResult)
+	if !ok || string(res) != "result-payload" {
+		t.Fatalf("result namespace = %q, %v", res, ok)
+	}
+	snap, ok := s.GetKind(key, KindSnapshot)
+	if !ok || string(snap) != "snapshot-payload" {
+		t.Fatalf("snapshot namespace = %q, %v", snap, ok)
+	}
+	st := s.Stats()
+	if st.ResultEntries != 1 || st.SnapshotEntries != 1 || st.Entries != 2 {
+		t.Errorf("kind split: %+v", st)
+	}
+	if st.ResultBytes+st.SnapshotBytes != st.Bytes {
+		t.Errorf("kind bytes %d+%d do not sum to total %d", st.ResultBytes, st.SnapshotBytes, st.Bytes)
+	}
+}
+
+func TestKindNamespacesPersistAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	key := KeyOf([]byte("snapshot-entry"))
+	if err := s.PutKind(key, KindSnapshot, []byte("checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	reopened := open(t, dir, Options{})
+	if got, ok := reopened.GetKind(key, KindSnapshot); !ok || string(got) != "checkpoint" {
+		t.Fatalf("reopened snapshot = %q, %v", got, ok)
+	}
+	if reopened.ContainsKind(key, KindResult) {
+		t.Error("snapshot entry leaked into the result namespace")
+	}
+	st := reopened.Stats()
+	if st.SnapshotEntries != 1 || st.ResultEntries != 0 {
+		t.Errorf("reopened kind split: %+v", st)
+	}
+}
+
+// TestByteCapEvictsSnapshotsFirst pins the retention priority: under byte
+// pressure every snapshot is evicted — even recently-used ones — before a
+// single result is touched. Snapshots only accelerate recomputation;
+// results are the store's cargo.
+func TestByteCapEvictsSnapshotsFirst(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 100)
+	sizer := open(t, t.TempDir(), Options{})
+	if err := sizer.Put(KeyOf([]byte("sizer")), payload); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := sizer.Stats().Bytes
+	s := open(t, t.TempDir(), Options{MaxBytes: 4 * entrySize})
+
+	oldRes := KeyOf([]byte("result-old"))
+	if err := s.PutKind(oldRes, KindResult, payload); err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]Key, 3)
+	for i := range snaps {
+		snaps[i] = KeyOf([]byte(fmt.Sprintf("snap-%d", i)))
+		if err := s.PutKind(snaps[i], KindSnapshot, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Refresh every snapshot's LRU stamp: the result is now the coldest
+	// entry by recency, so plain LRU would evict it first.
+	for _, k := range snaps {
+		if _, ok := s.GetKind(k, KindSnapshot); !ok {
+			t.Fatal("warm snapshot missing before pressure")
+		}
+	}
+	// Two more results push the store to 6 entries against a 4-entry cap.
+	for i := 0; i < 2; i++ {
+		if err := s.PutKind(KeyOf([]byte(fmt.Sprintf("result-%d", i))), KindResult, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.ContainsKind(oldRes, KindResult) {
+		t.Error("cold result evicted while snapshots remained")
+	}
+	st := s.Stats()
+	if st.ResultEntries != 3 {
+		t.Errorf("results held = %d, want all 3 (stats %+v)", st.ResultEntries, st)
+	}
+	if st.SnapshotEntries != 1 {
+		t.Errorf("snapshots held = %d, want 1 survivor under the cap", st.SnapshotEntries)
+	}
+	for _, k := range snaps[:2] {
+		if s.ContainsKind(k, KindSnapshot) {
+			t.Error("LRU order violated within the snapshot namespace")
+		}
+	}
+}

@@ -76,6 +76,10 @@ type Span struct {
 	// orchestrator's own store satisfied it without dispatching).
 	Source string `json:"source,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// ResumedFrom is the checkpoint cycle a computed simulation was
+	// restored from (serve spans and terminal result records); 0/absent
+	// means the run started cold at cycle 0.
+	ResumedFrom int64 `json:"resumed_from,omitempty"`
 	// Millis is the span's wall time in milliseconds.
 	Millis float64 `json:"ms,omitempty"`
 	// Run-header fields.

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"dsarp/internal/snap"
 )
 
 // Access is one LLC access of a synthetic benchmark.
@@ -113,10 +115,11 @@ func (p Profile) Intensive() bool { return p.MPKI >= 10 }
 // lineBytes matches the LLC/DRAM line size.
 const lineBytes = 64
 
-// gen implements Generator for a Profile.
+// gen implements Generator for a Profile. Its rng is a counted source so
+// the stream position serializes as a single draw count (snap.Rand).
 type gen struct {
 	p     Profile
-	rng   *rand.Rand
+	rng   *snap.Rand
 	zipf  *rand.Zipf
 	lines uint64
 
@@ -151,7 +154,7 @@ func New(p Profile, seed int64) Generator {
 	if p.Pattern == Chase {
 		p.MLPBurst = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := snap.NewRand(seed)
 	g := &gen{
 		p:       p,
 		rng:     rng,
@@ -169,13 +172,34 @@ func New(p Profile, seed int64) Generator {
 		// have reuse, flat enough that the hot set exceeds an LLC slice
 		// (s=1.2 concentrates so hard the whole hot set caches and the
 		// nominal MPKI never materializes).
-		g.zipf = rand.NewZipf(rng, 1.02, 8, lines-1)
+		g.zipf = rand.NewZipf(rng.Rand, 1.02, 8, lines-1)
 	}
 	return g
 }
 
 // Name implements Generator.
 func (g *gen) Name() string { return g.p.Name }
+
+// AppendState implements snap.Codec: the stream position is the raw rng
+// draw count plus the walk/run/gap cursors. Everything else in gen is
+// derived from the profile at construction.
+func (g *gen) AppendState(w *snap.Writer) {
+	w.U64(g.rng.Draws())
+	w.U64(g.pos)
+	w.Int(g.burst)
+	w.U64(g.baseRun)
+	w.Int(g.gapLeft)
+}
+
+// LoadState implements snap.Codec.
+func (g *gen) LoadState(r *snap.Reader) error {
+	g.rng.Restore(r.U64())
+	g.pos = r.U64()
+	g.burst = r.Int()
+	g.baseRun = r.U64()
+	g.gapLeft = r.Int()
+	return r.Err()
+}
 
 // Next implements Generator.
 func (g *gen) Next() Access {

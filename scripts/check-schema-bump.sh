@@ -1,57 +1,81 @@
 #!/usr/bin/env bash
-# CI tripwire for store-schema discipline.
+# CI tripwire for store-schema discipline — results AND snapshots.
 #
-# The golden table/figure fixtures under internal/exp/testdata/ pin the
-# simulator's observable behavior, and exp.SchemaVersion salts every
-# content-addressed store key. If a change alters a golden fixture, the
-# same change MUST bump SchemaVersion — otherwise every warm store keeps
-# serving results computed under the old behavior, silently, forever.
+# Two content-addressed artifact generations live in the store, each with
+# its own version string and its own golden fixture set:
+#
+#   1. Results. The golden table/figure fixtures under
+#      internal/exp/testdata/ pin the simulator's observable behavior,
+#      and exp.SchemaVersion salts every result key. If a change alters a
+#      golden fixture, the same change MUST bump SchemaVersion —
+#      otherwise every warm store keeps serving results computed under
+#      the old behavior, silently, forever.
+#
+#   2. Snapshots. internal/sim/testdata/golden.snap pins the serialized
+#      machine-state layout byte-for-byte (TestGoldenSnapshotBytes), and
+#      snap.Version salts every checkpoint prefix key and is refused at
+#      restore time on mismatch. If the fixture's bytes change, the same
+#      change MUST bump snap.Version — otherwise stored snapshots would
+#      restore into a machine they no longer describe (or, at best,
+#      waste every warm checkpoint without retiring its key).
 #
 # This script fails when the diff against the given base modifies an
-# existing golden fixture without also changing the SchemaVersion line in
-# internal/exp/spec.go. Newly added fixtures are exempt: they pin behavior
-# that never had stored results to go stale.
+# existing golden fixture without also changing the corresponding version
+# line. Newly added fixtures are exempt: they pin behavior that never had
+# stored artifacts to go stale.
 #
 # Usage: scripts/check-schema-bump.sh <base-ref>   (e.g. origin/main)
 set -euo pipefail
 
 BASE="${1:?usage: check-schema-bump.sh <base-ref>}"
-GOLDENS="internal/exp/testdata"
 
-# --no-renames: a renamed-and-tweaked fixture must show as D+A, not slip
-# through as R (which -diff-filter=MD would exclude).
-modified=$(git diff --no-renames --name-only --diff-filter=MD "$BASE"...HEAD -- "$GOLDENS" || true)
-if [ -z "$modified" ]; then
-    echo "schema tripwire: no golden fixture modified; no schema bump required"
-    exit 0
-fi
-
-# Compare the SchemaVersion *value* at base vs head — a diff-line grep
-# would be fooled by a move/reformat of the const without a value change.
-schema_at() {
-    git show "$1:internal/exp/spec.go" 2>/dev/null \
-        | sed -n 's/^const SchemaVersion = "\(.*\)"$/\1/p'
+# version_at <ref> <file> <const-name>: the version string value at a ref.
+# Matching the value (not diff lines) means a move/reformat of the const
+# without a value change cannot fool the check.
+version_at() {
+    git show "$1:$2" 2>/dev/null \
+        | sed -n "s/^const $3 = \"\(.*\)\"\$/\1/p"
 }
-old_schema=$(schema_at "$BASE")
-new_schema=$(schema_at HEAD)
-if [ -z "$new_schema" ]; then
-    echo "schema tripwire: cannot find SchemaVersion in internal/exp/spec.go at HEAD" >&2
-    exit 1
-fi
-if [ "$old_schema" != "$new_schema" ]; then
-    echo "schema tripwire: golden fixtures modified AND exp.SchemaVersion bumped ($old_schema -> $new_schema) — OK"
-    echo "$modified"
-    exit 0
-fi
 
-echo "schema tripwire: FAIL"
-echo
-echo "These golden fixtures changed:"
-echo "$modified" | sed 's/^/    /'
-echo
-echo "...but exp.SchemaVersion (internal/exp/spec.go) did not. A golden"
-echo "change means simulation output changed for the same spec, so every"
-echo "warm store would keep serving stale pre-change results. Bump"
-echo "SchemaVersion in the same commit (and state the behavior change in"
-echo "the commit message), or revert the golden change."
-exit 1
+# check_generation <label> <fixture-path> <version-file> <const-name>
+# Returns 0 when this generation needs no bump or got one; prints the
+# failure story and returns 1 otherwise.
+check_generation() {
+    local label="$1" fixtures="$2" vfile="$3" vconst="$4"
+    # --no-renames: a renamed-and-tweaked fixture must show as D+A, not
+    # slip through as R (which --diff-filter=MD would exclude).
+    local modified
+    modified=$(git diff --no-renames --name-only --diff-filter=MD "$BASE"...HEAD -- "$fixtures" || true)
+    if [ -z "$modified" ]; then
+        echo "schema tripwire [$label]: no golden fixture modified; no bump required"
+        return 0
+    fi
+    local old new
+    old=$(version_at "$BASE" "$vfile" "$vconst")
+    new=$(version_at HEAD "$vfile" "$vconst")
+    if [ -z "$new" ]; then
+        echo "schema tripwire [$label]: cannot find $vconst in $vfile at HEAD" >&2
+        return 1
+    fi
+    if [ "$old" != "$new" ]; then
+        echo "schema tripwire [$label]: golden fixtures modified AND $vconst bumped ($old -> $new) — OK"
+        echo "$modified" | sed 's/^/    /'
+        return 0
+    fi
+    echo "schema tripwire [$label]: FAIL"
+    echo
+    echo "These golden fixtures changed:"
+    echo "$modified" | sed 's/^/    /'
+    echo
+    echo "...but $vconst ($vfile) did not. A golden change means the"
+    echo "stored artifact's bytes changed for the same key, so every warm"
+    echo "store would keep serving stale pre-change artifacts. Bump"
+    echo "$vconst in the same commit (and state the behavior change in"
+    echo "the commit message), or revert the golden change."
+    return 1
+}
+
+rc=0
+check_generation "results" "internal/exp/testdata" "internal/exp/spec.go" "SchemaVersion" || rc=1
+check_generation "snapshots" "internal/sim/testdata" "internal/snap/snap.go" "Version" || rc=1
+exit $rc
